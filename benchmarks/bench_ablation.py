@@ -1,0 +1,119 @@
+"""Experiment E10 — ablations of the design choices DESIGN.md calls out.
+
+* **Preemption points** (Section 4, citing Musuvathi & Qadeer): RaceFuzzer
+  switching only at sync ops + racing statements vs at every statement.
+* **Phase 1 detector choice**: hybrid vs precise happens-before vs Eraser
+  lockset — cost of one instrumented run, and the pair counts each feeds
+  to Phase 2 (coverage/precision trade-off).
+* **Watchdog patience**: how the livelock-breaker threshold affects the
+  runtime of a fuzzing run on a spin-wait workload (moldyn).
+"""
+
+import pytest
+
+from repro.core import RaceFuzzer, RandomScheduler, detect_races
+from repro.detectors import (
+    EraserLocksetDetector,
+    HappensBeforeDetector,
+    HybridRaceDetector,
+)
+from repro.runtime import Execution
+from repro.workloads import figure2, get
+
+
+class TestPreemptionAblation:
+    @pytest.mark.parametrize("preemption", ["sync", "every"])
+    def test_racefuzzer_preemption(self, benchmark, preemption):
+        spec = get("moldyn")
+        pair = detect_races(spec.build(), seeds=(0,)).pairs[0]
+        fuzzer = RaceFuzzer(pair, preemption=preemption, max_steps=spec.max_steps)
+        seed = [0]
+
+        def run():
+            seed[0] += 1
+            return fuzzer.run(spec.build(), seed=seed[0])
+
+        benchmark.extra_info["preemption"] = preemption
+        benchmark(run)
+
+
+class TestDetectorAblation:
+    DETECTORS = {
+        "hybrid": HybridRaceDetector,
+        "happens-before": HappensBeforeDetector,
+        "lockset": EraserLocksetDetector,
+    }
+
+    @pytest.mark.parametrize("detector_name", sorted(DETECTORS))
+    def test_phase1_detector_cost(self, benchmark, detector_name):
+        spec = get("weblech")
+        detector_cls = self.DETECTORS[detector_name]
+        seed = [0]
+
+        def run():
+            seed[0] += 1
+            detector = detector_cls()
+            Execution(
+                spec.build(), seed=seed[0], observers=[detector],
+                max_steps=spec.max_steps,
+            ).run(RandomScheduler(preemption="every"))
+            return detector.report
+
+        report = benchmark(run)
+        benchmark.extra_info["detector"] = detector_name
+        benchmark.extra_info["pairs_reported"] = len(report)
+        print(f"\n{detector_name}: {len(report)} pairs on weblech")
+
+    def test_detector_coverage_ordering(self):
+        """Precision/coverage shape on one run set: precise-HB reports the
+        fewest pairs, lockset-only does not report fewer than HB."""
+        spec = get("weblech")
+        counts = {}
+        for name, cls in self.DETECTORS.items():
+            merged = None
+            for seed in range(3):
+                detector = cls()
+                Execution(
+                    spec.build(), seed=seed, observers=[detector],
+                    max_steps=spec.max_steps,
+                ).run(RandomScheduler(preemption="every"))
+                if merged is None:
+                    merged = detector.report
+                else:
+                    merged.merge(detector.report)
+            counts[name] = len(merged)
+        assert counts["happens-before"] <= counts["hybrid"]
+
+
+class TestWatchdogAblation:
+    @pytest.mark.parametrize("patience", [100, 400, 1600])
+    def test_watchdog_patience(self, benchmark, patience):
+        """Spin-wait workload: small patience unwedges livelocks quickly,
+        large patience lets postponed threads wait longer for a partner."""
+        program_pair = detect_races(get("moldyn").build(), seeds=(0,)).pairs[0]
+        fuzzer = RaceFuzzer(program_pair, patience=patience, max_steps=500_000)
+        seed = [0]
+
+        def run():
+            seed[0] += 1
+            return fuzzer.run(get("moldyn").build(), seed=seed[0])
+
+        outcome = benchmark(run)
+        benchmark.extra_info["patience"] = patience
+        benchmark.extra_info["watchdog_releases"] = outcome.watchdog_releases
+
+
+class TestPostponementCostShape:
+    def test_padding_does_not_scale_racefuzzer_work(self, benchmark):
+        """The Figure 2 claim, as a cost statement: RaceFuzzer's work grows
+        linearly with program length but its PROBABILITY stays 1 — measure
+        a long-padding run to pair with bench_figure2_probability."""
+        fuzzer = RaceFuzzer(figure2.RACING_PAIR)
+        seed = [0]
+
+        def run():
+            seed[0] += 1
+            return fuzzer.run(figure2.build(60), seed=seed[0])
+
+        outcome = benchmark(run)
+        assert outcome.created

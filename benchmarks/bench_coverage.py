@@ -1,0 +1,83 @@
+"""Schedule-space coverage: uniform walk vs RAPOS vs RaceFuzzer.
+
+Quantifies the Related-Work trade-off on the padded Figure 2 program:
+
+* the passive strategies (uniform walk, RAPOS partial-order sampling)
+  spread their budget across the schedule space — dozens of distinct
+  partial orders in 60 runs;
+* RaceFuzzer *collapses* coverage to a couple of partial orders — by
+  design: every run visits the error-prone corner of the space.
+
+Diversity numbers land in ``extra_info``; the assertion pins the collapse
+RaceFuzzer's design predicts.
+"""
+
+from repro.core import RaceFuzzer, conflict_signature, measure_coverage
+from repro.runtime import EventTrace
+from repro.workloads import figure2
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tests"))
+from core.test_coverage import TestMeasureCoverage  # noqa: E402
+
+PADDING = 8
+RUNS = 60
+
+
+def _counter_program():
+    return TestMeasureCoverage.counter_program()
+
+
+def test_random_walk_coverage(benchmark):
+    report = benchmark.pedantic(
+        lambda: measure_coverage(
+            _counter_program(), strategy="random", seeds=range(RUNS)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["strategy"] = "random-walk"
+    benchmark.extra_info["distinct"] = report.distinct_signatures
+    benchmark.extra_info["minority_share"] = report.minority_share
+    print(f"\n{report} minority_share={report.minority_share:.2f}")
+
+
+def test_rapos_coverage(benchmark):
+    report = benchmark.pedantic(
+        lambda: measure_coverage(
+            _counter_program(), strategy="rapos", seeds=range(RUNS)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["strategy"] = "rapos"
+    benchmark.extra_info["distinct"] = report.distinct_signatures
+    benchmark.extra_info["minority_share"] = report.minority_share
+    print(f"\n{report} minority_share={report.minority_share:.2f}")
+
+
+def test_racefuzzer_coverage_collapses(benchmark):
+    """Directed testing narrows the explored space — and that is the point:
+    every run lands on a schedule exhibiting the race."""
+
+    def campaign():
+        fuzzer = RaceFuzzer(figure2.RACING_PAIR)
+        signatures = set()
+        created = 0
+        for seed in range(RUNS):
+            trace = EventTrace()
+            fuzzer.observers = (trace,)
+            outcome = fuzzer.run(figure2.build(PADDING), seed=seed)
+            signatures.add(conflict_signature(trace.events))
+            created += outcome.created
+        return signatures, created
+
+    signatures, created = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    benchmark.extra_info["strategy"] = "racefuzzer"
+    benchmark.extra_info["distinct"] = len(signatures)
+    benchmark.extra_info["races_created"] = created
+    print(f"\nracefuzzer: {len(signatures)} distinct partial orders, "
+          f"{created}/{RUNS} runs created the race")
+    assert created == RUNS

@@ -1,0 +1,150 @@
+"""Substrate microbenchmarks: the abstract machine itself.
+
+Not a paper artifact, but the denominator of every Table 1 ratio: ops/sec
+of the engine with no observers, with a tracing observer, and across the
+synchronization primitives.  Useful for spotting regressions that would
+distort the timing columns.
+"""
+
+from repro.core import DefaultScheduler, RandomScheduler
+from repro.runtime import (
+    Barrier,
+    EventTrace,
+    Execution,
+    Lock,
+    Program,
+    SharedVar,
+    join_all,
+    ops,
+    spawn_all,
+)
+
+
+def _counter_program(iterations=200, threads=2, locked=True):
+    def make():
+        value = SharedVar("value", 0)
+        lock = Lock("L")
+
+        def worker():
+            for _ in range(iterations):
+                if locked:
+                    yield lock.acquire()
+                current = yield value.read()
+                yield value.write(current + 1)
+                if locked:
+                    yield lock.release()
+
+        def main():
+            handles = yield from spawn_all([worker] * threads)
+            yield from join_all(handles)
+
+        return main()
+
+    return Program(make, name="counter")
+
+
+def test_plain_memory_ops(benchmark):
+    program = _counter_program(locked=False)
+    seed = [0]
+
+    def run():
+        seed[0] += 1
+        return Execution(program, seed=seed[0]).run(RandomScheduler("sync"))
+
+    result = benchmark(run)
+    benchmark.extra_info["steps"] = result.steps
+
+
+def test_locked_memory_ops(benchmark):
+    program = _counter_program(locked=True)
+    seed = [0]
+
+    def run():
+        seed[0] += 1
+        return Execution(program, seed=seed[0]).run(RandomScheduler("every"))
+
+    result = benchmark(run)
+    benchmark.extra_info["steps"] = result.steps
+
+
+def test_observer_overhead(benchmark):
+    program = _counter_program(locked=True)
+    seed = [0]
+
+    def run():
+        seed[0] += 1
+        trace = EventTrace()
+        return Execution(program, seed=seed[0], observers=[trace]).run(
+            RandomScheduler("every")
+        )
+
+    benchmark(run)
+
+
+def test_default_scheduler(benchmark):
+    program = _counter_program(locked=True)
+    seed = [0]
+
+    def run():
+        seed[0] += 1
+        return Execution(program, seed=seed[0]).run(DefaultScheduler())
+
+    benchmark(run)
+
+
+def test_wait_notify_throughput(benchmark):
+    def make():
+        lock = Lock("L")
+        turn = SharedVar("turn", 0)
+
+        def ping(me, other, rounds=60):
+            for _ in range(rounds):
+                yield lock.acquire()
+                while (yield turn.read()) != me:
+                    yield lock.wait()
+                yield turn.write(other)
+                yield lock.notify()
+                yield lock.release()
+
+        def main():
+            handles = yield from spawn_all(
+                [lambda: ping(0, 1), lambda: ping(1, 0)]
+            )
+            yield from join_all(handles)
+
+        return main()
+
+    program = Program(make, name="pingpong")
+    seed = [0]
+
+    def run():
+        seed[0] += 1
+        return Execution(program, seed=seed[0]).run(RandomScheduler("every"))
+
+    result = benchmark(run)
+    assert not result.deadlock
+
+
+def test_barrier_throughput(benchmark):
+    def make():
+        barrier = Barrier(3)
+
+        def worker(phases=30):
+            for _ in range(phases):
+                yield from barrier.wait_for_all()
+
+        def main():
+            handles = yield from spawn_all([worker] * 3)
+            yield from join_all(handles)
+
+        return main()
+
+    program = Program(make, name="barrier")
+    seed = [0]
+
+    def run():
+        seed[0] += 1
+        return Execution(program, seed=seed[0]).run(RandomScheduler("every"))
+
+    result = benchmark(run)
+    assert not result.deadlock

@@ -1,0 +1,41 @@
+"""Experiment E7 — the Figure 2 / Section 3.2 probability series.
+
+Each benchmark point measures one padding value of the Figure 2 program:
+the timed body runs RaceFuzzer and the passive scheduler ``runs`` times
+each; the regenerated series (RF P(race), RF P(ERROR), passive
+P(adjacent), passive P(ERROR)) lands in ``extra_info``.  The paper's claim
+to check across points: the RF columns are flat (1.0 / ~0.5) while the
+passive columns decay with padding.
+"""
+
+import pytest
+
+from repro.harness.figure2_prob import measure_point
+
+PADDINGS = [0, 2, 5, 10, 20, 40]
+
+
+@pytest.mark.parametrize("padding", PADDINGS)
+def test_probability_point(benchmark, padding):
+    point = benchmark.pedantic(
+        lambda: measure_point(padding, runs=40), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {
+            "padding": padding,
+            "rf_race_probability": point.rf_race_probability,
+            "rf_error_probability": point.rf_error_probability,
+            "simple_adjacent_probability": point.simple_adjacent_probability,
+            "simple_error_probability": point.simple_error_probability,
+        }
+    )
+    print(
+        f"\npadding={padding}: RF P(race)={point.rf_race_probability:.2f} "
+        f"RF P(err)={point.rf_error_probability:.2f} "
+        f"passive P(adj)={point.simple_adjacent_probability:.2f} "
+        f"passive P(err)={point.simple_error_probability:.2f}"
+    )
+    # Section 3.2's claims, asserted on every regenerated point:
+    assert point.rf_race_probability == 1.0
+    assert point.rf_error_probability >= 0.2
+    assert point.simple_error_probability <= point.rf_error_probability

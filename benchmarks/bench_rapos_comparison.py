@@ -1,0 +1,63 @@
+"""The Related-Work comparison, regenerated: RAPOS vs RaceFuzzer.
+
+"RAPOS cannot often discover error-prone schedules with high probability
+because the number of partial orders that can be exhibited by a large
+concurrent program can be astronomically large.  Therefore, we focused on
+testing error-prone schedules."  (Section 6.)
+
+Each benchmark measures one strategy's error-finding rate on the padded
+Figure 2 program: uniform random walk, RAPOS partial-order sampling, and
+RaceFuzzer.  Rates land in ``extra_info``.
+"""
+
+from repro.core import RandomScheduler, RaposDriver, fuzz_pair
+from repro.runtime import Execution
+from repro.workloads import figure2
+
+PADDING = 16
+RUNS = 40
+
+
+def test_random_walk_error_rate(benchmark):
+    def campaign():
+        errors = 0
+        for seed in range(RUNS):
+            result = Execution(figure2.build(PADDING), seed=seed).run(
+                RandomScheduler(preemption="every")
+            )
+            errors += bool(result.crashes)
+        return errors / RUNS
+
+    rate = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    benchmark.extra_info["strategy"] = "random-walk"
+    benchmark.extra_info["error_rate"] = rate
+    print(f"\nrandom walk: P(ERROR) = {rate:.2f}")
+
+
+def test_rapos_error_rate(benchmark):
+    def campaign():
+        driver = RaposDriver()
+        errors = 0
+        for seed in range(RUNS):
+            result = driver.run(figure2.build(PADDING), seed=seed)
+            errors += bool(result.crashes)
+        return errors / RUNS
+
+    rate = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    benchmark.extra_info["strategy"] = "rapos"
+    benchmark.extra_info["error_rate"] = rate
+    print(f"\nRAPOS: P(ERROR) = {rate:.2f}")
+
+
+def test_racefuzzer_error_rate(benchmark):
+    def campaign():
+        outcomes = fuzz_pair(
+            figure2.build(PADDING), figure2.RACING_PAIR, seeds=range(RUNS)
+        )
+        return sum(1 for outcome in outcomes if outcome.crashes) / RUNS
+
+    rate = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    benchmark.extra_info["strategy"] = "racefuzzer"
+    benchmark.extra_info["error_rate"] = rate
+    print(f"\nRaceFuzzer: P(ERROR) = {rate:.2f}")
+    assert rate >= 0.25

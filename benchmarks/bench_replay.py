@@ -1,0 +1,44 @@
+"""Experiment E9 — seed-only replay: cost and fidelity.
+
+The paper's replay needs no event recording; a replay is just a re-run.
+These benchmarks measure (a) a bare race-revealing run, (b) the same run
+with full event tracing attached — the price one pays only when actually
+debugging — and assert trace-level fidelity inside the timed body.
+"""
+
+from repro.core import RaceFuzzer
+from repro.core.replay import replay_race
+from repro.workloads import figure1, figure2
+
+
+def test_replay_bare_run(benchmark):
+    fuzzer = RaceFuzzer(figure1.REAL_PAIR)
+
+    def run():
+        return fuzzer.run(figure1.build(), seed=7)
+
+    outcome = benchmark(run)
+    assert outcome.created
+
+
+def test_replay_with_tracing(benchmark):
+    def run():
+        return replay_race(figure1.build(), figure1.REAL_PAIR, seed=7)
+
+    replayed = benchmark(run)
+    assert replayed.events
+    benchmark.extra_info["events"] = len(replayed.events)
+
+
+def test_replay_fidelity_large_program(benchmark):
+    """Replay fidelity on the padded Figure 2 program: two traced runs of
+    one seed must agree event for event."""
+
+    def run():
+        first = replay_race(figure2.build(30), figure2.RACING_PAIR, seed=3)
+        second = replay_race(figure2.build(30), figure2.RACING_PAIR, seed=3)
+        assert first.schedule_signature() == second.schedule_signature()
+        return first
+
+    replayed = benchmark(run)
+    benchmark.extra_info["events"] = len(replayed.events)

@@ -1,0 +1,85 @@
+"""Scaling ablation: does the Figure 2 claim survive problem size, and how
+does engine cost grow with it?
+
+Three sweeps:
+
+* RaceFuzzer run time on Figure 2 as padding grows (cost is linear in
+  program length; the *probability* column of bench_figure2_probability
+  stays flat — together they are the paper's Section 3.2 story);
+* moldyn run time as the particle count grows, with and without the
+  hybrid detector (the detector's per-access cost compounds with
+  all-pairs force computation);
+* RaceFuzzer on moldyn as thread count grows (more threads = more
+  postponement candidates per racing statement).
+"""
+
+import pytest
+
+from repro.core import RaceFuzzer, RandomScheduler, detect_races
+from repro.detectors import HybridRaceDetector
+from repro.runtime import Execution
+from repro.workloads import figure2, moldyn
+
+
+class TestPaddingScaling:
+    @pytest.mark.parametrize("padding", [10, 40, 160])
+    def test_racefuzzer_cost_grows_linearly(self, benchmark, padding):
+        fuzzer = RaceFuzzer(figure2.RACING_PAIR)
+        seed = [0]
+
+        def run():
+            seed[0] += 1
+            return fuzzer.run(figure2.build(padding), seed=seed[0])
+
+        outcome = benchmark(run)
+        assert outcome.created  # probability stays 1.0 at every size
+        benchmark.extra_info["padding"] = padding
+
+
+class TestParticleScaling:
+    @pytest.mark.parametrize("particles", [4, 8, 12])
+    def test_normal_run(self, benchmark, particles):
+        program = moldyn.build(particles=particles)
+        seed = [0]
+
+        def run():
+            seed[0] += 1
+            return Execution(program, seed=seed[0], max_steps=2_000_000).run(
+                RandomScheduler("sync")
+            )
+
+        result = benchmark(run)
+        benchmark.extra_info["particles"] = particles
+        benchmark.extra_info["steps"] = result.steps
+
+    @pytest.mark.parametrize("particles", [4, 8, 12])
+    def test_hybrid_run(self, benchmark, particles):
+        program = moldyn.build(particles=particles)
+        seed = [0]
+
+        def run():
+            seed[0] += 1
+            detector = HybridRaceDetector()
+            return Execution(
+                program, seed=seed[0], observers=[detector], max_steps=2_000_000
+            ).run(RandomScheduler("every"))
+
+        benchmark(run)
+        benchmark.extra_info["particles"] = particles
+
+
+class TestThreadScaling:
+    @pytest.mark.parametrize("nthreads", [2, 3, 4])
+    def test_racefuzzer_with_more_workers(self, benchmark, nthreads):
+        program = moldyn.build(nthreads=nthreads, particles=6)
+        pair = detect_races(program, seeds=(0,), max_steps=2_000_000).pairs[0]
+        fuzzer = RaceFuzzer(pair, max_steps=2_000_000)
+        seed = [0]
+
+        def run():
+            seed[0] += 1
+            return fuzzer.run(program, seed=seed[0])
+
+        outcome = benchmark(run)
+        benchmark.extra_info["nthreads"] = nthreads
+        assert not outcome.result.truncated

@@ -1,0 +1,85 @@
+"""Experiment E1 — Table 1, columns 3-5: Normal / Hybrid / RaceFuzzer runtime.
+
+One benchmark per (workload, configuration): the uninstrumented run, the
+hybrid-instrumented run, and a RaceFuzzer run directed at the workload's
+first potentially racing pair.  The paper's qualitative claim to check in
+the output: Normal <= RaceFuzzer << Hybrid for the compute-heavy kernels
+(moldyn, montecarlo, raytracer), and all three close together for the
+I/O-shaped programs.
+"""
+
+import pytest
+
+from repro.core import RaceFuzzer, RandomScheduler, detect_races
+from repro.detectors import HybridRaceDetector
+from repro.runtime import Execution
+from repro.workloads import get
+
+#: a representative slice of Table 1: two compute kernels, one server-ish
+#: program, one collection driver (full table: python -m repro.harness.table1)
+WORKLOADS = ["moldyn", "raytracer", "weblech", "linkedlist"]
+
+
+def _normal_run(spec):
+    seed = [0]
+
+    def run():
+        seed[0] += 1
+        Execution(spec.build(), seed=seed[0], max_steps=spec.max_steps).run(
+            RandomScheduler(preemption="sync")
+        )
+
+    return run
+
+
+def _hybrid_run(spec):
+    seed = [0]
+
+    def run():
+        seed[0] += 1
+        Execution(
+            spec.build(),
+            seed=seed[0],
+            observers=[HybridRaceDetector()],
+            max_steps=spec.max_steps,
+        ).run(RandomScheduler(preemption="every"))
+
+    return run
+
+
+def _racefuzzer_run(spec, pair):
+    seed = [0]
+    fuzzer = RaceFuzzer(pair, max_steps=spec.max_steps)
+
+    def run():
+        seed[0] += 1
+        fuzzer.run(spec.build(), seed=seed[0])
+
+    return run
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_normal_runtime(benchmark, name):
+    spec = get(name)
+    benchmark.extra_info["workload"] = name
+    benchmark.extra_info["column"] = "Normal"
+    benchmark(_normal_run(spec))
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_hybrid_runtime(benchmark, name):
+    spec = get(name)
+    benchmark.extra_info["workload"] = name
+    benchmark.extra_info["column"] = "Hybrid"
+    benchmark(_hybrid_run(spec))
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_racefuzzer_runtime(benchmark, name):
+    spec = get(name)
+    pairs = detect_races(spec.build(), seeds=(0,), max_steps=spec.max_steps).pairs
+    assert pairs, f"{name}: no pairs to direct at"
+    benchmark.extra_info["workload"] = name
+    benchmark.extra_info["column"] = "RaceFuzzer"
+    benchmark.extra_info["pair"] = str(pairs[0])
+    benchmark(_racefuzzer_run(spec, pairs[0]))

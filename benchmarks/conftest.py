@@ -1,0 +1,19 @@
+"""Benchmark-suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module regenerates one artifact of the paper's evaluation (see
+DESIGN.md's experiment index); the regenerated rows/series are attached to
+the benchmark records as ``extra_info`` and also printed (visible with
+``-s`` or in the saved benchmark JSON).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def quick_trials():
+    """Phase 2 trials used inside timed benchmark bodies."""
+    return 20

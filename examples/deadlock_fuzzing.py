@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Deadlock-directed active testing (the Section 1 generalization).
+
+The target program transfers money between two accounts with per-account
+locks taken in argument order — the textbook lock-order inversion.  A
+passive scheduler needs the two inner acquisitions to overlap by luck; the
+deadlock-directed scheduler postpones threads at the inner acquisitions it
+learned from the lock-order graph, so the hold-and-wait cycle forms almost
+every run and the engine reports a *real* deadlock (Algorithm 1, lines
+30-32: "print ERROR: actual deadlock found").
+
+Run:  python examples/deadlock_fuzzing.py
+"""
+
+from repro import (
+    DeadlockFuzzer,
+    Execution,
+    Lock,
+    Program,
+    RandomScheduler,
+    SharedVar,
+    detect_lock_order_inversions,
+    join_all,
+    ops,
+    spawn_all,
+)
+
+
+def build() -> Program:
+    def make():
+        accounts = {name: SharedVar(f"balance[{name}]", 100) for name in "AB"}
+        locks = {name: Lock(f"lock[{name}]") for name in "AB"}
+
+        def transfer(source, target, amount, think_time):
+            for _ in range(think_time):
+                yield ops.yield_point()  # business logic before the transfer
+            yield locks[source].acquire()
+            yield locks[target].acquire()  # inner acquire: argument order!
+            from_balance = yield accounts[source].read()
+            to_balance = yield accounts[target].read()
+            yield accounts[source].write(from_balance - amount)
+            yield accounts[target].write(to_balance + amount)
+            yield locks[target].release()
+            yield locks[source].release()
+
+        def main():
+            threads = yield from spawn_all(
+                [
+                    lambda: transfer("A", "B", 10, think_time=2),
+                    lambda: transfer("B", "A", 20, think_time=8),
+                ]
+            )
+            yield from join_all(threads)
+
+        return main()
+
+    return Program(make, name="transfer")
+
+
+def main() -> None:
+    print("=== Phase 1 analog: lock-order graph from random executions ===")
+    report = detect_lock_order_inversions(build(), seeds=range(3))
+    for cycle in report.cycles():
+        print("cycle:")
+        for edge in cycle:
+            print(f"    {edge.held} -> {edge.acquired} at {edge.stmt.site}")
+    targets = report.target_statements()
+    print(f"target statements: {sorted(s.site for s in targets)}")
+    print()
+
+    runs = 50
+    passive = sum(
+        Execution(build(), seed=seed).run(RandomScheduler("every")).deadlock
+        for seed in range(runs)
+    )
+    print(f"passive random scheduler : {passive}/{runs} runs deadlock")
+
+    fuzzer = DeadlockFuzzer(targets)
+    directed = sum(fuzzer.run(build(), seed=seed).deadlock for seed in range(runs))
+    print(f"deadlock-directed fuzzer : {directed}/{runs} runs deadlock")
+    print()
+    print("Same seeds, same program — the directed scheduler parks each")
+    print("thread holding its outer lock just before the inner acquire, so")
+    print("the cycle closes structurally instead of by coincidence.")
+
+
+if __name__ == "__main__":
+    main()

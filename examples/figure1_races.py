@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""The paper's Figure 1, end to end (experiment E6).
+
+The program has two hybrid-reported racing pairs:
+
+* ``(5, 7)`` on ``z`` — REAL: RaceFuzzer creates it with probability 1 and
+  reaches ERROR1 in about half of the runs (the race is resolved by a fair
+  coin);
+* ``(1, 10)`` on ``x`` — FALSE ALARM: the accesses are implicitly ordered
+  by the lock-protected flag ``y``, so RaceFuzzer can never bring them
+  together (Case 1 in Section 3.1).
+
+Run:  python examples/figure1_races.py
+"""
+
+from repro import detect_races, fuzz_races
+from repro.workloads import figure1
+
+
+def main() -> None:
+    program = figure1.build()
+
+    print("Phase 1 (hybrid detection):")
+    report = detect_races(program, seeds=range(5))
+    print(report)
+    print()
+
+    print("Phase 2 (RaceFuzzer, 100 seeds per pair):")
+    verdicts = fuzz_races(program, report.pairs, trials=100)
+    for pair, verdict in verdicts.items():
+        print(f"  {verdict.describe()}")
+    print()
+
+    real = verdicts[figure1.REAL_PAIR]
+    false = verdicts[figure1.FALSE_PAIR]
+    errors = real.exceptions.get("AssertionViolation", 0)
+    print(f"(5,7): created {real.times_created}/100 times, "
+          f"ERROR1 reached {errors} times (~50% by the coin flip)")
+    print(f"(1,10): created {false.times_created}/100 times — "
+          "correctly classified as a false alarm, with zero manual triage")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""The paper's Figure 2 / Section 3.2 probability experiment (E7).
+
+Sweeps the amount of padding work separating the two racing statements and
+measures, per padding value:
+
+* RaceFuzzer's probability of creating the race (claim: 1.0, independent
+  of the padding) and of reaching ERROR (claim: 0.5);
+* the simple random scheduler's probability of getting the two racing
+  statements temporally adjacent, and of reaching ERROR (claim: decays
+  towards 0 as the padding grows).
+
+Run:  python examples/figure2_probability.py [--runs N]
+"""
+
+import argparse
+
+from repro.harness.figure2_prob import render_sweep, sweep
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=100)
+    args = parser.parse_args()
+
+    points = sweep(paddings=(0, 2, 5, 10, 20, 40), runs=args.runs)
+    print(render_sweep(points))
+    print()
+    print("RaceFuzzer's column is flat at 1.00 — the active scheduler walks")
+    print("one thread to its racing statement and *postpones* it, so the")
+    print("distance between the statements is irrelevant.  The passive")
+    print("scheduler's chance of the same alignment halves with every")
+    print("statement of padding.")
+
+
+if __name__ == "__main__":
+    main()

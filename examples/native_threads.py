@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Race-fuzzing *real* Python threads (the native backend).
+
+Everything in the other examples runs on the deterministic generator
+engine.  This one drives ordinary ``threading.Thread`` code: the program
+below is plain Python — real stacks, real closures, real exception flow —
+with its shared accesses routed through a ``NativeRuntime`` handle, which
+is this reproduction's analog of CalFuzzer's bytecode instrumentation.
+
+The pipeline is identical: hybrid Phase 1 (the same detector object as on
+the generator engine), race-directed Phase 2, seed-only replay.
+
+Run:  python examples/native_threads.py
+"""
+
+from repro.native import NativeRuntime, detect_races_native, fuzz_native
+
+
+def ticket_counter(rt: NativeRuntime) -> None:
+    """A web-shop kernel: racy ticket issue, correctly locked revenue."""
+    next_ticket = rt.var("next_ticket", 0)
+    revenue = rt.var("revenue", 0)
+    till = rt.lock("till")
+    issued = []
+
+    def sell(price):
+        # BUG: ticket numbering is check-then-act without a lock.
+        ticket = rt.read(next_ticket, label="ticket-read")
+        rt.write(next_ticket, ticket + 1, label="ticket-write")
+        issued.append(ticket)
+        # Correct: revenue is lock-protected.
+        rt.acquire(till)
+        rt.write(revenue, rt.read(revenue) + price)
+        rt.release(till)
+
+    sellers = [rt.spawn(sell, 10), rt.spawn(sell, 15), rt.spawn(sell, 20)]
+    for seller in sellers:
+        rt.join(seller)
+    rt.check(
+        len(set(issued)) == len(issued),
+        f"duplicate ticket numbers issued: {sorted(issued)}",
+    )
+
+
+def main() -> None:
+    print("=== passive random runs over real threads ===")
+    crashes = 0
+    for seed in range(50):
+        runtime = NativeRuntime(seed=seed)
+        crashes += bool(runtime.run(ticket_counter, runtime).crashes)
+    print(f"duplicate tickets in {crashes}/50 passive runs")
+    print()
+
+    print("=== Phase 1: hybrid detection (same detector as the engine) ===")
+    report = detect_races_native(ticket_counter, seeds=range(5))
+    print(report)
+    print()
+
+    print("=== Phase 2: race-directed scheduling of the real threads ===")
+    for pair in report.pairs:
+        outcomes = fuzz_native(ticket_counter, pair, seeds=range(50))
+        created = sum(1 for o in outcomes if o.pairs_created)
+        crashed = sum(1 for o in outcomes if o.crashes)
+        print(f"{pair}")
+        print(f"    race created {created}/50, duplicate tickets {crashed}/50")
+    print()
+    print("note the till-protected revenue never shows up: common-lock")
+    print("accesses are filtered in Phase 1, exactly as on the engine.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``     — registered benchmark workloads, with their paper rows;
+* ``run``      — one execution of a workload under a passive scheduler;
+* ``detect``   — Phase 1: report potentially racing statement pairs;
+* ``fuzz``     — the full two-phase RaceFuzzer campaign;
+* ``replay``   — re-run one (pair, seed) with a rendered interleaving;
+* ``table1``   — regenerate Table 1 (delegates to repro.harness.table1);
+* ``figure2``  — the probability sweep (delegates to
+  repro.harness.figure2_prob).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import (
+    DefaultScheduler,
+    RandomScheduler,
+    RaposDriver,
+    detect_races,
+    race_directed_test,
+)
+from repro.core.replay import replay_race
+from repro.core.traceview import format_replay
+from repro.runtime import Execution
+from repro.workloads import all_workloads, get
+
+
+def _cmd_list(args) -> int:
+    for spec in all_workloads():
+        row = ""
+        if spec.paper is not None:
+            row = (
+                f"  [paper: {spec.paper.hybrid_races} potential, "
+                f"{spec.paper.real_races} real, "
+                f"{spec.paper.exceptions_rf} exceptions]"
+            )
+        print(f"{spec.name:12s} {spec.description}{row}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    spec = get(args.workload)
+    if args.scheduler == "rapos":
+        result = RaposDriver(max_steps=spec.max_steps).run(
+            spec.build(), seed=args.seed
+        )
+    else:
+        scheduler = (
+            DefaultScheduler()
+            if args.scheduler == "default"
+            else RandomScheduler(preemption="every")
+        )
+        result = Execution(
+            spec.build(), seed=args.seed, max_steps=spec.max_steps
+        ).run(scheduler)
+    print(result)
+    return 0 if not result.crashes else 1
+
+
+def _cmd_detect(args) -> int:
+    spec = get(args.workload)
+    report = detect_races(
+        spec.build(),
+        detector=args.detector,
+        seeds=range(args.seeds),
+        max_steps=spec.max_steps,
+    )
+    print(report)
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    spec = get(args.workload)
+    campaign = race_directed_test(
+        spec.build(),
+        trials=args.trials,
+        phase1_seeds=spec.phase1_seeds,
+        max_steps=spec.max_steps,
+    )
+    print(campaign)
+    if campaign.harmful_pairs:
+        print()
+        print("harmful pairs (exceptions attributed to the race):")
+        for pair in campaign.harmful_pairs:
+            verdict = campaign.verdict_for(pair)
+            kinds = ", ".join(sorted(verdict.exceptions))
+            print(f"  {pair}: {kinds}")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    spec = get(args.workload)
+    report = detect_races(
+        spec.build(), seeds=spec.phase1_seeds, max_steps=spec.max_steps
+    )
+    pairs = report.pairs
+    if not 0 <= args.pair < len(pairs):
+        print(
+            f"pair index {args.pair} out of range; {len(pairs)} pair(s):",
+            file=sys.stderr,
+        )
+        for index, pair in enumerate(pairs):
+            print(f"  [{index}] {pair}", file=sys.stderr)
+        return 2
+    pair = pairs[args.pair]
+    seed = args.seed
+    if args.find_crash:
+        for candidate in range(args.seed, args.seed + args.find_crash):
+            probe = replay_race(
+                spec.build(), pair, seed=candidate, max_steps=spec.max_steps
+            )
+            if probe.outcome.crashes:
+                seed = candidate
+                break
+        else:
+            print(
+                f"no crashing seed for {pair} in "
+                f"[{args.seed}, {args.seed + args.find_crash})",
+                file=sys.stderr,
+            )
+            return 1
+    replayed = replay_race(
+        spec.build(), pair, seed=seed, max_steps=spec.max_steps
+    )
+    print(f"replaying {spec.name}, pair {pair}, seed {seed}:")
+    print()
+    print(format_replay(replayed, pair=pair, max_events=args.max_events))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.harness import table1
+
+    argv = list(args.rest)
+    table1.main(argv)
+    return 0
+
+
+def _cmd_figure2(args) -> int:
+    from repro.harness import figure2_prob
+
+    figure2_prob.main(list(args.rest))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RaceFuzzer: race-directed random testing (PLDI 2008)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list benchmark workloads").set_defaults(
+        handler=_cmd_list
+    )
+
+    run_parser = commands.add_parser("run", help="one passive execution")
+    run_parser.add_argument("workload")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--scheduler", choices=("random", "default", "rapos"), default="random"
+    )
+    run_parser.set_defaults(handler=_cmd_run)
+
+    detect_parser = commands.add_parser("detect", help="Phase 1 race detection")
+    detect_parser.add_argument("workload")
+    detect_parser.add_argument(
+        "--detector",
+        choices=("hybrid", "happens-before", "lockset"),
+        default="hybrid",
+    )
+    detect_parser.add_argument("--seeds", type=int, default=3)
+    detect_parser.set_defaults(handler=_cmd_detect)
+
+    fuzz_parser = commands.add_parser("fuzz", help="two-phase RaceFuzzer campaign")
+    fuzz_parser.add_argument("workload")
+    fuzz_parser.add_argument("--trials", type=int, default=100)
+    fuzz_parser.set_defaults(handler=_cmd_fuzz)
+
+    replay_parser = commands.add_parser(
+        "replay", help="replay one (pair, seed) with the interleaving"
+    )
+    replay_parser.add_argument("workload")
+    replay_parser.add_argument("--pair", type=int, default=0, help="pair index")
+    replay_parser.add_argument("--seed", type=int, default=0)
+    replay_parser.add_argument("--max-events", type=int, default=200)
+    replay_parser.add_argument(
+        "--find-crash",
+        type=int,
+        nargs="?",
+        const=100,
+        default=0,
+        metavar="N",
+        help="scan up to N seeds (default 100) for an error-revealing "
+        "schedule and replay that one",
+    )
+    replay_parser.set_defaults(handler=_cmd_replay)
+
+    table_parser = commands.add_parser("table1", help="regenerate Table 1")
+    table_parser.add_argument("rest", nargs=argparse.REMAINDER)
+    table_parser.set_defaults(handler=_cmd_table1)
+
+    figure_parser = commands.add_parser("figure2", help="probability sweep")
+    figure_parser.add_argument("rest", nargs=argparse.REMAINDER)
+    figure_parser.set_defaults(handler=_cmd_figure2)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # The harness commands own their argument parsing; hand over before
+    # argparse can trip on their leading-dash options (an argparse
+    # REMAINDER quirk with subparsers).
+    if argv and argv[0] == "table1":
+        from repro.harness import table1
+
+        table1.main(argv[1:])
+        return 0
+    if argv and argv[0] == "figure2":
+        from repro.harness import figure2_prob
+
+        figure2_prob.main(argv[1:])
+        return 0
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

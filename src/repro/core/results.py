@@ -1,0 +1,169 @@
+"""Aggregated verdicts of a race-directed testing campaign.
+
+The paper's experimental protocol (Section 5.2) runs RaceFuzzer ~100 times
+per potentially racing pair and then reports, per benchmark: how many pairs
+are *real* (created at least once), which are *harmful* (an exception was
+thrown in a run where the race was created), and the per-pair probability
+of hitting the race.  These classes hold exactly that data and render the
+per-program slice of Table 1.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.detectors.report import RaceReport
+from repro.runtime.statement import StatementPair
+
+from .postponing import FuzzResult
+
+
+@dataclass
+class PairVerdict:
+    """Everything RaceFuzzer learned about one potentially racing pair."""
+
+    pair: StatementPair
+    trials: int = 0
+    times_created: int = 0
+    #: exception type -> number of trials (with the race created) that threw it
+    exceptions: Counter = field(default_factory=Counter)
+    #: exception types seen in trials where the race was NOT created —
+    #: these cannot be attributed to the pair.
+    unattributed_exceptions: Counter = field(default_factory=Counter)
+    deadlocks: int = 0
+    #: distinct statement pairs actually created while fuzzing this pair
+    #: (normally {pair} or a subset; may include same-statement races).
+    created_pairs: set[StatementPair] = field(default_factory=set)
+    #: summed wall-clock of all trials (for the Table 1 runtime column).
+    total_wall: float = 0.0
+
+    @property
+    def is_real(self) -> bool:
+        """Was a real race created at least once? (Table 1, column 7 unit)"""
+        return self.times_created > 0
+
+    @property
+    def is_harmful(self) -> bool:
+        """Did resolving the race ever raise an exception? (column 9 unit)"""
+        return bool(self.exceptions)
+
+    @property
+    def probability(self) -> float:
+        """Fraction of trials that created the race (column 11)."""
+        if self.trials == 0:
+            return 0.0
+        return self.times_created / self.trials
+
+    def absorb(self, outcome: FuzzResult) -> None:
+        """Fold one fuzzing run into the verdict.
+
+        A crash is *attributed* to the pair only when the race was created
+        in that run AND the crashing thread took part in some race hit that
+        preceded the crash — otherwise an unrelated failure elsewhere in
+        the program would mark every fuzzed pair harmful.
+        """
+        self.trials += 1
+        if outcome.created:
+            self.times_created += 1
+            self.created_pairs |= outcome.pairs_created
+        for crash in outcome.crashes:
+            caused = any(
+                crash.tid in hit.tids and crash.step >= hit.step
+                for hit in outcome.hits
+            )
+            if caused:
+                self.exceptions[crash.error_type] += 1
+            else:
+                self.unattributed_exceptions[crash.error_type] += 1
+        if outcome.deadlock:
+            self.deadlocks += 1
+        self.total_wall += outcome.result.wall_time
+
+    def merge(self, other: "PairVerdict") -> None:
+        """Fold in a verdict for the same pair computed elsewhere.
+
+        This is the paper's "embarrassingly parallel" property made
+        concrete: trials are independent seeded runs, so disjoint seed
+        ranges can be fuzzed on different workers and their verdicts
+        merged associatively (asserted in the integration suite).
+        """
+        if other.pair != self.pair:
+            raise ValueError(f"cannot merge verdicts for {other.pair} into {self.pair}")
+        self.trials += other.trials
+        self.times_created += other.times_created
+        self.exceptions.update(other.exceptions)
+        self.unattributed_exceptions.update(other.unattributed_exceptions)
+        self.deadlocks += other.deadlocks
+        self.created_pairs |= other.created_pairs
+        self.total_wall += other.total_wall
+
+    def describe(self) -> str:
+        verdict = "REAL" if self.is_real else "not created"
+        bits = [f"{self.pair}: {verdict}", f"p={self.probability:.2f}"]
+        if self.exceptions:
+            bits.append(
+                "exceptions=" + ",".join(f"{k}x{v}" for k, v in sorted(self.exceptions.items()))
+            )
+        if self.deadlocks:
+            bits.append(f"deadlocks={self.deadlocks}")
+        return "  ".join(bits)
+
+
+@dataclass
+class CampaignReport:
+    """The outcome of a full two-phase run over one program."""
+
+    program: str
+    phase1: RaceReport
+    verdicts: dict[StatementPair, PairVerdict] = field(default_factory=dict)
+
+    @property
+    def potential_pairs(self) -> int:
+        """Table 1, column 6 ("Hybrid # of races")."""
+        return len(self.phase1)
+
+    @property
+    def real_pairs(self) -> list[StatementPair]:
+        """Table 1, column 7 ("RF (real)") — distinct real racing pairs.
+
+        Counted over the pairs actually *created*, so a Phase-1 pair whose
+        fuzzing surfaced a related real pair contributes what was proven.
+        """
+        created: set[StatementPair] = set()
+        for verdict in self.verdicts.values():
+            created |= verdict.created_pairs
+        return sorted(created, key=str)
+
+    @property
+    def harmful_pairs(self) -> list[StatementPair]:
+        """Table 1, column 9 — pairs whose race led to an exception."""
+        return sorted(
+            (v.pair for v in self.verdicts.values() if v.is_harmful), key=str
+        )
+
+    @property
+    def exception_types(self) -> Counter:
+        total: Counter = Counter()
+        for verdict in self.verdicts.values():
+            total.update(verdict.exceptions)
+        return total
+
+    def mean_probability(self) -> float:
+        """Table 1, column 11 — average over pairs confirmed real."""
+        probs = [v.probability for v in self.verdicts.values() if v.is_real]
+        if not probs:
+            return 0.0
+        return sum(probs) / len(probs)
+
+    def verdict_for(self, pair: StatementPair) -> PairVerdict:
+        return self.verdicts[pair]
+
+    def __str__(self) -> str:
+        lines = [
+            f"RaceFuzzer campaign on {self.program}: "
+            f"{self.potential_pairs} potential, {len(self.real_pairs)} real, "
+            f"{len(self.harmful_pairs)} harmful"
+        ]
+        lines.extend(f"  {v.describe()}" for v in self.verdicts.values())
+        return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Passive schedulers: the baselines RaceFuzzer is compared against.
+
+All scheduler randomness is drawn from ``execution.rng`` — never from a
+private RNG — so that one seed determines one schedule (the paper's
+replay-by-seed property holds for the baselines too).
+
+* :class:`RandomScheduler` — "simple random" (Table 1, column "Simple"):
+  picks a uniformly random enabled thread.  With ``preemption="every"`` it
+  may switch at any statement; with ``preemption="sync"`` it only switches
+  at synchronization operations (the Musuvathi-Qadeer discipline cited in
+  Section 4), which is the fast mode used for the "Normal" timing column.
+* :class:`DefaultScheduler` — a deterministic JVM-like baseline: runs one
+  thread until it blocks or terminates, then hands off FIFO.  This is the
+  scheduler the paper's column 10 is measured against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.runtime.interpreter import Execution
+
+
+class Scheduler:
+    """Strategy interface used by :meth:`Execution.run`."""
+
+    def choose(self, execution: Execution, enabled: list[int]) -> int:
+        raise NotImplementedError
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random choice among enabled threads.
+
+    Args:
+        preemption: ``"every"`` switches at every operation; ``"sync"``
+            keeps running the previous thread until it is about to execute
+            a synchronization operation (or is no longer enabled).
+    """
+
+    def __init__(self, preemption: str = "every"):
+        if preemption not in ("every", "sync"):
+            raise ValueError(f"unknown preemption mode: {preemption!r}")
+        self.preemption = preemption
+        self._last: int | None = None
+
+    def choose(self, execution: Execution, enabled: list[int]) -> int:
+        if (
+            self.preemption == "sync"
+            and self._last is not None
+            and self._last in enabled
+        ):
+            op = execution.next_op(self._last)
+            if op is not None and not op.is_sync:
+                return self._last
+        self._last = enabled[execution.rng.randrange(len(enabled))]
+        return self._last
+
+
+class DefaultScheduler(Scheduler):
+    """Run-to-block FIFO handoff, approximating an unloaded JVM scheduler.
+
+    A ``quantum`` bounds how long one thread may run uninterrupted, standing
+    in for OS time slices — without it, a busy-polling thread (moldyn's
+    spin-wait, montecarlo's coordinator) would starve everyone forever,
+    which real JVM schedulers do not do.  Actual slice lengths jitter
+    between ``quantum/2`` and ``quantum`` (drawn from the execution's
+    seeded RNG, so runs stay replayable): a perfectly periodic scheduler
+    would make every seed produce the same schedule, which is not how the
+    paper's "default scheduler" baseline behaves.
+    """
+
+    def __init__(self, quantum: int = 50) -> None:
+        if quantum < 1:
+            raise ValueError("quantum must be positive")
+        self.quantum = quantum
+        self._queue: deque[int] = deque()
+        self._current: int | None = None
+        self._slice_used = 0
+        self._slice_limit = quantum
+
+    def _new_slice(self, execution: Execution) -> None:
+        low = max(1, self.quantum // 2)
+        self._slice_limit = execution.rng.randint(low, self.quantum)
+        self._slice_used = 1
+
+    def choose(self, execution: Execution, enabled: list[int]) -> int:
+        enabled_set = set(enabled)
+        for tid in enabled:
+            if tid != self._current and tid not in self._queue:
+                self._queue.append(tid)
+        if self._current in enabled_set and self._slice_used < self._slice_limit:
+            self._slice_used += 1
+            return self._current
+        if self._current in enabled_set:
+            self._queue.append(self._current)
+        while self._queue:
+            tid = self._queue.popleft()
+            if tid in enabled_set:
+                self._current = tid
+                self._new_slice(execution)
+                return tid
+        self._current = enabled[0]
+        self._new_slice(execution)
+        return self._current
+
+
+SCHEDULERS = {
+    "random": RandomScheduler,
+    "default": DefaultScheduler,
+}

@@ -1,0 +1,37 @@
+"""Phase 1 detectors: imprecise (and precise) dynamic race detection.
+
+* :class:`HybridRaceDetector` — the paper's Phase 1 (lockset + start/join/
+  notify happens-before);
+* :class:`HappensBeforeDetector` — precise HB baseline;
+* :class:`EraserLocksetDetector` — pure lockset baseline;
+* :class:`RaceReport` / :class:`PairEvidence` — their output.
+
+Any of these (or a hand-written pair list) can seed Phase 2: RaceFuzzer
+only needs "a set of statements whose simultaneous execution could lead to
+a concurrency problem" (Section 1).
+"""
+
+from .base import AccessRecord, HistoryRaceDetector
+from .happensbefore import HappensBeforeDetector
+from .hybrid import HybridRaceDetector
+from .lockset import EraserLocksetDetector
+from .report import PairEvidence, RaceReport
+from .vectorclock import VectorClock
+
+DETECTORS = {
+    "hybrid": HybridRaceDetector,
+    "happens-before": HappensBeforeDetector,
+    "lockset": EraserLocksetDetector,
+}
+
+__all__ = [
+    "VectorClock",
+    "AccessRecord",
+    "HistoryRaceDetector",
+    "HybridRaceDetector",
+    "HappensBeforeDetector",
+    "EraserLocksetDetector",
+    "RaceReport",
+    "PairEvidence",
+    "DETECTORS",
+]

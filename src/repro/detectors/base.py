@@ -1,0 +1,153 @@
+"""Shared machinery for history-based dynamic race detectors.
+
+Both the hybrid detector (the paper's Phase 1) and the precise
+happens-before detector keep, per memory location, a bounded history of
+accesses stamped with (thread, epoch, lockset, statement) and compare each
+new access against it.  They differ only in two switches:
+
+* ``lock_edges`` — whether a lock release→acquire induces a happens-before
+  edge.  The hybrid detector says *no* (that is what makes it predictive:
+  it flags races that could occur under a different lock acquisition
+  order), the precise detector says *yes*.
+* ``use_lockset`` — whether holding a common lock suppresses the pair
+  (hybrid: yes, per the formula in Section 2.2; pure HB: no).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.events import (
+    AcquireEvent,
+    Event,
+    MemEvent,
+    RcvEvent,
+    ReleaseEvent,
+    SndEvent,
+    ThreadStartEvent,
+)
+from repro.runtime.location import Location, LockId
+from repro.runtime.observer import ExecutionObserver
+from repro.runtime.statement import Statement
+
+from .report import RaceReport, _program_name
+from .vectorclock import VectorClock
+
+
+@dataclass
+class AccessRecord:
+    """One remembered access for the per-location history."""
+
+    tid: int
+    epoch: int
+    is_write: bool
+    lockset: frozenset[LockId]
+    stmt: Statement
+
+    def key(self) -> tuple:
+        """Records with equal keys are interchangeable for *pair* detection:
+        keeping only the latest cannot lose a statement pair (any older
+        access it would have raced with was compared before the
+        replacement happened, because histories are updated in execution
+        order)."""
+        return (self.tid, self.stmt, self.is_write, self.lockset)
+
+
+class HistoryRaceDetector(ExecutionObserver):
+    """Base class implementing the Section 2.2 race condition check."""
+
+    #: subclass configuration (see module docstring)
+    lock_edges: bool = False
+    use_lockset: bool = True
+    name: str = "history"
+
+    def __init__(self, history_cap: int = 128):
+        self.history_cap = history_cap
+        self.report: RaceReport = RaceReport(program="?", detector=self.name)
+        self._clocks: dict[int, VectorClock] = {}
+        self._messages: dict[int, VectorClock] = {}
+        self._last_release: dict[LockId, VectorClock] = {}
+        self._histories: dict[Location, list[AccessRecord]] = {}
+        self._overflowed: set[Location] = set()
+
+    # ------------------------------------------------------------------ #
+
+    def on_start(self, execution) -> None:
+        self.report = RaceReport(
+            program=_program_name(execution), detector=self.name
+        )
+        self._clocks.clear()
+        self._messages.clear()
+        self._last_release.clear()
+        self._histories.clear()
+        self._overflowed.clear()
+
+    def on_event(self, event: Event) -> None:
+        if isinstance(event, MemEvent):
+            self._on_mem(event)
+        elif isinstance(event, SndEvent):
+            clock = self._clock(event.tid)
+            self._messages[event.msg_id] = clock.copy()
+            clock.tick(event.tid)
+        elif isinstance(event, RcvEvent):
+            message = self._messages.get(event.msg_id)
+            if message is not None:
+                self._clock(event.tid).join(message)
+        elif isinstance(event, ThreadStartEvent):
+            self._clocks.setdefault(event.child, VectorClock.for_thread(event.child))
+        elif self.lock_edges and isinstance(event, ReleaseEvent):
+            clock = self._clock(event.tid)
+            self._last_release[event.lock] = clock.copy()
+            clock.tick(event.tid)
+        elif self.lock_edges and isinstance(event, AcquireEvent):
+            released = self._last_release.get(event.lock)
+            if released is not None:
+                self._clock(event.tid).join(released)
+
+    def on_finish(self, execution) -> None:
+        self.report.truncated_locations = len(self._overflowed)
+
+    # ------------------------------------------------------------------ #
+
+    def _clock(self, tid: int) -> VectorClock:
+        clock = self._clocks.get(tid)
+        if clock is None:
+            clock = VectorClock.for_thread(tid)
+            self._clocks[tid] = clock
+        return clock
+
+    def _on_mem(self, event: MemEvent) -> None:
+        clock = self._clock(event.tid)
+        history = self._histories.setdefault(event.location, [])
+        for record in history:
+            if record.tid == event.tid:
+                continue
+            if not (record.is_write or event.is_write):
+                continue
+            if self.use_lockset and not record.lockset.isdisjoint(event.locks_held):
+                continue
+            if clock.knows(record.tid, record.epoch):
+                continue  # record happens-before this access
+            self.report.record(
+                record.stmt,
+                event.stmt,
+                location=event.location,
+                tids=(record.tid, event.tid),
+                both_write=record.is_write and event.is_write,
+            )
+        new_record = AccessRecord(
+            tid=event.tid,
+            epoch=clock.get(event.tid),
+            is_write=event.is_write,
+            lockset=event.locks_held,
+            stmt=event.stmt,
+        )
+        key = new_record.key()
+        for i, record in enumerate(history):
+            if record.key() == key:
+                history[i] = new_record
+                return
+        history.append(new_record)
+        if len(history) > self.history_cap:
+            history.pop(0)
+            self._overflowed.add(event.location)

@@ -1,0 +1,28 @@
+"""Hybrid dynamic race detection — the paper's Phase 1 ([37] in the paper).
+
+Implements the condition from Section 2.2: events ``e_i = MEM(s_i, m, a_i,
+t_i, L_i)`` and ``e_j = MEM(s_j, m, a_j, t_j, L_j)`` race iff
+
+* ``t_i ≠ t_j`` — different threads,
+* ``a_i = WRITE ∨ a_j = WRITE`` — at least one write,
+* ``L_i ∩ L_j = ∅`` — no common lock,
+* ``¬(e_i → e_j) ∧ ¬(e_j → e_i)`` — concurrent under the happens-before
+  relation generated *only* by thread start, join, and notify→wait edges.
+
+Because lock release→acquire edges are deliberately excluded, the detector
+*predicts* races that could happen under other lock orderings — which is
+what gives it coverage, and also what produces the false positives that
+Phase 2 weeds out (e.g. Figure 1's flag-synchronized variable ``x``).
+"""
+
+from __future__ import annotations
+
+from .base import HistoryRaceDetector
+
+
+class HybridRaceDetector(HistoryRaceDetector):
+    """Lockset + happens-before predictive race detector."""
+
+    name = "hybrid"
+    lock_edges = False
+    use_lockset = True

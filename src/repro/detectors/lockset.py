@@ -1,0 +1,109 @@
+"""Eraser-style lockset race detection (Savage et al. [43] in the paper).
+
+Tracks, per memory location, the candidate set ``C(v)`` of locks that have
+been held on *every* access so far, with the usual initialization state
+machine (virgin → exclusive → shared → shared-modified) so that
+single-threaded initialization does not raise alarms.  A location whose
+candidate set empties while in shared-modified state is reported.
+
+Locksets alone over-approximate even more aggressively than the hybrid
+detector (they ignore happens-before entirely), so this detector exists as
+the "more false positives" end of the Phase 1 spectrum for the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.runtime.events import Event, MemEvent
+from repro.runtime.location import Location, LockId
+from repro.runtime.observer import ExecutionObserver
+from repro.runtime.statement import Statement
+
+from .report import RaceReport, _program_name
+
+
+class _State(enum.Enum):
+    VIRGIN = "virgin"
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"
+    SHARED_MODIFIED = "shared-modified"
+
+
+@dataclass
+class _LocationState:
+    state: _State = _State.VIRGIN
+    owner: int | None = None
+    candidates: frozenset[LockId] | None = None  # None = not yet constrained
+    #: most recent access per thread, for attributing statement pairs.
+    last_by_tid: dict[int, tuple[Statement, bool]] = field(default_factory=dict)
+
+
+class EraserLocksetDetector(ExecutionObserver):
+    """Pure lockset discipline checker producing racing statement pairs."""
+
+    name = "lockset"
+
+    def __init__(self) -> None:
+        self.report = RaceReport(program="?", detector=self.name)
+        self._locations: dict[Location, _LocationState] = {}
+
+    def on_start(self, execution) -> None:
+        self.report = RaceReport(
+            program=_program_name(execution), detector=self.name
+        )
+        self._locations.clear()
+
+    def on_event(self, event: Event) -> None:
+        if not isinstance(event, MemEvent):
+            return
+        info = self._locations.setdefault(event.location, _LocationState())
+        self._transition(info, event)
+        violating = (
+            info.state is _State.SHARED_MODIFIED
+            and info.candidates is not None
+            and not info.candidates
+        )
+        if violating:
+            self._attribute(info, event)
+        info.last_by_tid[event.tid] = (event.stmt, event.is_write)
+
+    # ------------------------------------------------------------------ #
+
+    def _transition(self, info: _LocationState, event: MemEvent) -> None:
+        if info.state is _State.VIRGIN:
+            info.state = _State.EXCLUSIVE
+            info.owner = event.tid
+            return
+        if info.state is _State.EXCLUSIVE:
+            if event.tid == info.owner:
+                return
+            # First access from a second thread: start refining.
+            info.candidates = event.locks_held
+            info.state = (
+                _State.SHARED_MODIFIED if event.is_write else _State.SHARED
+            )
+            return
+        # SHARED or SHARED_MODIFIED: refine on every access.
+        assert info.candidates is not None
+        info.candidates = info.candidates & event.locks_held
+        if event.is_write:
+            info.state = _State.SHARED_MODIFIED
+
+    def _attribute(self, info: _LocationState, event: MemEvent) -> None:
+        """Pair the violating access with the latest other-thread access."""
+        for tid, (stmt, was_write) in reversed(list(info.last_by_tid.items())):
+            if tid == event.tid:
+                continue
+            if not (was_write or event.is_write):
+                continue
+            self.report.record(
+                stmt,
+                event.stmt,
+                location=event.location,
+                tids=(tid, event.tid),
+                both_write=was_write and event.is_write,
+            )
+            return

@@ -1,0 +1,110 @@
+"""Race reports: the output of Phase 1 and the input of Phase 2.
+
+A :class:`RaceReport` is a set of distinct potentially racing
+:class:`~repro.runtime.statement.StatementPair` values, with per-pair
+evidence (an example location, the access kinds, how often it was seen).
+Table 1's column 6 is ``len(report.pairs)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.location import Location
+from repro.runtime.statement import Statement, StatementPair
+
+
+@dataclass
+class PairEvidence:
+    """Why a pair was reported: one witness plus occurrence counts."""
+
+    pair: StatementPair
+    location: Location  # an example location both statements touched
+    tids: tuple[int, int]  # example thread pair
+    both_write: bool = False
+    count: int = 1
+
+    def describe(self) -> str:
+        kind = "write/write" if self.both_write else "read/write"
+        return (
+            f"{self.pair} on {self.location.describe()} "
+            f"[{kind}, seen {self.count}x, threads {self.tids}]"
+        )
+
+
+@dataclass
+class RaceReport:
+    """All distinct potentially racing statement pairs found by a detector."""
+
+    program: str
+    detector: str
+    evidence: dict[StatementPair, PairEvidence] = field(default_factory=dict)
+    #: locations whose access history overflowed the per-location cap; pairs
+    #: involving only evicted accesses may have been missed.
+    truncated_locations: int = 0
+
+    @property
+    def pairs(self) -> list[StatementPair]:
+        """Distinct racing pairs, deterministically ordered."""
+        return sorted(self.evidence, key=lambda p: (str(p.first), str(p.second)))
+
+    def record(
+        self,
+        s1: Statement,
+        s2: Statement,
+        location: Location,
+        tids: tuple[int, int],
+        both_write: bool,
+    ) -> bool:
+        """Add one observation; returns True if the pair is new."""
+        pair = StatementPair(s1, s2)
+        existing = self.evidence.get(pair)
+        if existing is not None:
+            existing.count += 1
+            existing.both_write = existing.both_write or both_write
+            return False
+        self.evidence[pair] = PairEvidence(
+            pair=pair, location=location, tids=tids, both_write=both_write
+        )
+        return True
+
+    def merge(self, other: "RaceReport") -> None:
+        """Union another report into this one (multi-run Phase 1)."""
+        for pair, info in other.evidence.items():
+            mine = self.evidence.get(pair)
+            if mine is None:
+                self.evidence[pair] = info
+            else:
+                mine.count += info.count
+                mine.both_write = mine.both_write or info.both_write
+        self.truncated_locations += other.truncated_locations
+
+    def __len__(self) -> int:
+        return len(self.evidence)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    def __str__(self) -> str:
+        lines = [
+            f"{self.detector} report for {self.program}: "
+            f"{len(self)} potential racing pair(s)"
+        ]
+        lines.extend(
+            f"  {info.describe()}"
+            for info in self.evidence.values()
+            if info is not None  # supplied pair lists carry no evidence
+        )
+        return "\n".join(lines)
+
+
+def _program_name(execution) -> str:
+    """Name of the program under observation, for any host engine.
+
+    The generator engine exposes ``execution.program.name``; the native
+    backend has no Program object, so fall back gracefully.
+    """
+    program = getattr(execution, "program", None)
+    if program is not None and hasattr(program, "name"):
+        return program.name
+    return getattr(execution, "name", "native-program")

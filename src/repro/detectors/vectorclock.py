@@ -1,0 +1,77 @@
+"""Vector clocks for the happens-before relation of Section 2.1.
+
+The paper computes ``ei → ej`` ("happens-before") as the transitive closure
+of program order plus SND/RCV message edges, maintained "by keeping a vector
+clock with every thread".  We do the same, with the standard epoch
+optimization: a memory access by thread ``t`` is stamped with the *epoch*
+``(t, C_t[t])``; a later access with clock ``C`` happens-after it iff
+``C[t] >= C_t[t]``.  Each thread's own component starts at 1 so that threads
+that have never communicated are unordered.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+
+class VectorClock:
+    """A mutable vector clock: a map from thread id to logical time."""
+
+    __slots__ = ("_clock",)
+
+    def __init__(self, clock: Mapping[int, int] | None = None):
+        self._clock = dict(clock) if clock else {}
+
+    @classmethod
+    def for_thread(cls, tid: int) -> "VectorClock":
+        """A fresh thread clock, with the thread's own component at 1."""
+        return cls({tid: 1})
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._clock)
+
+    def get(self, tid: int) -> int:
+        return self._clock.get(tid, 0)
+
+    def tick(self, tid: int) -> None:
+        """Advance ``tid``'s own component (at SND events)."""
+        self._clock[tid] = self._clock.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """Pointwise maximum, in place (at RCV events)."""
+        for tid, time in other._clock.items():
+            if time > self._clock.get(tid, 0):
+                self._clock[tid] = time
+
+    def leq(self, other: "VectorClock") -> bool:
+        """``self ≤ other`` pointwise — i.e. self happens-before-or-equals."""
+        return all(time <= other.get(tid) for tid, time in self._clock.items())
+
+    def concurrent(self, other: "VectorClock") -> bool:
+        """Neither clock dominates the other."""
+        return not self.leq(other) and not other.leq(self)
+
+    def knows(self, tid: int, epoch: int) -> bool:
+        """Does this clock dominate the access epoch ``(tid, epoch)``?
+
+        Equivalent to "the access happens-before any event taken at this
+        clock" — the O(1) race check used by the detectors.
+        """
+        return self._clock.get(tid, 0) >= epoch
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        return iter(self._clock.items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return {t: v for t, v in self._clock.items() if v} == {
+            t: v for t, v in other._clock.items() if v
+        }
+
+    def __hash__(self) -> int:  # pragma: no cover - clocks are not dict keys
+        raise TypeError("VectorClock is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{t}:{v}" for t, v in sorted(self._clock.items()))
+        return f"VC({inner})"

@@ -1,0 +1,11 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.harness.table1` — Table 1 (experiments E1-E5), runnable as
+  ``python -m repro.harness.table1``;
+* :mod:`repro.harness.figure2_prob` — the Section 3.2 probability sweep
+  (E7), runnable as ``python -m repro.harness.figure2_prob``;
+* :mod:`repro.harness.render` — shared text-table rendering.
+
+Import the submodules directly (keeping this package namespace empty lets
+``python -m repro.harness.<module>`` run without double-import warnings).
+"""

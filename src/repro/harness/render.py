@@ -1,0 +1,41 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None
+) -> str:
+    """Render an aligned monospace table (right-aligned data columns)."""
+    cells = [[format_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in cells)) if cells else len(header)
+        for i, header in enumerate(headers)
+    ]
+
+    def line(parts: Sequence[str], align_left_first: bool = True) -> str:
+        rendered = []
+        for i, part in enumerate(parts):
+            if i == 0 and align_left_first:
+                rendered.append(part.ljust(widths[i]))
+            else:
+                rendered.append(part.rjust(widths[i]))
+        return "  ".join(rendered)
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)

@@ -1,0 +1,222 @@
+"""Regenerate the paper's Table 1 over our workload suite (experiments E1-E5).
+
+For each benchmark this measures, with the same protocol as Section 5.2:
+
+* columns 3-5 — mean wall-clock of a Normal run (no instrumentation,
+  sync-only preemption), a Hybrid-instrumented run, and a RaceFuzzer run;
+* column 6  — distinct potentially racing pairs from Phase 1;
+* column 7  — pairs RaceFuzzer proved real (created at least once);
+* column 8  — the paper's "known" count, echoed for comparison;
+* column 9  — distinct pairs whose race raised an exception;
+* column 10 — exception types seen under the passive default scheduler;
+* column 11 — mean per-pair probability of creating the race
+  (the paper ran RaceFuzzer 100 times per pair; so does this, unless
+  ``trials`` is overridden).
+
+Run as a script for the full table::
+
+    python -m repro.harness.table1 [--trials N] [--quick] [names...]
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from dataclasses import dataclass, field
+
+from repro.core import (
+    RandomScheduler,
+    baseline_exceptions,
+    detect_races,
+    fuzz_races,
+)
+from repro.core.results import CampaignReport
+from repro.detectors import HybridRaceDetector
+from repro.runtime import Execution
+from repro.workloads.base import WorkloadSpec, table1_workloads
+
+from .render import render_table
+
+
+@dataclass
+class Table1Row:
+    """One measured row, next to its paper counterpart."""
+
+    spec: WorkloadSpec
+    sloc: int
+    normal_s: float
+    hybrid_s: float
+    racefuzzer_s: float
+    potential: int
+    real: int
+    harmful: int
+    exceptions_simple: int
+    probability: float | None
+    deadlocks_found: int
+    campaign: CampaignReport = field(repr=False, default=None)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+def _count_module_sloc(spec: WorkloadSpec) -> int:
+    """Non-blank source lines of the workload module (our SLOC column)."""
+    module = inspect.getmodule(spec.build)
+    try:
+        source = inspect.getsource(module)
+    except (OSError, TypeError):
+        return 0
+    return sum(1 for line in source.splitlines() if line.strip())
+
+
+def _time_normal(spec: WorkloadSpec, runs: int) -> float:
+    start = time.perf_counter()
+    for seed in range(runs):
+        Execution(spec.build(), seed=seed, max_steps=spec.max_steps).run(
+            RandomScheduler(preemption="sync")
+        )
+    return (time.perf_counter() - start) / runs
+
+
+def _time_hybrid(spec: WorkloadSpec, runs: int) -> float:
+    start = time.perf_counter()
+    for seed in range(runs):
+        detector = HybridRaceDetector()
+        Execution(
+            spec.build(), seed=seed, observers=[detector], max_steps=spec.max_steps
+        ).run(RandomScheduler(preemption="every"))
+    return (time.perf_counter() - start) / runs
+
+
+def measure_row(
+    spec: WorkloadSpec,
+    *,
+    trials: int | None = None,
+    timing_runs: int = 5,
+    baseline_runs: int = 100,
+) -> Table1Row:
+    """Run the full two-phase protocol for one benchmark."""
+    trials = trials if trials is not None else spec.trials
+    phase1 = detect_races(
+        spec.build(), seeds=spec.phase1_seeds, max_steps=spec.max_steps
+    )
+    verdicts = fuzz_races(
+        spec.build(), phase1.pairs, trials=trials, max_steps=spec.max_steps
+    )
+    campaign = CampaignReport(
+        program=spec.name, phase1=phase1, verdicts=verdicts
+    )
+    simple = baseline_exceptions(
+        spec.build(), runs=baseline_runs, scheduler="default",
+        max_steps=spec.max_steps,
+    )
+    rf_wall = sum(v.total_wall for v in verdicts.values())
+    rf_trials = sum(v.trials for v in verdicts.values())
+    deadlocks = sum(v.deadlocks for v in verdicts.values())
+    return Table1Row(
+        spec=spec,
+        sloc=_count_module_sloc(spec),
+        normal_s=_time_normal(spec, timing_runs),
+        hybrid_s=_time_hybrid(spec, timing_runs),
+        racefuzzer_s=rf_wall / rf_trials if rf_trials else 0.0,
+        potential=campaign.potential_pairs,
+        real=len(campaign.real_pairs),
+        harmful=len(campaign.harmful_pairs),
+        exceptions_simple=len([t for t in simple if t != "Deadlock"]),
+        probability=campaign.mean_probability() if campaign.real_pairs else None,
+        deadlocks_found=deadlocks,
+        campaign=campaign,
+    )
+
+
+def build_table(
+    specs: list[WorkloadSpec] | None = None, **kwargs
+) -> list[Table1Row]:
+    specs = specs if specs is not None else table1_workloads()
+    return [measure_row(spec, **kwargs) for spec in specs]
+
+
+def render_measured(rows: list[Table1Row]) -> str:
+    headers = [
+        "Program", "SLOC", "Normal(s)", "Hybrid(s)", "RF(s)",
+        "Hybrid#", "RF(real)", "#Exc RF", "Simple", "Prob",
+    ]
+    table = [
+        [
+            row.name, row.sloc,
+            f"{row.normal_s:.4f}", f"{row.hybrid_s:.4f}",
+            f"{row.racefuzzer_s:.4f}",
+            row.potential, row.real, row.harmful,
+            row.exceptions_simple, row.probability,
+        ]
+        for row in rows
+    ]
+    return render_table(headers, table, title="Table 1 (measured on this machine)")
+
+
+def render_comparison(rows: list[Table1Row]) -> str:
+    """Paper-vs-measured, the EXPERIMENTS.md payload."""
+    headers = [
+        "Program",
+        "potential p/m", "real p/m", "#exc p/m", "simple p/m", "prob p/m",
+        "hybrid/normal p/m", "rf/normal p/m",
+    ]
+    table = []
+    for row in rows:
+        paper = row.spec.paper
+        hybrid_ratio_paper = (
+            f"{paper.hybrid_s / paper.normal_s:.1f}"
+            if paper.hybrid_s and paper.normal_s
+            else "-"
+        )
+        rf_ratio_paper = (
+            f"{paper.racefuzzer_s / paper.normal_s:.1f}"
+            if paper.racefuzzer_s and paper.normal_s
+            else "-"
+        )
+        table.append(
+            [
+                row.name,
+                f"{paper.hybrid_races}/{row.potential}",
+                f"{paper.real_races}/{row.real}",
+                f"{paper.exceptions_rf}/{row.harmful}",
+                f"{paper.exceptions_simple}/{row.exceptions_simple}",
+                f"{paper.probability if paper.probability is not None else '-'}"
+                f"/{f'{row.probability:.2f}' if row.probability is not None else '-'}",
+                f"{hybrid_ratio_paper}/{row.hybrid_s / row.normal_s:.1f}",
+                f"{rf_ratio_paper}/{row.racefuzzer_s / row.normal_s:.1f}",
+            ]
+        )
+    return render_table(
+        headers, table, title="Paper vs measured (p/m = paper/measured)"
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    import argparse
+
+    from repro.workloads.base import get
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("names", nargs="*", help="benchmarks (default: all)")
+    parser.add_argument("--trials", type=int, default=None)
+    parser.add_argument(
+        "--quick", action="store_true", help="20 trials, 20 baseline runs"
+    )
+    args = parser.parse_args(argv)
+
+    kwargs = {}
+    if args.quick:
+        kwargs = {"trials": 20, "baseline_runs": 20, "timing_runs": 2}
+    if args.trials is not None:
+        kwargs["trials"] = args.trials
+    specs = [get(name) for name in args.names] if args.names else None
+    rows = build_table(specs, **kwargs)
+    print(render_measured(rows))
+    print()
+    print(render_comparison(rows))
+
+
+if __name__ == "__main__":
+    main()

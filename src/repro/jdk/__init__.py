@@ -1,0 +1,46 @@
+"""A mini JDK collections library containing the paper's real bugs.
+
+``ArrayList``, ``LinkedList``, ``HashSet`` and ``TreeSet`` are
+unsynchronized fail-fast collections over the shared heap;
+``synchronized_list``/``synchronized_set`` are the JDK decorators whose
+bulk operations iterate their *argument* without its lock (the Section 5.3
+bug); ``Vector`` is the JDK 1.1 self-synchronized class with its benign
+unsynchronized readers.
+
+Every public method is a generator: call with ``yield from`` inside a
+simulated thread.
+"""
+
+from .abstract_collection import AbstractCollection
+from .array_list import ArrayList, ArrayListIterator
+from .collections import (
+    SynchronizedCollection,
+    SynchronizedList,
+    synchronized_list,
+    synchronized_set,
+)
+from .hash_set import HashSet, HashSetIterator
+from .hashtable import Hashtable, HashtableEnumeration
+from .linked_list import LinkedList, LinkedListIterator
+from .tree_set import TreeSet, TreeSetIterator
+from .vector import Vector, VectorEnumeration
+
+__all__ = [
+    "AbstractCollection",
+    "ArrayList",
+    "ArrayListIterator",
+    "LinkedList",
+    "LinkedListIterator",
+    "HashSet",
+    "HashSetIterator",
+    "Hashtable",
+    "HashtableEnumeration",
+    "TreeSet",
+    "TreeSetIterator",
+    "Vector",
+    "VectorEnumeration",
+    "SynchronizedCollection",
+    "SynchronizedList",
+    "synchronized_list",
+    "synchronized_set",
+]

@@ -1,0 +1,142 @@
+"""``AbstractCollection``/``AbstractList`` analogs, with the real JDK bug.
+
+Section 5.3 of the paper traces the JDK 1.4.2 collection exceptions to one
+design flaw reproduced faithfully here: the bulk operations
+(``containsAll``, ``addAll``, ``removeAll``, ``equals``) are implemented in
+the *unsynchronized* abstract superclass by iterating a collection with an
+iterator, and the ``Collections.synchronized*`` decorators do not override
+them to lock the *argument* collection.  So ``l1.containsAll(l2)`` iterates
+``l2`` without holding ``l2``'s lock, and any concurrent mutation of ``l2``
+interferes with the iterator — raising
+:class:`~repro.runtime.errors.ConcurrentModificationError` or
+:class:`~repro.runtime.errors.NoSuchElementError`.
+
+All public methods are generator functions: call them with ``yield from``
+inside a simulated thread.  Every access to collection state goes through
+shared-memory ops, so the detectors and RaceFuzzer see exactly what
+bytecode instrumentation would see.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.runtime.sugar import SharedVar
+
+
+class AbstractCollection:
+    """Base class: bulk operations implemented over ``iterator()``.
+
+    Subclasses must provide:
+
+    * ``iterator()`` — generator returning an iterator object with
+      ``has_next()``/``next()`` generator methods;
+    * ``add(value)`` / ``remove(value)`` — generators;
+    * a ``_size`` :class:`SharedVar` and a ``_mod_count`` :class:`SharedVar`.
+    """
+
+    _size: SharedVar
+    _mod_count: SharedVar
+
+    def __init__(self, name: str):
+        self.name = name
+
+    # --- primitives subclasses must provide ------------------------------ #
+
+    def iterator(self) -> Generator:
+        raise NotImplementedError
+
+    def add(self, value: Any) -> Generator:
+        raise NotImplementedError
+
+    def remove(self, value: Any) -> Generator:
+        raise NotImplementedError
+
+    # --- shared trivial accessors ---------------------------------------- #
+
+    def size(self) -> Generator:
+        """Current element count (a single shared read)."""
+        count = yield self._size.read()
+        return count
+
+    def is_empty(self) -> Generator:
+        count = yield from self.size()
+        return count == 0
+
+    # --- the buggy bulk operations (faithful to AbstractCollection) ------ #
+
+    def contains(self, value: Any) -> Generator:
+        """Linear search via this collection's own iterator."""
+        iterator = yield from self.iterator()
+        while (yield from iterator.has_next()):
+            element = yield from iterator.next()
+            if element == value:
+                return True
+        return False
+
+    def contains_all(self, other: "AbstractCollection") -> Generator:
+        """``AbstractCollection.containsAll``: iterates *other* unguarded.
+
+        This is the method the paper's JDK bugs flow through: the iterator
+        over ``other`` reads ``other``'s modCount and storage without any
+        lock on ``other``.
+        """
+        iterator = yield from other.iterator()
+        while (yield from iterator.has_next()):
+            element = yield from iterator.next()
+            if not (yield from self.contains(element)):
+                return False
+        return True
+
+    def add_all(self, other: "AbstractCollection") -> Generator:
+        """``AbstractCollection.addAll``: same unguarded iteration bug."""
+        changed = False
+        iterator = yield from other.iterator()
+        while (yield from iterator.has_next()):
+            element = yield from iterator.next()
+            if (yield from self.add(element)):
+                changed = True
+        return changed
+
+    def remove_all(self, other: "AbstractCollection") -> Generator:
+        """``AbstractCollection.removeAll``: iterates *self*, probes other."""
+        changed = False
+        iterator = yield from self.iterator()
+        while (yield from iterator.has_next()):
+            element = yield from iterator.next()
+            if (yield from other.contains(element)):
+                yield from iterator.remove()
+                changed = True
+        return changed
+
+    def equals(self, other: "AbstractCollection") -> Generator:
+        """``AbstractList.equals``: pairwise iteration of both collections."""
+        mine = yield from self.iterator()
+        theirs = yield from other.iterator()
+        while True:
+            i_have = yield from mine.has_next()
+            they_have = yield from theirs.has_next()
+            if not i_have or not they_have:
+                return i_have == they_have
+            left = yield from mine.next()
+            right = yield from theirs.next()
+            if left != right:
+                return False
+
+    def clear(self) -> Generator:
+        """``AbstractCollection.clear``: drain via the iterator."""
+        iterator = yield from self.iterator()
+        while (yield from iterator.has_next()):
+            yield from iterator.next()
+            yield from iterator.remove()
+
+    def to_pylist(self) -> Generator:
+        """Snapshot as a Python list (test/debug helper; iterator-based)."""
+        items = []
+        iterator = yield from self.iterator()
+        while (yield from iterator.has_next()):
+            items.append((yield from iterator.next()))
+        return items
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

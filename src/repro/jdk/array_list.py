@@ -1,0 +1,145 @@
+"""``java.util.ArrayList`` analog: index-addressed storage, fail-fast iterator.
+
+Unsynchronized, like the original — thread safety is supposed to come from
+the :mod:`repro.jdk.collections` decorators.  The iterator reproduces
+``ArrayList.Itr`` exactly: ``next()`` first checks for comodification
+(throwing :class:`ConcurrentModificationError`), then checks the cursor
+against ``size`` (throwing :class:`NoSuchElementError`) — so racing
+mutations surface as the same two exceptions the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.runtime.errors import (
+    ConcurrentModificationError,
+    IndexOutOfBoundsError,
+    NoSuchElementError,
+)
+from repro.runtime.sugar import SharedCells, SharedVar
+
+from .abstract_collection import AbstractCollection
+
+
+class ArrayListIterator:
+    """Fail-fast iterator over an :class:`ArrayList` (``ArrayList.Itr``)."""
+
+    def __init__(self, owner: "ArrayList", expected_mod_count: int):
+        self.owner = owner
+        self.cursor = 0  # thread-local, like the Java field of the Itr object
+        self.last_returned = -1
+        self.expected_mod_count = expected_mod_count
+
+    def has_next(self) -> Generator:
+        size = yield self.owner._size.read()
+        return self.cursor != size
+
+    def next(self) -> Generator:
+        yield from self._check_comodification()
+        index = self.cursor
+        size = yield self.owner._size.read()
+        if index >= size:
+            raise NoSuchElementError(f"cursor {index} >= size {size}")
+        element = yield self.owner._cells.read(index)
+        self.cursor = index + 1
+        self.last_returned = index
+        return element
+
+    def remove(self) -> Generator:
+        if self.last_returned < 0:
+            raise NoSuchElementError("next() has not been called")
+        yield from self._check_comodification()
+        yield from self.owner.remove_at(self.last_returned)
+        self.cursor = self.last_returned
+        self.last_returned = -1
+        self.expected_mod_count = yield self.owner._mod_count.read()
+
+    def _check_comodification(self) -> Generator:
+        mod_count = yield self.owner._mod_count.read()
+        if mod_count != self.expected_mod_count:
+            raise ConcurrentModificationError(
+                f"{self.owner.name}: modCount {mod_count} != "
+                f"expected {self.expected_mod_count}"
+            )
+
+
+class ArrayList(AbstractCollection):
+    """Growable index-addressed list over shared cells."""
+
+    def __init__(self, name: str = "arraylist"):
+        super().__init__(name)
+        self._cells = SharedCells(f"{name}.elementData")
+        self._size = SharedVar(f"{name}.size", 0)
+        self._mod_count = SharedVar(f"{name}.modCount", 0)
+
+    # --- structural ops --------------------------------------------------- #
+
+    def iterator(self) -> Generator:
+        expected = yield self._mod_count.read()
+        return ArrayListIterator(self, expected)
+
+    def add(self, value: Any) -> Generator:
+        size = yield self._size.read()
+        yield self._cells.write(size, value)
+        yield self._size.write(size + 1)
+        yield from self._bump_mod_count()
+        return True
+
+    def get(self, index: int) -> Generator:
+        yield from self._range_check(index)
+        element = yield self._cells.read(index)
+        return element
+
+    def set(self, index: int, value: Any) -> Generator:
+        yield from self._range_check(index)
+        old = yield self._cells.read(index)
+        yield self._cells.write(index, value)
+        return old
+
+    def index_of(self, value: Any) -> Generator:
+        size = yield self._size.read()
+        for index in range(size):
+            element = yield self._cells.read(index)
+            if element == value:
+                return index
+        return -1
+
+    def contains(self, value: Any) -> Generator:
+        """ArrayList overrides contains with the indexed scan (indexOf)."""
+        index = yield from self.index_of(value)
+        return index >= 0
+
+    def remove_at(self, index: int) -> Generator:
+        yield from self._range_check(index)
+        removed = yield self._cells.read(index)
+        size = yield self._size.read()
+        for position in range(index, size - 1):  # System.arraycopy
+            shifted = yield self._cells.read(position + 1)
+            yield self._cells.write(position, shifted)
+        yield self._size.write(size - 1)
+        yield from self._bump_mod_count()
+        return removed
+
+    def remove(self, value: Any) -> Generator:
+        index = yield from self.index_of(value)
+        if index < 0:
+            return False
+        yield from self.remove_at(index)
+        return True
+
+    def clear(self) -> Generator:
+        """ArrayList.clear: O(1) size reset plus a modCount bump."""
+        yield self._size.write(0)
+        yield from self._bump_mod_count()
+
+    # --- helpers ---------------------------------------------------------- #
+
+    def _bump_mod_count(self) -> Generator:
+        mod_count = yield self._mod_count.read()
+        yield self._mod_count.write(mod_count + 1)
+
+    def _range_check(self, index: int) -> Generator:
+        size = yield self._size.read()
+        if not 0 <= index < size:
+            raise IndexOutOfBoundsError(f"{self.name}: index {index}, size {size}")

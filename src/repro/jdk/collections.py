@@ -1,0 +1,119 @@
+"""``java.util.Collections.synchronizedList/Set`` — the decorators with the bug.
+
+Faithful to the JDK: every *own* operation locks the wrapper's mutex, and
+the bulk operations simply delegate to the backing collection's
+``AbstractCollection`` implementations **while holding only this wrapper's
+mutex** — so iterating the *argument* collection happens without the
+argument's lock.  ``iterator()`` delegates unsynchronized (the JDK
+documents "it is imperative that the user manually synchronize"), which is
+what lets ``l1.containsAll(l2)`` race with ``l2.removeAll(...)`` and throw
+``ConcurrentModificationError``/``NoSuchElementError`` (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.runtime.sugar import Lock, synchronized
+
+from .abstract_collection import AbstractCollection
+from .array_list import ArrayList
+from .hash_set import HashSet
+from .linked_list import LinkedList
+from .tree_set import TreeSet
+
+
+class SynchronizedCollection:
+    """Decorator adding one mutex around a backing collection's own ops."""
+
+    def __init__(self, backing: AbstractCollection, name: str | None = None):
+        self.backing = backing
+        self.name = name or f"sync({backing.name})"
+        self.mutex = Lock(f"{self.name}.mutex")
+
+    # --- synchronized own operations -------------------------------------- #
+
+    def add(self, value: Any) -> Generator:
+        result = yield from synchronized(self.mutex, self.backing.add(value))
+        return result
+
+    def remove(self, value: Any) -> Generator:
+        result = yield from synchronized(self.mutex, self.backing.remove(value))
+        return result
+
+    def contains(self, value: Any) -> Generator:
+        result = yield from synchronized(self.mutex, self.backing.contains(value))
+        return result
+
+    def size(self) -> Generator:
+        result = yield from synchronized(self.mutex, self.backing.size())
+        return result
+
+    def is_empty(self) -> Generator:
+        result = yield from synchronized(self.mutex, self.backing.is_empty())
+        return result
+
+    def clear(self) -> Generator:
+        yield from synchronized(self.mutex, self.backing.clear())
+
+    # --- the buggy bulk operations ----------------------------------------- #
+    # Only *this* wrapper's mutex is held; the argument's collection is
+    # iterated bare.  This is exactly the JDK's SynchronizedCollection.
+
+    def contains_all(self, other) -> Generator:
+        result = yield from synchronized(
+            self.mutex, self.backing.contains_all(other)
+        )
+        return result
+
+    def add_all(self, other) -> Generator:
+        result = yield from synchronized(self.mutex, self.backing.add_all(other))
+        return result
+
+    def remove_all(self, other) -> Generator:
+        result = yield from synchronized(self.mutex, self.backing.remove_all(other))
+        return result
+
+    def equals(self, other) -> Generator:
+        result = yield from synchronized(self.mutex, self.backing.equals(other))
+        return result
+
+    # --- unsynchronized delegation (per the JDK's documented contract) ---- #
+
+    def iterator(self) -> Generator:
+        """Unsynchronized: "the user must manually synchronize" (JDK doc)."""
+        iterator = yield from self.backing.iterator()
+        return iterator
+
+    def to_pylist(self) -> Generator:
+        snapshot = yield from synchronized(self.mutex, self.backing.to_pylist())
+        return snapshot
+
+    def __repr__(self) -> str:
+        return f"SynchronizedCollection({self.backing!r})"
+
+
+class SynchronizedList(SynchronizedCollection):
+    """List-shaped decorator: adds the positional operations."""
+
+    def get(self, index: int) -> Generator:
+        result = yield from synchronized(self.mutex, self.backing.get(index))
+        return result
+
+    def set(self, index: int, value: Any) -> Generator:
+        result = yield from synchronized(self.mutex, self.backing.set(index, value))
+        return result
+
+    def index_of(self, value: Any) -> Generator:
+        result = yield from synchronized(self.mutex, self.backing.index_of(value))
+        return result
+
+
+def synchronized_list(backing: ArrayList | LinkedList) -> SynchronizedList:
+    """``Collections.synchronizedList`` analog."""
+    return SynchronizedList(backing)
+
+
+def synchronized_set(backing: HashSet | TreeSet) -> SynchronizedCollection:
+    """``Collections.synchronizedSet`` analog."""
+    return SynchronizedCollection(backing)

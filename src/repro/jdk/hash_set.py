@@ -1,0 +1,126 @@
+"""``java.util.HashSet`` analog: chained buckets over shared cells.
+
+Each bucket holds an immutable tuple chain; mutating a bucket is a shared
+read followed by a shared write of the rebuilt chain, which is precisely
+the two-step non-atomicity that makes unsynchronized HashSet mutations
+race.  Iteration walks buckets in order and is fail-fast via ``modCount``,
+like ``HashMap.HashIterator``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.runtime.errors import ConcurrentModificationError, NoSuchElementError
+from repro.runtime.sugar import SharedCells, SharedVar
+
+from .abstract_collection import AbstractCollection
+
+
+class HashSetIterator:
+    """Bucket-walking fail-fast iterator (``HashMap.HashIterator``)."""
+
+    def __init__(self, owner: "HashSet", expected_mod_count: int):
+        self.owner = owner
+        self.expected_mod_count = expected_mod_count
+        self.bucket = 0
+        self.offset = 0
+        self.returned = 0
+        self.last_returned: Any = None
+        self.has_last = False
+
+    def has_next(self) -> Generator:
+        # Java HashIterator tests the next-entry pointer, NOT the size: peek
+        # ahead through the buckets without consuming.  A concurrent shrink
+        # does not end the walk early — next() throws on the modCount skew.
+        bucket, offset = self.bucket, self.offset
+        while bucket < self.owner.capacity:
+            chain = (yield self.owner._table.read(bucket)) or ()
+            if offset < len(chain):
+                return True
+            bucket += 1
+            offset = 0
+        return False
+
+    def next(self) -> Generator:
+        yield from self._check_comodification()
+        while self.bucket < self.owner.capacity:
+            chain = yield self.owner._table.read(self.bucket)
+            chain = chain or ()
+            if self.offset < len(chain):
+                element = chain[self.offset]
+                self.offset += 1
+                self.returned += 1
+                self.last_returned = element
+                self.has_last = True
+                return element
+            self.bucket += 1
+            self.offset = 0
+        raise NoSuchElementError(f"{self.owner.name}: ran out of buckets")
+
+    def remove(self) -> Generator:
+        if not self.has_last:
+            raise NoSuchElementError("next() has not been called")
+        yield from self._check_comodification()
+        yield from self.owner.remove(self.last_returned)
+        self.has_last = False
+        self.returned -= 1
+        self.offset = max(0, self.offset - 1)
+        self.expected_mod_count = yield self.owner._mod_count.read()
+
+    def _check_comodification(self) -> Generator:
+        mod_count = yield self.owner._mod_count.read()
+        if mod_count != self.expected_mod_count:
+            raise ConcurrentModificationError(
+                f"{self.owner.name}: modCount {mod_count} != "
+                f"expected {self.expected_mod_count}"
+            )
+
+
+class HashSet(AbstractCollection):
+    """Hash set with a fixed bucket table (no resize; capacity is ample)."""
+
+    def __init__(self, name: str = "hashset", capacity: int = 16):
+        super().__init__(name)
+        self.capacity = capacity
+        self._table = SharedCells(f"{name}.table", init=())
+        self._size = SharedVar(f"{name}.size", 0)
+        self._mod_count = SharedVar(f"{name}.modCount", 0)
+
+    def _bucket_of(self, value: Any) -> int:
+        return hash(value) % self.capacity
+
+    def iterator(self) -> Generator:
+        expected = yield self._mod_count.read()
+        return HashSetIterator(self, expected)
+
+    def add(self, value: Any) -> Generator:
+        bucket = self._bucket_of(value)
+        chain = (yield self._table.read(bucket)) or ()
+        if value in chain:
+            return False
+        yield self._table.write(bucket, chain + (value,))
+        size = yield self._size.read()
+        yield self._size.write(size + 1)
+        yield from self._bump_mod_count()
+        return True
+
+    def contains(self, value: Any) -> Generator:
+        bucket = self._bucket_of(value)
+        chain = (yield self._table.read(bucket)) or ()
+        return value in chain
+
+    def remove(self, value: Any) -> Generator:
+        bucket = self._bucket_of(value)
+        chain = (yield self._table.read(bucket)) or ()
+        if value not in chain:
+            return False
+        yield self._table.write(bucket, tuple(v for v in chain if v != value))
+        size = yield self._size.read()
+        yield self._size.write(size - 1)
+        yield from self._bump_mod_count()
+        return True
+
+    def _bump_mod_count(self) -> Generator:
+        mod_count = yield self._mod_count.read()
+        yield self._mod_count.write(mod_count + 1)

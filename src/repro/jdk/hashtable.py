@@ -1,0 +1,170 @@
+"""``java.util.Hashtable`` as of JDK 1.1 — the synchronized map, with the
+era's real soft spots.
+
+Like :class:`~repro.jdk.vector.Vector`, Hashtable predates the collections
+framework and synchronizes its own methods on ``this``.  What it did *not*
+synchronize in 1.1 — reproduced here — is the enumeration protocol
+(``keys()``/``elements()`` walk the bucket table bare and are not
+fail-fast) and the value-scan fast path.  Those race against every
+mutator: usually benignly (stale chains), but a shrink landing between
+``has_more_elements`` and ``next_element`` surfaces as
+``NoSuchElementError`` — the crash mode 1.1 really had.
+
+Buckets hold immutable ``((key, value), ...)`` chains; mutating a bucket
+is a read of the old chain plus a write of the rebuilt one, so racing
+accesses land on single shared cells exactly as the detectors expect.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.runtime.errors import NoSuchElementError, NullPointerError
+from repro.runtime.sugar import Lock, SharedCells, SharedVar, synchronized
+
+
+class HashtableEnumeration:
+    """JDK 1.1 ``Enumeration``: unsynchronized, not fail-fast.
+
+    ``values=True`` walks values, otherwise keys.  Mid-walk mutation is
+    mostly tolerated (a shrunken chain shortens the walk), but a shrink
+    between ``has_more_elements`` and ``next_element`` leaves the caller
+    holding a promise the table no longer keeps — ``NoSuchElementError``,
+    as in 1.1.
+    """
+
+    def __init__(self, owner: "Hashtable", values: bool):
+        self.owner = owner
+        self.values = values
+        self.bucket = 0
+        self.offset = 0
+
+    def has_more_elements(self) -> Generator:
+        bucket, offset = self.bucket, self.offset
+        while bucket < self.owner.capacity:
+            chain = (yield self.owner._table.read(bucket)) or ()
+            if offset < len(chain):
+                return True
+            bucket += 1
+            offset = 0
+        return False
+
+    def next_element(self) -> Generator:
+        while self.bucket < self.owner.capacity:
+            chain = (yield self.owner._table.read(self.bucket)) or ()
+            if self.offset < len(chain):
+                key, value = chain[self.offset]
+                self.offset += 1
+                return value if self.values else key
+            self.bucket += 1
+            self.offset = 0
+        raise NoSuchElementError(f"{self.owner.name}: enumeration exhausted")
+
+
+class Hashtable:
+    """Self-synchronized hash map (JDK 1.1 surface)."""
+
+    def __init__(self, name: str = "hashtable", capacity: int = 11):
+        self.name = name
+        self.capacity = capacity
+        self.lock = Lock(f"{name}.this")
+        self._table = SharedCells(f"{name}.table", init=())
+        self._count = SharedVar(f"{name}.count", 0)
+
+    def _bucket_of(self, key: Any) -> int:
+        return hash(key) % self.capacity
+
+    # --- synchronized map operations -------------------------------------- #
+
+    def put(self, key: Any, value: Any) -> Generator:
+        """Insert or replace; returns the previous value (Java semantics).
+
+        Java's Hashtable rejects null keys and values with NPE.
+        """
+        if key is None or value is None:
+            raise NullPointerError(f"{self.name}: Hashtable forbids nulls")
+        old = yield from synchronized(self.lock, self._put(key, value))
+        return old
+
+    def _put(self, key: Any, value: Any) -> Generator:
+        bucket = self._bucket_of(key)
+        chain = (yield self._table.read(bucket)) or ()
+        for index, (existing_key, existing_value) in enumerate(chain):
+            if existing_key == key:
+                rebuilt = chain[:index] + ((key, value),) + chain[index + 1:]
+                yield self._table.write(bucket, rebuilt)
+                return existing_value
+        yield self._table.write(bucket, chain + ((key, value),))
+        count = yield self._count.read()
+        yield self._count.write(count + 1)
+        return None
+
+    def get(self, key: Any) -> Generator:
+        value = yield from synchronized(self.lock, self._get(key))
+        return value
+
+    def _get(self, key: Any) -> Generator:
+        chain = (yield self._table.read(self._bucket_of(key))) or ()
+        for existing_key, value in chain:
+            if existing_key == key:
+                return value
+        return None
+
+    def remove(self, key: Any) -> Generator:
+        old = yield from synchronized(self.lock, self._remove(key))
+        return old
+
+    def _remove(self, key: Any) -> Generator:
+        bucket = self._bucket_of(key)
+        chain = (yield self._table.read(bucket)) or ()
+        for index, (existing_key, value) in enumerate(chain):
+            if existing_key == key:
+                yield self._table.write(bucket, chain[:index] + chain[index + 1:])
+                count = yield self._count.read()
+                yield self._count.write(count - 1)
+                return value
+        return None
+
+    def contains_key(self, key: Any) -> Generator:
+        result = yield from synchronized(self.lock, self._contains_key(key))
+        return result
+
+    def _contains_key(self, key: Any) -> Generator:
+        chain = (yield self._table.read(self._bucket_of(key))) or ()
+        return any(existing_key == key for existing_key, _ in chain)
+
+    def size(self) -> Generator:
+        count = yield from synchronized(self.lock, self._size())
+        return count
+
+    def _size(self) -> Generator:
+        count = yield self._count.read()
+        return count
+
+    def clear(self) -> Generator:
+        yield from synchronized(self.lock, self._clear())
+
+    def _clear(self) -> Generator:
+        for bucket in range(self.capacity):
+            yield self._table.write(bucket, ())
+        yield self._count.write(0)
+
+    # --- the JDK 1.1 unsynchronized surface (real, benign races) --------- #
+
+    def contains_value(self, value: Any) -> Generator:
+        """Unsynchronized full scan (``contains(Object)`` in 1.1 spirit):
+        races with every mutator; stale chains are tolerated."""
+        for bucket in range(self.capacity):
+            chain = (yield self._table.read(bucket)) or ()
+            for _, existing_value in chain:
+                if existing_value == value:
+                    return True
+        return False
+
+    def keys(self) -> HashtableEnumeration:
+        """Unsynchronized, non-fail-fast key enumeration."""
+        return HashtableEnumeration(self, values=False)
+
+    def elements(self) -> HashtableEnumeration:
+        """Unsynchronized, non-fail-fast value enumeration."""
+        return HashtableEnumeration(self, values=True)

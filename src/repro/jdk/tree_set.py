@@ -1,0 +1,150 @@
+"""``java.util.TreeSet`` analog: sorted set with in-order fail-fast iteration.
+
+The JDK backs TreeSet with a red-black ``TreeMap``; the bugs the paper
+found (``containsAll``/``addAll`` iterating the argument without its lock)
+live entirely in the *iteration protocol* — modCount discipline and node
+traversal — not in rebalancing.  We therefore back the set with a sorted
+singly linked node chain (ordered insert, in-order walk, modCount
+fail-fast), which exposes the same shared-access structure to the
+detectors at a fraction of the complexity.  DESIGN.md records this
+substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.runtime.errors import ConcurrentModificationError, NoSuchElementError
+from repro.runtime.sugar import SharedObject, SharedVar
+
+from .abstract_collection import AbstractCollection
+
+
+class TreeSetIterator:
+    """In-order walk of the sorted chain, fail-fast on modCount."""
+
+    def __init__(self, owner: "TreeSet", expected_mod_count: int):
+        self.owner = owner
+        self.expected_mod_count = expected_mod_count
+        self.next_node: SharedObject | None = None
+        self.last_returned: Any = None
+        self.has_last = False
+        self.index = 0
+
+    def _prime(self) -> Generator:
+        self.next_node = yield self.owner._head.get("next")
+
+    def has_next(self) -> Generator:
+        # Java TreeMap iterators test the successor pointer, NOT the size:
+        # a concurrent shrink therefore does not end the walk early — the
+        # next() call notices the modCount skew and throws instead.
+        return self.next_node is not None
+        yield  # unreachable; keeps this a generator like its callers expect
+
+    def next(self) -> Generator:
+        yield from self._check_comodification()
+        node = self.next_node
+        if node is None:
+            raise NoSuchElementError(f"{self.owner.name}: walked off the chain")
+        element = yield node.get("element")
+        self.next_node = yield node.get("next")
+        self.index += 1
+        self.last_returned = element
+        self.has_last = True
+        return element
+
+    def remove(self) -> Generator:
+        if not self.has_last:
+            raise NoSuchElementError("next() has not been called")
+        yield from self._check_comodification()
+        yield from self.owner.remove(self.last_returned)
+        self.has_last = False
+        self.index -= 1
+        self.expected_mod_count = yield self.owner._mod_count.read()
+
+    def _check_comodification(self) -> Generator:
+        mod_count = yield self.owner._mod_count.read()
+        if mod_count != self.expected_mod_count:
+            raise ConcurrentModificationError(
+                f"{self.owner.name}: modCount {mod_count} != "
+                f"expected {self.expected_mod_count}"
+            )
+
+
+class TreeSet(AbstractCollection):
+    """Sorted set over a sentinel-headed singly linked chain."""
+
+    def __init__(self, name: str = "treeset"):
+        super().__init__(name)
+        self._head = SharedObject(f"{name}.head", element=None, next=None)
+        self._size = SharedVar(f"{name}.size", 0)
+        self._mod_count = SharedVar(f"{name}.modCount", 0)
+        self._node_counter = 0
+
+    def iterator(self) -> Generator:
+        expected = yield self._mod_count.read()
+        iterator = TreeSetIterator(self, expected)
+        yield from iterator._prime()
+        return iterator
+
+    def add(self, value: Any) -> Generator:
+        previous = self._head
+        node = yield self._head.get("next")
+        while node is not None:
+            element = yield node.get("element")
+            if element == value:
+                return False
+            if element > value:
+                break
+            previous = node
+            node = yield node.get("next")
+        self._node_counter += 1
+        fresh = SharedObject(
+            f"{self.name}.node{self._node_counter}", element=value, next=None
+        )
+        yield fresh.set("next", node)
+        yield previous.set("next", fresh)
+        size = yield self._size.read()
+        yield self._size.write(size + 1)
+        yield from self._bump_mod_count()
+        return True
+
+    def contains(self, value: Any) -> Generator:
+        node = yield self._head.get("next")
+        while node is not None:
+            element = yield node.get("element")
+            if element == value:
+                return True
+            if element > value:
+                return False
+            node = yield node.get("next")
+        return False
+
+    def remove(self, value: Any) -> Generator:
+        previous = self._head
+        node = yield self._head.get("next")
+        while node is not None:
+            element = yield node.get("element")
+            if element == value:
+                successor = yield node.get("next")
+                yield previous.set("next", successor)
+                size = yield self._size.read()
+                yield self._size.write(size - 1)
+                yield from self._bump_mod_count()
+                return True
+            if element > value:
+                return False
+            previous = node
+            node = yield node.get("next")
+        return False
+
+    def first(self) -> Generator:
+        node = yield self._head.get("next")
+        if node is None:
+            raise NoSuchElementError(f"{self.name} is empty")
+        element = yield node.get("element")
+        return element
+
+    def _bump_mod_count(self) -> Generator:
+        mod_count = yield self._mod_count.read()
+        yield self._mod_count.write(mod_count + 1)

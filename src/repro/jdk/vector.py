@@ -1,0 +1,164 @@
+"""``java.util.Vector`` as of JDK 1.1 — self-synchronized, with real holes.
+
+The paper's ``vector 1.1`` row reports 9 real races, all benign (0
+exceptions).  JDK 1.1's Vector synchronized its mutators and most readers
+on ``this``, but several hot-path readers and the enumeration protocol
+read ``elementCount``/``elementData`` without the monitor.  We reproduce
+that shape: mutators and indexed readers are synchronized; ``size``,
+``is_empty``, ``capacity_used``, ``copy_into`` and the (non-fail-fast)
+enumerator read shared state unsynchronized.  Each unsynchronized read
+statement forms a real racing pair with each mutator write statement it
+overlaps — real, and benign by construction (stale values are tolerated;
+nothing throws).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.runtime.errors import NoSuchElementError
+from repro.runtime.sugar import Lock, SharedCells, SharedVar, synchronized
+
+
+class VectorEnumeration:
+    """JDK 1.1 ``Enumeration``: not fail-fast, unsynchronized reads."""
+
+    def __init__(self, owner: "Vector"):
+        self.owner = owner
+        self.cursor = 0
+
+    def has_more_elements(self) -> Generator:
+        count = yield self.owner._count.read()
+        return self.cursor < count
+
+    def next_element(self) -> Generator:
+        # 1.1 semantics: no comodification check.  A concurrent shrink can
+        # make the read return the cell's stale (or default) content; the
+        # enumeration tolerates it rather than throwing.
+        element = yield self.owner._cells.read(self.cursor)
+        self.cursor += 1
+        return element
+
+
+class Vector:
+    """Self-synchronized growable array (JDK 1.1 surface)."""
+
+    def __init__(self, name: str = "vector"):
+        self.name = name
+        self.lock = Lock(f"{name}.this")
+        self._cells = SharedCells(f"{name}.elementData")
+        self._count = SharedVar(f"{name}.elementCount", 0)
+
+    # --- synchronized mutators ------------------------------------------- #
+
+    def add_element(self, value: Any) -> Generator:
+        yield from synchronized(self.lock, self._add_element(value))
+
+    def _add_element(self, value: Any) -> Generator:
+        count = yield self._count.read()
+        yield self._cells.write(count, value)
+        yield self._count.write(count + 1)
+
+    def remove_element(self, value: Any) -> Generator:
+        removed = yield from synchronized(self.lock, self._remove_element(value))
+        return removed
+
+    def _remove_element(self, value: Any) -> Generator:
+        count = yield self._count.read()
+        for index in range(count):
+            element = yield self._cells.read(index)
+            if element == value:
+                for position in range(index, count - 1):
+                    shifted = yield self._cells.read(position + 1)
+                    yield self._cells.write(position, shifted)
+                yield self._count.write(count - 1)
+                return True
+        return False
+
+    def remove_all_elements(self) -> Generator:
+        yield from synchronized(self.lock, self._remove_all_elements())
+
+    def _remove_all_elements(self) -> Generator:
+        count = yield self._count.read()
+        for index in range(count):
+            yield self._cells.write(index, None)
+        yield self._count.write(0)
+
+    def set_element_at(self, value: Any, index: int) -> Generator:
+        yield from synchronized(self.lock, self._set_element_at(value, index))
+
+    def _set_element_at(self, value: Any, index: int) -> Generator:
+        count = yield self._count.read()
+        if not 0 <= index < count:
+            raise NoSuchElementError(f"{self.name}: index {index}, count {count}")
+        yield self._cells.write(index, value)
+
+    # --- synchronized readers --------------------------------------------- #
+
+    def element_at(self, index: int) -> Generator:
+        element = yield from synchronized(self.lock, self._element_at(index))
+        return element
+
+    def _element_at(self, index: int) -> Generator:
+        count = yield self._count.read()
+        if not 0 <= index < count:
+            raise NoSuchElementError(f"{self.name}: index {index}, count {count}")
+        element = yield self._cells.read(index)
+        return element
+
+    def first_element(self) -> Generator:
+        element = yield from synchronized(self.lock, self._first_element())
+        return element
+
+    def _first_element(self) -> Generator:
+        count = yield self._count.read()
+        if count == 0:
+            raise NoSuchElementError(f"{self.name} is empty")
+        element = yield self._cells.read(0)
+        return element
+
+    def index_of(self, value: Any) -> Generator:
+        index = yield from synchronized(self.lock, self._index_of(value))
+        return index
+
+    def _index_of(self, value: Any) -> Generator:
+        count = yield self._count.read()
+        for index in range(count):
+            element = yield self._cells.read(index)
+            if element == value:
+                return index
+        return -1
+
+    def contains(self, value: Any) -> Generator:
+        index = yield from self.index_of(value)
+        return index >= 0
+
+    # --- the JDK 1.1 unsynchronized readers (the 9 benign races) --------- #
+
+    def size(self) -> Generator:
+        """Unsynchronized ``elementCount`` read — races with every mutator."""
+        count = yield self._count.read()
+        return count
+
+    def is_empty(self) -> Generator:
+        """Unsynchronized emptiness probe."""
+        count = yield self._count.read()
+        return count == 0
+
+    def copy_into(self, limit: int | None = None) -> Generator:
+        """Unsynchronized bulk copy (``copyInto``): count + cell reads race.
+
+        Tolerates concurrent shrinking (stale cells come back as ``None``)
+        so the race stays benign, as in the paper's vector row.
+        """
+        count = yield self._count.read()
+        if limit is not None:
+            count = min(count, limit)
+        snapshot = []
+        for index in range(count):
+            snapshot.append((yield self._cells.read(index)))
+        return snapshot
+
+    def elements(self) -> VectorEnumeration:
+        """Unsynchronized enumeration (non-fail-fast)."""
+        return VectorEnumeration(self)

@@ -1,0 +1,132 @@
+"""Schedulers for the native (real-threads) backend.
+
+Mirrors :mod:`repro.core`: a uniform random scheduler as the passive
+baseline, and the Algorithm 1 postponing scheduler directed at a racing
+statement pair.  Both draw every decision from the runtime's seeded RNG,
+so a native run replays from its seed exactly like a generator-engine run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.runtime.statement import Statement, StatementPair
+
+
+class NativeScheduler:
+    """Strategy for :class:`~repro.native.runtime.NativeRuntime` dispatch."""
+
+    def attach(self, runtime) -> None:
+        self.runtime = runtime
+
+    def choose(self, enabled: list[int]) -> int | None:
+        """Pick the tid to run next; ``None`` means "re-evaluate" (used by
+        the postponing scheduler after a forced release)."""
+        raise NotImplementedError
+
+
+class RandomNativeScheduler(NativeScheduler):
+    """Uniform random choice among enabled threads."""
+
+    def choose(self, enabled: list[int]) -> int | None:
+        return enabled[self.runtime.rng.randrange(len(enabled))]
+
+
+class RaceDirectedNativeScheduler(NativeScheduler):
+    """Algorithm 1 over real threads.
+
+    Keeps the same postponed-set discipline as
+    :class:`repro.core.postponing.PostponingDriver`: postpone threads whose
+    next statement is in the racing pair, rendezvous on same-location
+    conflicting accesses, coin-flip resolution, forced release when every
+    enabled thread is postponed, and a patience watchdog.
+    """
+
+    def __init__(
+        self,
+        race_set: StatementPair | Iterable[Statement],
+        patience: int = 400,
+    ) -> None:
+        if isinstance(race_set, StatementPair):
+            statements = {race_set.first, race_set.second}
+        else:
+            statements = set(race_set)
+        if not statements:
+            raise ValueError("need a non-empty racing statement set")
+        self.race_set = frozenset(statements)
+        self.patience = patience
+        self._postponed: dict[int, int] = {}  # tid -> op count when postponed
+        self._exempt: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+
+    def _is_target(self, tid: int) -> bool:
+        op = self.runtime.next_op(tid)
+        if op is None or not op.is_mem:
+            return False
+        return self.runtime.next_stmt(tid) in self.race_set
+
+    def _conflicting(self, tid: int) -> list[int]:
+        op = self.runtime.next_op(tid)
+        rivals = []
+        for other in sorted(self._postponed):
+            other_op = self.runtime.next_op(other)
+            if other_op is None or not other_op.is_mem:
+                continue
+            if other_op.location != op.location:
+                continue
+            if not (op.is_write or other_op.is_write):
+                continue
+            rivals.append(other)
+        return rivals
+
+    def choose(self, enabled: list[int]) -> int | None:
+        runtime = self.runtime
+        rng = runtime.rng
+        now = runtime._ops
+
+        # Watchdog: free threads postponed for too long.
+        for tid, since in list(self._postponed.items()):
+            if now - since > self.patience:
+                del self._postponed[tid]
+                self._exempt.add(tid)
+
+        enabled_set = set(enabled)
+        for tid in list(self._postponed):
+            if tid not in enabled_set:
+                del self._postponed[tid]
+
+        choosable = [tid for tid in enabled if tid not in self._postponed]
+        if not choosable:
+            victim = sorted(self._postponed)[rng.randrange(len(self._postponed))]
+            del self._postponed[victim]
+            self._exempt.add(victim)
+            return None  # re-evaluate with the victim released
+
+        tid = choosable[rng.randrange(len(choosable))]
+        if self._is_target(tid) and tid not in self._exempt:
+            rivals = self._conflicting(tid)
+            if rivals:
+                return self._resolve(tid, rivals)
+            self._postponed[tid] = now
+            return None
+        self._exempt.discard(tid)
+        return tid
+
+    def _resolve(self, tid: int, rivals: list[int]) -> int:
+        """A real race: record it, resolve by coin flip, return the runner."""
+        runtime = self.runtime
+        stmt = runtime.next_stmt(tid)
+        for rival in rivals:
+            pair = StatementPair(stmt, runtime.next_stmt(rival))
+            runtime.result.races_created += 1
+            runtime.result.pairs_created.add(pair)
+        if runtime.rng.random() < 0.5:
+            return tid  # arrival first; rivals stay postponed
+        # Rivals first: postpone the arrival, run one rival now (the others
+        # surface on subsequent dispatches, still conflicting or released).
+        self._postponed[tid] = runtime._ops
+        rival = rivals[0]
+        del self._postponed[rival]
+        self._exempt.add(rival)
+        return rival

@@ -1,0 +1,125 @@
+"""The concurrent abstract machine RaceFuzzer runs on.
+
+Public surface:
+
+* :mod:`repro.runtime.ops` — the instruction set (yielded by thread bodies);
+* :class:`Program` / :func:`program` — wrap a program factory;
+* :class:`Execution` — one controlled run (``schedulable``/``next_op``/``step``);
+* sugar: :class:`SharedVar`, :class:`SharedArray`, :class:`SharedObject`,
+  :class:`Lock`, :func:`synchronized`, :class:`Barrier`,
+  :class:`CountDownLatch`, :class:`BlockingQueue`, :class:`AtomicCounter`;
+* events and the :class:`ExecutionObserver` protocol for detectors.
+"""
+
+from . import ops
+from .errors import (
+    AssertionViolation,
+    ConcurrentModificationError,
+    EngineError,
+    ExecutionLimitExceeded,
+    IllegalMonitorState,
+    IndexOutOfBoundsError,
+    InterruptedException,
+    NoSuchElementError,
+    NullPointerError,
+    SchedulerMisuse,
+    SimulatedError,
+)
+from .events import (
+    Access,
+    AcquireEvent,
+    DeadlockEvent,
+    ErrorEvent,
+    Event,
+    MemEvent,
+    RcvEvent,
+    ReleaseEvent,
+    SndEvent,
+    ThreadEndEvent,
+    ThreadStartEvent,
+)
+from .interpreter import Execution, ExecutionResult, ThreadCrash
+from .location import ElemLoc, FieldLoc, Location, LockId, VarLoc, fresh_uid
+from .observer import EventTrace, ExecutionObserver, ObserverChain
+from .ops import Op, OpKind
+from .program import Program, program, resolve_tid
+from .statement import Statement, StatementPair
+from .sugar import (
+    AtomicCounter,
+    Barrier,
+    BlockingQueue,
+    CountDownLatch,
+    Lock,
+    SharedArray,
+    SharedCells,
+    SharedObject,
+    SharedVar,
+    join_all,
+    spawn_all,
+    synchronized,
+)
+from .thread import ThreadHandle, ThreadState, ThreadStatus
+from .validate import TraceAudit, TraceInvariantError, validate_trace
+
+__all__ = [
+    "ops",
+    "Op",
+    "OpKind",
+    "Program",
+    "program",
+    "resolve_tid",
+    "Execution",
+    "ExecutionResult",
+    "ThreadCrash",
+    "Statement",
+    "StatementPair",
+    "Location",
+    "VarLoc",
+    "FieldLoc",
+    "ElemLoc",
+    "LockId",
+    "fresh_uid",
+    "ThreadHandle",
+    "ThreadState",
+    "ThreadStatus",
+    "ExecutionObserver",
+    "ObserverChain",
+    "EventTrace",
+    "Event",
+    "Access",
+    "MemEvent",
+    "SndEvent",
+    "RcvEvent",
+    "AcquireEvent",
+    "ReleaseEvent",
+    "ThreadStartEvent",
+    "ThreadEndEvent",
+    "ErrorEvent",
+    "DeadlockEvent",
+    "SharedVar",
+    "SharedCells",
+    "SharedArray",
+    "SharedObject",
+    "Lock",
+    "synchronized",
+    "Barrier",
+    "CountDownLatch",
+    "BlockingQueue",
+    "AtomicCounter",
+    "spawn_all",
+    "join_all",
+    "TraceAudit",
+    "TraceInvariantError",
+    "validate_trace",
+    "EngineError",
+    "SchedulerMisuse",
+    "IllegalMonitorState",
+    "ExecutionLimitExceeded",
+    "SimulatedError",
+    "AssertionViolation",
+    "ConcurrentModificationError",
+    "NoSuchElementError",
+    "IndexOutOfBoundsError",
+    "NullPointerError",
+    "InterruptedException",
+]

@@ -1,0 +1,74 @@
+"""Error types raised by or inside the concurrent abstract machine.
+
+Two kinds of errors live here:
+
+* *Engine errors* (``EngineError`` and subclasses) indicate misuse of the
+  runtime itself — e.g. releasing a lock the thread does not hold.  They
+  abort the execution because the program under test is malformed.
+
+* *Simulated program errors* model the Java exceptions that the paper's
+  benchmarks throw when a race fires.  They are raised *inside* a simulated
+  thread, kill only that thread, and are collected on the
+  :class:`~repro.runtime.interpreter.ExecutionResult` — exactly like an
+  uncaught exception killing a Java thread.
+"""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """The program under test misused the runtime (engine-level bug)."""
+
+
+class IllegalMonitorState(EngineError):
+    """A thread released, waited on, or notified a lock it does not hold."""
+
+
+class SchedulerMisuse(EngineError):
+    """A scheduler or driver asked the engine to do something impossible.
+
+    Examples: stepping a thread that is not enabled, stepping a terminated
+    thread, or referring to an unknown thread id.
+    """
+
+
+class ExecutionLimitExceeded(EngineError):
+    """The execution ran longer than ``max_steps`` (possible livelock)."""
+
+
+class SimulatedError(Exception):
+    """Base class for errors thrown by simulated programs.
+
+    Uncaught simulated errors terminate the throwing thread only; the
+    execution records them and keeps scheduling the remaining threads, as a
+    JVM would.
+    """
+
+
+class AssertionViolation(SimulatedError):
+    """An ``ops.check`` assertion failed (the paper's ERROR statements)."""
+
+
+class ConcurrentModificationError(SimulatedError):
+    """Analog of ``java.util.ConcurrentModificationException``."""
+
+
+class NoSuchElementError(SimulatedError):
+    """Analog of ``java.util.NoSuchElementException``."""
+
+
+class IndexOutOfBoundsError(SimulatedError):
+    """Analog of ``java.lang.ArrayIndexOutOfBoundsException``."""
+
+
+class NullPointerError(SimulatedError):
+    """Analog of ``java.lang.NullPointerException``."""
+
+
+class InterruptedException(SimulatedError):
+    """Analog of ``java.lang.InterruptedException``.
+
+    Delivered inside a simulated thread when it is interrupted while waiting
+    or sleeping (or when it waits/sleeps with its interrupt flag already
+    set).
+    """

@@ -1,0 +1,124 @@
+"""Runtime events delivered to execution observers.
+
+These mirror Section 2.1 of the paper: an execution is a sequence of events,
+where ``MEM(s, m, a, t, L)`` is a memory access and ``SND(g, t)`` /
+``RCV(g, t)`` carry the inter-thread happens-before edges (thread start,
+join, and notify→wait).  We additionally expose lock acquire/release and
+thread-lifecycle events, which the detectors and the harness use.
+
+Every event carries ``step``, the global step index at which it occurred,
+so observers can reconstruct the total order of the execution.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .location import Location, LockId
+from .statement import Statement
+
+
+class Access(enum.Enum):
+    """The ``a`` in ``MEM(s, m, a, t, L)``."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for runtime events."""
+
+    step: int
+    tid: int
+
+
+@dataclass(frozen=True)
+class MemEvent(Event):
+    """``MEM(s, m, a, t, L)``: thread ``tid`` accessed location ``location``
+    at statement ``stmt`` holding the set of locks ``locks_held``."""
+
+    stmt: Statement
+    location: Location
+    access: Access
+    locks_held: frozenset[LockId]
+
+    @property
+    def is_write(self) -> bool:
+        return self.access is Access.WRITE
+
+
+@dataclass(frozen=True)
+class SndEvent(Event):
+    """``SND(g, t)``: thread ``tid`` sent the message ``msg_id``."""
+
+    msg_id: int
+
+
+@dataclass(frozen=True)
+class RcvEvent(Event):
+    """``RCV(g, t)``: thread ``tid`` received the message ``msg_id``."""
+
+    msg_id: int
+
+
+@dataclass(frozen=True)
+class AcquireEvent(Event):
+    """Thread ``tid`` acquired ``lock`` (outermost acquisition only)."""
+
+    lock: LockId
+    stmt: Statement | None = None
+
+
+@dataclass(frozen=True)
+class ReleaseEvent(Event):
+    """Thread ``tid`` released ``lock`` (outermost release only)."""
+
+    lock: LockId
+    stmt: Statement | None = None
+
+
+@dataclass(frozen=True)
+class ThreadStartEvent(Event):
+    """A new thread ``child`` was spawned by ``tid`` (tid 0's start has tid 0)."""
+
+    child: int
+    name: str
+
+
+@dataclass(frozen=True)
+class ThreadEndEvent(Event):
+    """Thread ``tid`` terminated; ``error`` is its uncaught exception, if any."""
+
+    error: BaseException | None
+
+
+@dataclass(frozen=True)
+class ErrorEvent(Event):
+    """An uncaught simulated exception escaped thread ``tid`` at ``stmt``."""
+
+    stmt: Statement | None
+    error: BaseException
+
+
+@dataclass(frozen=True)
+class DeadlockEvent(Event):
+    """Execution ended with live but permanently blocked threads."""
+
+    blocked: tuple[int, ...]
+
+
+__all__ = [
+    "Access",
+    "Event",
+    "MemEvent",
+    "SndEvent",
+    "RcvEvent",
+    "AcquireEvent",
+    "ReleaseEvent",
+    "ThreadStartEvent",
+    "ThreadEndEvent",
+    "ErrorEvent",
+    "DeadlockEvent",
+]

@@ -1,0 +1,605 @@
+"""The execution engine: the paper's abstract machine, made concrete.
+
+An :class:`Execution` owns all the non-determinism of one run of a
+:class:`~repro.runtime.program.Program`:
+
+* ``schedulable()``   — the paper's ``Enabled(s)`` (fast-forwarding abstract
+  time when only sleepers remain);
+* ``next_op(t)``      — the paper's ``NextStmt(s, t)``, with its statement
+  identity and dynamic memory location;
+* ``step(t)``         — the paper's ``Execute(s, t)``;
+* ``alive()``         — the paper's ``Alive(s)``.
+
+Drivers (schedulers, RaceFuzzer) sit on top of this API and decide *which*
+enabled thread to step.  All randomness a driver needs must come from
+``Execution.rng`` (seeded in the constructor) — that single discipline is
+what makes seed-only replay work.
+
+Java semantics implemented: reentrant monitors, wait/notify/notifyAll with
+two-stage wakeup (wait set → monitor re-acquisition), join, sleep on an
+abstract clock (1 tick = 1 executed op), interrupts that raise
+``InterruptedException`` inside waiting/sleeping victims, and
+thread-as-crash-domain (an uncaught exception kills only its thread).
+"""
+
+from __future__ import annotations
+
+import inspect
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from .errors import (
+    AssertionViolation,
+    EngineError,
+    ExecutionLimitExceeded,
+    InterruptedException,
+    SchedulerMisuse,
+)
+from .events import (
+    Access,
+    AcquireEvent,
+    DeadlockEvent,
+    ErrorEvent,
+    MemEvent,
+    RcvEvent,
+    ReleaseEvent,
+    SndEvent,
+    ThreadEndEvent,
+    ThreadStartEvent,
+)
+from .heap import Heap
+from .locks import LockTable
+from .observer import ExecutionObserver, ObserverChain
+from .ops import Op, OpKind
+from .program import Program, resolve_tid
+from .statement import Statement, statement_from_generator
+from .thread import ThreadState, ThreadStatus
+
+
+@dataclass(frozen=True)
+class ThreadCrash:
+    """An uncaught simulated exception that terminated a thread."""
+
+    tid: int
+    name: str
+    error: BaseException
+    stmt: Statement | None
+    step: int = 0
+
+    @property
+    def error_type(self) -> str:
+        return type(self.error).__name__
+
+    def __str__(self) -> str:
+        where = f" at {self.stmt.site}" if self.stmt else ""
+        return f"{self.name}#{self.tid}: {self.error_type}({self.error}){where}"
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one complete execution."""
+
+    program: str
+    seed: int
+    steps: int = 0
+    crashes: list[ThreadCrash] = field(default_factory=list)
+    deadlock: bool = False
+    deadlocked_tids: tuple[int, ...] = ()
+    truncated: bool = False
+    wall_time: float = 0.0
+
+    @property
+    def exception_types(self) -> list[str]:
+        return [crash.error_type for crash in self.crashes]
+
+    def __str__(self) -> str:
+        bits = [f"{self.program} seed={self.seed} steps={self.steps}"]
+        if self.crashes:
+            bits.append(f"crashes={[str(c) for c in self.crashes]}")
+        if self.deadlock:
+            bits.append(f"DEADLOCK tids={list(self.deadlocked_tids)}")
+        if self.truncated:
+            bits.append("TRUNCATED")
+        return " ".join(bits)
+
+
+class Execution:
+    """One run of a program, with every source of non-determinism owned here."""
+
+    def __init__(
+        self,
+        program: Program,
+        *,
+        seed: int = 0,
+        observers: Iterable[ExecutionObserver] = (),
+        max_steps: int = 1_000_000,
+    ) -> None:
+        self.program = program
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.heap = Heap()
+        self.locks = LockTable()
+        self.threads: dict[int, ThreadState] = {}
+        #: the abstract clock: advances by 1 per executed op and jumps
+        #: forward when only sleepers remain.
+        self.step_count = 0
+        #: ops actually executed — the budget max_steps is charged against
+        #: (virtual sleep time is free).
+        self.ops_executed = 0
+        self.max_steps = max_steps
+        self.result = ExecutionResult(program=program.name, seed=seed)
+        self._next_tid = 0
+        self._next_msg = 0
+        self._term_msg: dict[int, int] = {}  # tid -> its termination message id
+        self._started = False
+        self._finished = False
+        self._start_time = 0.0
+        self.observer = ObserverChain(observers)
+        self._observing = bool(self.observer.observers)
+        self._observe_mem = self._observing and self.observer.wants_mem_events
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    def start(self) -> None:
+        """Instantiate the program and prime the main thread."""
+        if self._started:
+            raise SchedulerMisuse("execution already started")
+        self._started = True
+        self._start_time = time.perf_counter()
+        if self._observing:
+            self.observer.on_start(self)
+        main_gen = self.program.instantiate()
+        self._create_thread(main_gen, name="main", parent=None)
+
+    def finish(self) -> ExecutionResult:
+        """Finalize: detect real deadlocks (paper Algorithm 1, lines 30-32)."""
+        if self._finished:
+            return self.result
+        self._finished = True
+        alive = [ts.tid for ts in self.threads.values() if ts.alive]
+        if alive and not self.result.truncated:
+            self.result.deadlock = True
+            self.result.deadlocked_tids = tuple(alive)
+            if self._observing:
+                self.observer.on_event(
+                    DeadlockEvent(step=self.step_count, tid=-1, blocked=tuple(alive))
+                )
+        self.result.steps = self.step_count
+        self.result.wall_time = time.perf_counter() - self._start_time
+        if self._observing:
+            self.observer.on_finish(self)
+        return self.result
+
+    def run(self, scheduler) -> ExecutionResult:
+        """Convenience loop: let ``scheduler`` pick among enabled threads."""
+        self.start()
+        while True:
+            enabled = self.schedulable()
+            if not enabled:
+                break
+            self.step(scheduler.choose(self, enabled))
+        return self.finish()
+
+    # ------------------------------------------------------------------ #
+    # state inspection (the paper's Enabled / Alive / NextStmt)
+
+    def is_enabled(self, tid: int) -> bool:
+        """Can ``tid`` make progress if stepped right now?"""
+        ts = self.threads[tid]
+        if ts.status is ThreadStatus.TERMINATED:
+            return False
+        if ts.status is ThreadStatus.WAITING:
+            # A timed wait becomes enabled at its deadline: the next step
+            # transitions it to monitor re-acquisition (Object.wait(long)).
+            return bool(ts.wake_at) and self.step_count >= ts.wake_at
+        if ts.status is ThreadStatus.SLEEPING:
+            return ts.deliver_interrupt or self.step_count >= ts.wake_at
+        op = ts.pending
+        if op is None:
+            return False
+        if op.kind in (OpKind.LOCK, OpKind.REACQUIRE):
+            return self.locks.can_acquire(op.lock, tid)
+        if op.kind is OpKind.JOIN:
+            return not self.threads[resolve_tid(op.target)].alive
+        return True
+
+    def enabled_tids(self) -> list[int]:
+        """All currently enabled thread ids, in tid order."""
+        return [tid for tid, ts in sorted(self.threads.items()) if self.is_enabled(tid)]
+
+    def schedulable(self) -> list[int]:
+        """Enabled tids, fast-forwarding the clock past an all-sleeping lull.
+
+        Returns ``[]`` when the execution is over (all dead or deadlocked)
+        or the step budget is exhausted (``result.truncated`` is set).
+        """
+        enabled = self.enabled_tids()
+        if not enabled:
+            deadlines = [
+                ts.wake_at
+                for ts in self.threads.values()
+                if (
+                    ts.status is ThreadStatus.SLEEPING
+                    or (ts.status is ThreadStatus.WAITING and ts.wake_at)
+                )
+            ]
+            if deadlines:
+                # Nothing runnable but time can pass: jump to the earliest
+                # sleeper wakeup or timed-wait deadline.
+                self.step_count = max(self.step_count, min(deadlines))
+                enabled = self.enabled_tids()
+        if enabled and self.ops_executed >= self.max_steps:
+            self.result.truncated = True
+            return []
+        return enabled
+
+    def alive_tids(self) -> list[int]:
+        """Threads not yet terminated — the paper's ``Alive(s)``."""
+        return [tid for tid, ts in sorted(self.threads.items()) if ts.alive]
+
+    def next_op(self, tid: int) -> Op | None:
+        """The pending (yielded, unexecuted) op of ``tid`` — ``NextStmt``."""
+        return self.threads[tid].pending
+
+    def next_stmt(self, tid: int) -> Statement | None:
+        """Statement identity of the pending op (``NextStmt``'s ``s``)."""
+        return self.threads[tid].pending_stmt
+
+    def fresh_msg(self) -> int:
+        """Allocate a unique happens-before message id (``g`` in SND/RCV)."""
+        self._next_msg += 1
+        return self._next_msg
+
+    # ------------------------------------------------------------------ #
+    # stepping
+
+    def step(self, tid: int) -> None:
+        """Execute the pending op of ``tid`` — the paper's ``Execute(s, t)``."""
+        ts = self.threads.get(tid)
+        if ts is None:
+            raise SchedulerMisuse(f"unknown thread {tid}")
+        if not self.is_enabled(tid):
+            raise SchedulerMisuse(f"thread {ts} is not enabled")
+        if self.ops_executed >= self.max_steps:
+            raise ExecutionLimitExceeded(
+                f"{self.program.name}: exceeded {self.max_steps} steps"
+            )
+        self.step_count += 1
+        self.ops_executed += 1
+
+        if ts.status is ThreadStatus.SLEEPING:
+            self._wake_from_sleep(ts)
+            return
+        if ts.status is ThreadStatus.WAITING:
+            self._wake_from_timed_wait(ts)
+            return
+        op = ts.pending
+        handler = _DISPATCH[op.kind]
+        handler(self, ts, op)
+
+    # --- op handlers ---------------------------------------------------- #
+
+    def _do_read(self, ts: ThreadState, op: Op) -> None:
+        value = self.heap.read(op.location, op.default)
+        self._emit_mem(ts, op, Access.READ)
+        self._advance(ts, value=value)
+
+    def _do_write(self, ts: ThreadState, op: Op) -> None:
+        self.heap.write(op.location, op.value)
+        self._emit_mem(ts, op, Access.WRITE)
+        self._advance(ts, value=None)
+
+    def _do_lock(self, ts: ThreadState, op: Op) -> None:
+        outermost = self.locks.acquire(op.lock, ts.tid)
+        if outermost and self._observing:
+            self.observer.on_event(
+                AcquireEvent(
+                    step=self.step_count, tid=ts.tid, lock=op.lock,
+                    stmt=ts.pending_stmt,
+                )
+            )
+        self._advance(ts, value=None)
+
+    def _do_unlock(self, ts: ThreadState, op: Op) -> None:
+        fully = self.locks.release(op.lock, ts.tid)
+        if fully and self._observing:
+            self.observer.on_event(
+                ReleaseEvent(
+                    step=self.step_count, tid=ts.tid, lock=op.lock,
+                    stmt=ts.pending_stmt,
+                )
+            )
+        self._advance(ts, value=None)
+
+    def _do_wait(self, ts: ThreadState, op: Op) -> None:
+        # Java: wait with the interrupt flag already set throws immediately.
+        if ts.interrupt_flag:
+            ts.interrupt_flag = False
+            self._advance(ts, exc=InterruptedException(f"{ts.name} interrupted"))
+            return
+        ts.wake_at = self.step_count + op.duration if op.duration else 0
+        depth = self.locks.release_all(op.lock, ts.tid)
+        if self._observing:
+            self.observer.on_event(
+                ReleaseEvent(
+                    step=self.step_count, tid=ts.tid, lock=op.lock,
+                    stmt=ts.pending_stmt,
+                )
+            )
+        self.locks.park_waiter(op.lock, ts.tid)
+        ts.status = ThreadStatus.WAITING
+        ts.waiting_on = op.lock
+        ts.wait_depth = depth
+        # pending stays the WAIT op (not executable) until notify/interrupt.
+
+    def _do_notify(self, ts: ThreadState, op: Op) -> None:
+        self._require_held(ts, op)
+        monitor = self.locks.monitor(op.lock)
+        if monitor.wait_set:
+            index = self.rng.randrange(len(monitor.wait_set))
+            woken = self.locks.unpark_one(op.lock, index)
+            msg = self._snd(ts.tid)
+            self._transition_to_reacquire(self.threads[woken], msg)
+        self._advance(ts, value=None)
+
+    def _do_notify_all(self, ts: ThreadState, op: Op) -> None:
+        self._require_held(ts, op)
+        woken = self.locks.unpark_all(op.lock)
+        if woken:
+            msg = self._snd(ts.tid)
+            for tid in woken:
+                self._transition_to_reacquire(self.threads[tid], msg)
+        self._advance(ts, value=None)
+
+    def _do_spawn(self, ts: ThreadState, op: Op) -> None:
+        gen = op.func(*op.args)
+        if not inspect.isgenerator(gen):
+            raise EngineError(
+                f"spawn target {op.func!r} must return a generator "
+                f"(a thread body), got {type(gen).__name__}"
+            )
+        child = self._create_thread(
+            gen, name=op.name or getattr(op.func, "__name__", "thread"), parent=ts.tid
+        )
+        self._advance(ts, value=child.handle)
+
+    def _do_join(self, ts: ThreadState, op: Op) -> None:
+        target = resolve_tid(op.target)
+        msg = self._term_msg.get(target)
+        if msg is not None and self._observing:
+            self.observer.on_event(RcvEvent(step=self.step_count, tid=ts.tid, msg_id=msg))
+        self._advance(ts, value=None)
+
+    def _do_sleep(self, ts: ThreadState, op: Op) -> None:
+        if ts.interrupt_flag:
+            ts.interrupt_flag = False
+            self._advance(ts, exc=InterruptedException(f"{ts.name} interrupted"))
+            return
+        ts.status = ThreadStatus.SLEEPING
+        ts.wake_at = self.step_count + max(1, op.duration)
+        # pending stays the SLEEP op; the wake step resumes the generator.
+
+    def _wake_from_timed_wait(self, ts: ThreadState) -> None:
+        """A timed wait hit its deadline: leave the wait set and re-contend
+        for the monitor (the wait returns only after re-acquisition)."""
+        self.locks.remove_waiter(ts.waiting_on, ts.tid)
+        ts.pending = Op(
+            OpKind.REACQUIRE, lock=ts.waiting_on, reacquire_count=ts.wait_depth
+        )
+        ts.status = ThreadStatus.RUNNABLE
+        ts.waiting_on = None
+        ts.wake_at = 0
+
+    def _wake_from_sleep(self, ts: ThreadState) -> None:
+        ts.status = ThreadStatus.RUNNABLE
+        if ts.deliver_interrupt:
+            ts.deliver_interrupt = False
+            ts.interrupt_flag = False
+            msg = ts.waiting_on if isinstance(ts.waiting_on, int) else None
+            if msg is not None and self._observing:
+                self.observer.on_event(
+                    RcvEvent(step=self.step_count, tid=ts.tid, msg_id=msg)
+                )
+            ts.waiting_on = None
+            self._advance(ts, exc=InterruptedException(f"{ts.name} interrupted"))
+        else:
+            self._advance(ts, value=None)
+
+    def _do_interrupt(self, ts: ThreadState, op: Op) -> None:
+        target = self.threads.get(resolve_tid(op.target))
+        if target is None or not target.alive:
+            self._advance(ts, value=None)
+            return
+        if target.status is ThreadStatus.WAITING:
+            self.locks.remove_waiter(target.waiting_on, target.tid)
+            msg = self._snd(ts.tid)
+            lock = target.waiting_on
+            target.pending = Op(
+                OpKind.REACQUIRE, lock=lock, reacquire_count=target.wait_depth
+            )
+            target.status = ThreadStatus.RUNNABLE
+            target.waiting_on = msg  # stash the HB message for delivery
+            target.deliver_interrupt = True
+        elif target.status is ThreadStatus.SLEEPING:
+            msg = self._snd(ts.tid)
+            target.waiting_on = msg
+            target.deliver_interrupt = True
+        else:
+            target.interrupt_flag = True
+        self._advance(ts, value=None)
+
+    def _do_interrupted(self, ts: ThreadState, op: Op) -> None:
+        flag = ts.interrupt_flag
+        ts.interrupt_flag = False
+        self._advance(ts, value=flag)
+
+    def _do_yield(self, ts: ThreadState, op: Op) -> None:
+        self._advance(ts, value=None)
+
+    def _do_check(self, ts: ThreadState, op: Op) -> None:
+        if op.condition:
+            self._advance(ts, value=None)
+        else:
+            self._advance(ts, exc=AssertionViolation(op.message or "check failed"))
+
+    def _do_reacquire(self, ts: ThreadState, op: Op) -> None:
+        self.locks.acquire(op.lock, ts.tid, depth=op.reacquire_count)
+        if self._observing:
+            self.observer.on_event(
+                AcquireEvent(
+                    step=self.step_count, tid=ts.tid, lock=op.lock,
+                    stmt=ts.pending_stmt,
+                )
+            )
+        msg = ts.waiting_on if isinstance(ts.waiting_on, int) else None
+        if msg is not None and self._observing:
+            self.observer.on_event(RcvEvent(step=self.step_count, tid=ts.tid, msg_id=msg))
+        ts.waiting_on = None
+        ts.wait_depth = 0
+        if ts.deliver_interrupt:
+            ts.deliver_interrupt = False
+            ts.interrupt_flag = False
+            self._advance(ts, exc=InterruptedException(f"{ts.name} interrupted"))
+        else:
+            self._advance(ts, value=None)
+
+    # ------------------------------------------------------------------ #
+    # internals
+
+    def _require_held(self, ts: ThreadState, op: Op) -> None:
+        if not self.locks.holds(op.lock, ts.tid):
+            from .errors import IllegalMonitorState
+
+            raise IllegalMonitorState(
+                f"{ts} notified {op.lock} without holding it"
+            )
+
+    def _transition_to_reacquire(self, ts: ThreadState, msg: int) -> None:
+        """Move a woken waiter to the monitor-entry competition."""
+        ts.pending = Op(
+            OpKind.REACQUIRE, lock=ts.waiting_on, reacquire_count=ts.wait_depth
+        )
+        ts.status = ThreadStatus.RUNNABLE
+        ts.wake_at = 0  # a pending timed-wait deadline is void once notified
+        ts.waiting_on = msg  # carry the SND message until re-acquisition
+
+    def _snd(self, tid: int) -> int:
+        msg = self.fresh_msg()
+        if self._observing:
+            self.observer.on_event(SndEvent(step=self.step_count, tid=tid, msg_id=msg))
+        return msg
+
+    def _emit_mem(self, ts: ThreadState, op: Op, access: Access) -> None:
+        if not self._observe_mem:
+            return
+        self.observer.on_event(
+            MemEvent(
+                step=self.step_count,
+                tid=ts.tid,
+                stmt=ts.pending_stmt,
+                location=op.location,
+                access=access,
+                locks_held=self.locks.held_by(ts.tid),
+            )
+        )
+
+    def _create_thread(self, gen, name: str, parent: int | None) -> ThreadState:
+        tid = self._next_tid
+        self._next_tid += 1
+        ts = ThreadState(tid=tid, name=f"{name}", gen=gen)
+        self.threads[tid] = ts
+        if self._observing:
+            self.observer.on_event(
+                ThreadStartEvent(
+                    step=self.step_count, tid=parent if parent is not None else tid,
+                    child=tid, name=ts.name,
+                )
+            )
+        if parent is not None:
+            # SND by parent at spawn, RCV by child immediately: the child has
+            # produced no events yet, so receiving now is equivalent to
+            # receiving at its first step, and far simpler.
+            msg = self._snd(parent)
+            if self._observing:
+                self.observer.on_event(
+                    RcvEvent(step=self.step_count, tid=tid, msg_id=msg)
+                )
+        self._advance(ts, value=None, priming=True)
+        return ts
+
+    def _advance(
+        self,
+        ts: ThreadState,
+        value: Any = None,
+        exc: BaseException | None = None,
+        priming: bool = False,
+    ) -> None:
+        """Resume the generator until its next yield (or its end)."""
+        try:
+            if exc is not None:
+                op = ts.gen.throw(exc)
+            elif priming:
+                op = next(ts.gen)
+            else:
+                op = ts.gen.send(value)
+        except StopIteration:
+            self._terminate(ts, None)
+        except EngineError:
+            raise
+        except BaseException as error:  # the thread's crash domain
+            self._terminate(ts, error)
+        else:
+            if not isinstance(op, Op):
+                raise EngineError(
+                    f"{ts} yielded {op!r}; thread bodies must yield Op values"
+                )
+            ts.pending = op
+            if op.label is not None:
+                ts.pending_stmt = Statement(label=op.label)
+            else:
+                ts.pending_stmt = statement_from_generator(ts.gen)
+
+    def _terminate(self, ts: ThreadState, error: BaseException | None) -> None:
+        ts.status = ThreadStatus.TERMINATED
+        stmt = ts.pending_stmt
+        ts.pending = None
+        if error is not None:
+            ts.error = error
+            ts.error_stmt = stmt
+            crash = ThreadCrash(
+                tid=ts.tid, name=ts.name, error=error, stmt=stmt,
+                step=self.step_count,
+            )
+            self.result.crashes.append(crash)
+            if self._observing:
+                self.observer.on_event(
+                    ErrorEvent(step=self.step_count, tid=ts.tid, stmt=stmt, error=error)
+                )
+        # Termination message: join edges receive from this.
+        self._term_msg[ts.tid] = self._snd(ts.tid)
+        if self._observing:
+            self.observer.on_event(
+                ThreadEndEvent(step=self.step_count, tid=ts.tid, error=error)
+            )
+
+
+_DISPATCH = {
+    OpKind.READ: Execution._do_read,
+    OpKind.WRITE: Execution._do_write,
+    OpKind.LOCK: Execution._do_lock,
+    OpKind.UNLOCK: Execution._do_unlock,
+    OpKind.WAIT: Execution._do_wait,
+    OpKind.NOTIFY: Execution._do_notify,
+    OpKind.NOTIFY_ALL: Execution._do_notify_all,
+    OpKind.SPAWN: Execution._do_spawn,
+    OpKind.JOIN: Execution._do_join,
+    OpKind.SLEEP: Execution._do_sleep,
+    OpKind.INTERRUPT: Execution._do_interrupt,
+    OpKind.INTERRUPTED: Execution._do_interrupted,
+    OpKind.YIELD: Execution._do_yield,
+    OpKind.CHECK: Execution._do_check,
+    OpKind.REACQUIRE: Execution._do_reacquire,
+}

@@ -1,0 +1,82 @@
+"""Dynamic memory locations and lock identities.
+
+The paper assumes 3-address code: every statement touches at most one shared
+memory location.  A *location* here is the dynamic entity two accesses must
+share for ``Racing()`` (Algorithm 2) to fire: a global variable, an object
+field, or an array element.
+
+Locations are value objects keyed by a per-process unique id (``uid``) that
+the owning shared structure allocates at construction time.  Uids are only
+ever compared *within* one execution, so the global counter is safe across
+replays; statements (not locations) are what cross executions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_uids = itertools.count(1)
+
+
+def fresh_uid() -> int:
+    """Allocate a process-unique id for a shared structure or lock."""
+    return next(_uids)
+
+
+@dataclass(frozen=True)
+class Location:
+    """Base class for dynamic memory locations."""
+
+    uid: int
+    name: str = field(default="", compare=False)
+
+    def describe(self) -> str:
+        return self.name or f"loc#{self.uid}"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class VarLoc(Location):
+    """A shared scalar variable."""
+
+    def describe(self) -> str:
+        return self.name or f"var#{self.uid}"
+
+
+@dataclass(frozen=True)
+class FieldLoc(Location):
+    """A named field of a shared object."""
+
+    fieldname: str = ""
+
+    def describe(self) -> str:
+        base = self.name or f"obj#{self.uid}"
+        return f"{base}.{self.fieldname}"
+
+
+@dataclass(frozen=True)
+class ElemLoc(Location):
+    """An element of a shared array."""
+
+    index: int = 0
+
+    def describe(self) -> str:
+        base = self.name or f"arr#{self.uid}"
+        return f"{base}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class LockId:
+    """Identity of a lock/monitor (Java: the object whose monitor is taken)."""
+
+    uid: int
+    name: str = field(default="", compare=False)
+
+    def describe(self) -> str:
+        return self.name or f"lock#{self.uid}"
+
+    def __str__(self) -> str:
+        return self.describe()

@@ -1,0 +1,124 @@
+"""Statement identity — the ``s`` in the paper's ``NextStmt(s, t)``.
+
+The paper instruments Java bytecode, so a "statement" is a bytecode site
+(class, method, line).  Our analog is the source site of the ``yield`` that
+produced an operation: ``(file, line, function)``.  Programs may also attach
+an explicit ``label`` (the worked examples in Figures 1 and 2 use labels like
+``"thread1:5"`` so reports read like the paper).
+
+Identity rules
+--------------
+* If a statement has a label, the label alone defines identity.  Two ops
+  labelled ``"t1:5"`` are the same statement even if emitted from different
+  source lines (this lets helpers emit on behalf of a labelled site).
+* Otherwise identity is the source site ``(file, line)``.
+
+Statements are value objects: hashable, comparable, and stable across
+executions — which is what lets Phase 2 consume the racing pairs that
+Phase 1 computed in a *different* execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Statement:
+    """A program statement site.
+
+    Attributes:
+        file: source file of the ``yield`` (empty for labelled statements).
+        line: source line of the ``yield`` (0 for labelled statements).
+        func: qualified name of the enclosing function, for display only.
+        label: optional explicit statement name overriding source identity.
+    """
+
+    file: str = ""
+    line: int = 0
+    func: str = field(default="", compare=False)
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.label is not None:
+            # Labelled statements compare by label only.
+            object.__setattr__(self, "file", "")
+            object.__setattr__(self, "line", 0)
+
+    @property
+    def site(self) -> str:
+        """Human-readable site name used in race reports."""
+        if self.label is not None:
+            return self.label
+        short = self.file.rsplit("/", 1)[-1]
+        if self.func:
+            return f"{short}:{self.line}({self.func})"
+        return f"{short}:{self.line}"
+
+    def __str__(self) -> str:
+        return self.site
+
+    def __repr__(self) -> str:
+        return f"Statement({self.site!r})"
+
+
+@dataclass(frozen=True)
+class StatementPair:
+    """An unordered pair of statements — a (potentially) racing pair.
+
+    The pair is normalized so that ``StatementPair(a, b) == StatementPair(b, a)``;
+    this is the unit the paper counts in Table 1 ("distinct pairs of
+    statements for which there is a race").
+    """
+
+    first: Statement
+    second: Statement
+
+    def __post_init__(self) -> None:
+        a, b = self.first, self.second
+        if _sort_key(b) < _sort_key(a):
+            object.__setattr__(self, "first", b)
+            object.__setattr__(self, "second", a)
+
+    def __contains__(self, stmt: Statement) -> bool:
+        return stmt == self.first or stmt == self.second
+
+    def other(self, stmt: Statement) -> Statement:
+        """Return the member of the pair that is not ``stmt``."""
+        if stmt == self.first:
+            return self.second
+        if stmt == self.second:
+            return self.first
+        raise ValueError(f"{stmt} is not a member of {self}")
+
+    def __str__(self) -> str:
+        return f"({self.first.site}, {self.second.site})"
+
+    def __repr__(self) -> str:
+        return f"StatementPair{self}"
+
+
+def _sort_key(stmt: Statement) -> tuple[str, str, int]:
+    return (stmt.label or "", stmt.file, stmt.line)
+
+
+def statement_from_generator(gen) -> Statement:
+    """Derive the statement for the op a generator just yielded.
+
+    Follows the ``gi_yieldfrom`` chain to the innermost suspended generator
+    so that ``yield from``-composed helpers (the mini-JDK, Barrier, ...)
+    report the line that actually performed the access, mirroring how
+    bytecode instrumentation attributes events to library code.
+    """
+    innermost = gen
+    while True:
+        nested = getattr(innermost, "gi_yieldfrom", None)
+        if nested is None or not hasattr(nested, "gi_frame"):
+            break
+        innermost = nested
+    frame = innermost.gi_frame
+    if frame is None:  # generator already finished; should not happen mid-yield
+        return Statement(file="<finished>", line=0)
+    code = frame.f_code
+    func = getattr(code, "co_qualname", code.co_name)
+    return Statement(file=code.co_filename, line=frame.f_lineno, func=func)

@@ -1,0 +1,81 @@
+"""Per-thread state of the abstract machine.
+
+A simulated thread wraps a Python generator.  Its *pending op* is the op it
+has yielded but the engine has not yet executed — the paper's
+``NextStmt(s, t)``.  Whether the thread is *enabled* is derived from its
+status plus the executability of the pending op (e.g. a pending ``LOCK`` on
+a monitor owned by another thread disables it), which matches the paper's
+definition: "a thread is disabled if it is waiting to acquire a lock already
+held by some other thread (or waiting on a join or a wait)".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from .ops import Op
+from .statement import Statement
+
+
+class ThreadStatus(enum.Enum):
+    """Coarse lifecycle status; lock/join blocking is derived, not stored."""
+
+    RUNNABLE = "runnable"  # has a pending op (which may itself be blocked)
+    WAITING = "waiting"  # parked in a monitor wait set
+    SLEEPING = "sleeping"  # in ops.sleep until wake_at
+    TERMINATED = "terminated"
+
+
+@dataclass(frozen=True)
+class ThreadHandle:
+    """User-facing reference to a simulated thread (sent back by ``spawn``)."""
+
+    tid: int
+    name: str = field(default="", compare=False)
+
+    def __str__(self) -> str:
+        return self.name or f"thread-{self.tid}"
+
+
+@dataclass
+class ThreadState:
+    """Engine-internal state of one simulated thread."""
+
+    tid: int
+    name: str
+    gen: Generator[Op, Any, Any]
+    status: ThreadStatus = ThreadStatus.RUNNABLE
+    pending: Op | None = None
+    pending_stmt: Statement | None = None
+    #: set while parked: the lock whose wait set holds us, and the monitor
+    #: recursion depth to restore on re-acquisition.
+    waiting_on: Any = None
+    wait_depth: int = 0
+    #: absolute step at which a SLEEPING thread wakes.
+    wake_at: int = 0
+    #: Java-style interrupt status flag.
+    interrupt_flag: bool = False
+    #: deliver InterruptedException into the generator at the next step
+    #: (set when an interrupt lands while waiting/sleeping).
+    deliver_interrupt: bool = False
+    #: uncaught exception that terminated the thread, if any.
+    error: BaseException | None = None
+    #: statement at which the uncaught exception escaped.
+    error_stmt: Statement | None = None
+    #: step at which the thread was added to an active scheduler's postponed
+    #: set; used by the livelock watchdog (engine does not touch this).
+    postponed_since: int | None = None
+
+    @property
+    def handle(self) -> ThreadHandle:
+        return ThreadHandle(self.tid, self.name)
+
+    @property
+    def alive(self) -> bool:
+        """The paper's ``Alive(s)`` membership test."""
+        return self.status is not ThreadStatus.TERMINATED
+
+    def __str__(self) -> str:
+        return f"{self.name}#{self.tid}[{self.status.value}]"

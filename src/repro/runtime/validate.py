@@ -1,0 +1,128 @@
+"""Trace validity checking: audit an event stream against the machine's
+own invariants.
+
+Useful in two roles:
+
+* **testing the engine** — the property suite generates random programs,
+  runs them under every scheduler, and audits the traces;
+* **testing your scheduler** — anyone writing a custom driver on the
+  ``schedulable``/``next_op``/``step`` API can attach an
+  :class:`~repro.runtime.observer.EventTrace` and assert
+  ``validate_trace(trace.events)`` to catch protocol violations (stepping
+  disabled threads, lock teleportation, message reordering) at the source.
+
+Checked invariants:
+
+1. event steps are monotonically non-decreasing;
+2. every lock has at most one owner, acquires/releases alternate per lock,
+   and releases come from the current owner;
+3. every ``MemEvent.locks_held`` equals the auditor's reconstruction of
+   that thread's held set at that moment;
+4. every RCV is preceded by the SND of the same message id;
+5. no thread produces events after its ``ThreadEndEvent``;
+6. every thread with events was introduced by a ``ThreadStartEvent``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .events import (
+    AcquireEvent,
+    DeadlockEvent,
+    ErrorEvent,
+    Event,
+    MemEvent,
+    RcvEvent,
+    ReleaseEvent,
+    SndEvent,
+    ThreadEndEvent,
+    ThreadStartEvent,
+)
+
+
+class TraceInvariantError(AssertionError):
+    """A trace violated one of the abstract machine's invariants."""
+
+
+@dataclass
+class TraceAudit:
+    """Outcome of a validation pass (also handy as a trace summary)."""
+
+    events: int = 0
+    mem_events: int = 0
+    acquires: int = 0
+    threads: set[int] = field(default_factory=set)
+    ended: set[int] = field(default_factory=set)
+    messages_sent: set[int] = field(default_factory=set)
+    messages_received: set[int] = field(default_factory=set)
+
+
+def validate_trace(events: list[Event]) -> TraceAudit:
+    """Audit ``events``; raises :class:`TraceInvariantError` on violation."""
+    audit = TraceAudit()
+    lock_owner: dict = {}
+    held: dict[int, set] = {}
+    last_step = 0
+
+    def fail(event: Event, message: str) -> None:
+        raise TraceInvariantError(
+            f"at step {event.step} ({type(event).__name__}): {message}"
+        )
+
+    for event in events:
+        audit.events += 1
+        if event.step < last_step:
+            fail(event, f"step went backwards ({last_step} -> {event.step})")
+        last_step = event.step
+
+        if isinstance(event, ThreadStartEvent):
+            audit.threads.add(event.child)
+            held.setdefault(event.child, set())
+            continue
+        if isinstance(event, DeadlockEvent):
+            continue
+
+        if event.tid not in audit.threads:
+            fail(event, f"thread {event.tid} was never started")
+        if event.tid in audit.ended and not isinstance(event, ThreadEndEvent):
+            fail(event, f"thread {event.tid} acted after terminating")
+
+        if isinstance(event, AcquireEvent):
+            audit.acquires += 1
+            owner = lock_owner.get(event.lock)
+            if owner is not None:
+                fail(event, f"{event.lock} acquired while owned by {owner}")
+            lock_owner[event.lock] = event.tid
+            held[event.tid].add(event.lock)
+        elif isinstance(event, ReleaseEvent):
+            owner = lock_owner.get(event.lock)
+            if owner != event.tid:
+                fail(event, f"{event.lock} released by {event.tid}, owner {owner}")
+            del lock_owner[event.lock]
+            held[event.tid].discard(event.lock)
+        elif isinstance(event, MemEvent):
+            audit.mem_events += 1
+            reconstructed = frozenset(held.get(event.tid, ()))
+            if event.locks_held != reconstructed:
+                fail(
+                    event,
+                    f"locks_held {set(event.locks_held)} != reconstruction "
+                    f"{set(reconstructed)} for thread {event.tid}",
+                )
+        elif isinstance(event, SndEvent):
+            if event.msg_id in audit.messages_sent:
+                fail(event, f"message {event.msg_id} sent twice")
+            audit.messages_sent.add(event.msg_id)
+        elif isinstance(event, RcvEvent):
+            if event.msg_id not in audit.messages_sent:
+                fail(event, f"message {event.msg_id} received before sent")
+            audit.messages_received.add(event.msg_id)
+        elif isinstance(event, ThreadEndEvent):
+            audit.ended.add(event.tid)
+            # Threads may legitimately die holding monitors (a crash inside
+            # a raw critical section), so leftover held locks are not an
+            # invariant violation.
+        elif isinstance(event, ErrorEvent):
+            pass
+    return audit

@@ -1,0 +1,42 @@
+"""Benchmark programs: one per Table 1 row, plus the worked examples.
+
+Importing this package registers every workload; use
+:func:`~repro.workloads.base.all_workloads` /
+:func:`~repro.workloads.base.table1_workloads` or address one by name via
+:func:`~repro.workloads.base.get`.
+"""
+
+from . import (  # noqa: F401  (import for registration side effect)
+    cache4j,
+    collections_bench,
+    figure1,
+    figure2,
+    hedc,
+    jigsaw,
+    jspider,
+    moldyn,
+    montecarlo,
+    philosophers,
+    raytracer,
+    sor,
+    weblech,
+)
+from .base import (
+    GroundTruth,
+    PaperRow,
+    WorkloadSpec,
+    all_workloads,
+    get,
+    register,
+    table1_workloads,
+)
+
+__all__ = [
+    "GroundTruth",
+    "PaperRow",
+    "WorkloadSpec",
+    "all_workloads",
+    "get",
+    "register",
+    "table1_workloads",
+]

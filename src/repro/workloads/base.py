@@ -1,0 +1,84 @@
+"""Workload descriptors: one per Table 1 row plus the worked examples.
+
+Each workload bundles a :class:`~repro.runtime.program.Program` builder
+with (a) the original paper row it stands in for (so EXPERIMENTS.md can
+print paper-vs-measured side by side) and (b) the *ground truth* of our
+scaled re-implementation — how many real/harmful racing pairs were seeded
+by construction — which is what the integration tests assert against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.runtime.program import Program
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of the paper's Table 1 (— means 'not reported')."""
+
+    sloc: int
+    normal_s: float | None
+    hybrid_s: float | None
+    racefuzzer_s: float | None
+    hybrid_races: int
+    real_races: int
+    known_races: int | None
+    exceptions_rf: int
+    exceptions_simple: int
+    probability: float | None
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """What our re-implementation seeded, by construction."""
+
+    #: number of distinct real racing pairs that exist in the program
+    real_pairs: int
+    #: how many of those pairs can raise an exception when resolved badly
+    harmful_pairs: int
+    #: free-text inventory of each seeded race / false-positive source
+    notes: str = ""
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A benchmark program plus its expected behaviour."""
+
+    name: str
+    build: Callable[[], Program]
+    description: str
+    paper: PaperRow | None = None
+    truth: GroundTruth | None = None
+    #: Phase 2 trials per pair (the paper used 100)
+    trials: int = 100
+    #: seeds for Phase 1 detection runs
+    phase1_seeds: tuple[int, ...] = (0, 1, 2)
+    max_steps: int = 1_000_000
+    #: categories used by the harness: "closed", "collection", "example"
+    kind: str = "closed"
+
+
+_REGISTRY: dict[str, WorkloadSpec] = {}
+
+
+def register(spec: WorkloadSpec) -> WorkloadSpec:
+    """Add a workload to the global registry (idempotent by name)."""
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get(name: str) -> WorkloadSpec:
+    return _REGISTRY[name]
+
+
+def all_workloads() -> list[WorkloadSpec]:
+    """Registry contents in registration order."""
+    return list(_REGISTRY.values())
+
+
+def table1_workloads() -> list[WorkloadSpec]:
+    """The workloads that correspond to Table 1 rows."""
+    return [spec for spec in _REGISTRY.values() if spec.paper is not None]

@@ -1,0 +1,180 @@
+"""``cache4j`` — thread-safe object cache with the ``_sleep`` race
+(Table 1, row 4; the Section 5.3 bug narrative).
+
+The original bug, quoted from the paper::
+
+    Thread2 (CacheCleaner):          Thread1:
+    _sleep = true;                   synchronized (this) {
+    try {                                if (_sleep) {
+        sleep(_cleanInterval);               interrupt();
+    } catch (Throwable t) {              }
+    } finally {                      }
+        _sleep = false;
+    }
+
+``_sleep`` is written by the cleaner *without* the monitor and read by the
+mutator *with* it — a real race.  When the write lands just before the
+cleaner's guarded sleep, the interrupt is caught; but the cleaner also
+performs housekeeping (an unguarded flush pause) while ``_sleep`` is still
+true, and an interrupt landing there raises an **uncaught
+InterruptedException that crashes the cleaner** — the exception RaceFuzzer
+finds for this row.
+
+The cache itself (a striped map with per-stripe locks and an LRU clock) is
+properly synchronized; its access-time bookkeeping gives the hybrid
+detector additional lock-ordered false alarms, and a second real-but-
+benign race exists on the ``hits`` statistics counter.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import Lock, Program, SharedCells, SharedVar, join_all, ops, spawn_all
+from repro.runtime.errors import InterruptedException
+
+from .base import GroundTruth, PaperRow, WorkloadSpec, register
+
+
+def build(nthreads: int = 2, operations: int = 10, stripes: int = 2) -> Program:
+    def make():
+        stripe_locks = [Lock(f"stripe{i}.lock") for i in range(stripes)]
+        entries = SharedCells("cache.entries")
+        access_clock = SharedCells("cache.accessClock")
+        clock = SharedVar("cache.clock", 0)
+        clock_lock = Lock("cache.clockLock")
+        hits = SharedVar("cache.hits", 0)
+        stats_lock = Lock("cache.statsLock")
+        sleep_flag = SharedVar("cleaner._sleep", 0)  # THE cache4j race
+        cache_lock = Lock("cache.this")
+        shutdown = SharedVar("cache.shutdown", 0)
+
+        def stripe_of(key):
+            return key % stripes
+
+        def put(key, value):
+            lock = stripe_locks[stripe_of(key)]
+            yield lock.acquire()
+            yield entries.write(key, value)
+            yield clock_lock.acquire()
+            now = yield clock.read()
+            yield clock.write(now + 1)
+            yield clock_lock.release()
+            yield access_clock.write(key, now)
+            yield lock.release()
+
+        def get(key):
+            lock = stripe_locks[stripe_of(key)]
+            yield lock.acquire()
+            value = yield entries.read(key)
+            yield lock.release()
+            if value is not None:
+                yield stats_lock.acquire()
+                count = yield hits.read()
+                yield hits.write(count + 1)
+                yield stats_lock.release()
+            return value
+
+        def cleaner(cleaner_handle_box):
+            while True:
+                yield cache_lock.acquire()
+                stopping = yield shutdown.read()
+                yield cache_lock.release()
+                if stopping:
+                    break
+                # Housekeeping "flush" pause — NOT interrupt-guarded.  A
+                # mutator that read a stale _sleep==1 (the race!) interrupts
+                # the cleaner after it has already left the guarded sleep;
+                # the pending interrupt flag detonates here, uncaught.
+                yield ops.sleep(2)
+                yield sleep_flag.write(1)  # <- the unsynchronized write
+                try:
+                    yield ops.sleep(30)  # sleep(_cleanInterval), guarded
+                except InterruptedException:
+                    pass
+                finally:
+                    yield sleep_flag.write(0)
+                # Evict the stalest entry (properly locked).
+                for key in range(stripes * 2):
+                    lock = stripe_locks[stripe_of(key)]
+                    yield lock.acquire()
+                    stamp = yield access_clock.read(key)
+                    yield clock_lock.acquire()
+                    now = yield clock.read()
+                    yield clock_lock.release()
+                    if stamp is not None and now - stamp > 8:
+                        yield entries.write(key, None)
+                    yield lock.release()
+
+        def mutator(worker_id, cleaner_handle_box):
+            for i in range(operations):
+                key = (worker_id * 7 + i) % (stripes * 2)
+                yield from put(key, i)
+                yield from get((key + 1) % (stripes * 2))
+                if i % 3 == 2:
+                    # Wake the cleaner so eviction keeps up with writes:
+                    # synchronized check of the racy _sleep flag.
+                    yield cache_lock.acquire()
+                    sleeping = yield sleep_flag.read()  # <- locked read
+                    if sleeping:
+                        yield ops.interrupt(cleaner_handle_box[0])
+                    yield cache_lock.release()
+
+        def main():
+            cleaner_handle_box = [None]
+            cleaner_thread = yield ops.spawn(
+                cleaner, cleaner_handle_box, name="cacheCleaner"
+            )
+            cleaner_handle_box[0] = cleaner_thread
+            workers = yield from spawn_all(
+                [
+                    (lambda k: lambda: mutator(k, cleaner_handle_box))(k)
+                    for k in range(nthreads)
+                ],
+                prefix="cacheUser",
+            )
+            yield from join_all(workers)
+            yield cache_lock.acquire()
+            yield shutdown.write(1)
+            yield cache_lock.release()
+            # No shutdown interrupt: the cleaner's sleeps are finite, so it
+            # observes the flag on its next cycle (interrupting here could
+            # hit the unguarded flush pause by design, not by race).
+            yield ops.join(cleaner_thread)
+
+        return main()
+
+    return Program(make, name="cache4j")
+
+
+SPEC = register(
+    WorkloadSpec(
+        name="cache4j",
+        build=build,
+        description="Striped object cache with the CacheCleaner _sleep race",
+        paper=PaperRow(
+            sloc=3_897,
+            normal_s=2.19,
+            hybrid_s=4.26,
+            racefuzzer_s=2.61,
+            hybrid_races=18,
+            real_races=2,
+            known_races=None,
+            exceptions_rf=1,
+            exceptions_simple=0,
+            probability=1.00,
+        ),
+        truth=GroundTruth(
+            real_pairs=2,
+            harmful_pairs=1,
+            notes=(
+                "_sleep set-true and set-false writes (cleaner, unlocked) "
+                "vs the mutator's locked read are the two real pairs; the "
+                "set-false pair is harmful: resolving the stale read first "
+                "sends an interrupt to a cleaner that already left the "
+                "guarded sleep, and it detonates at the unguarded flush "
+                "pause as an uncaught InterruptedException.  Entries, "
+                "clocks, stats and shutdown are all lock-protected."
+            ),
+        ),
+        kind="closed",
+    )
+)

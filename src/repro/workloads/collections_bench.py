@@ -1,0 +1,302 @@
+"""The open-program test drivers of Section 5.1 (Table 1, rows 10-14).
+
+Quoting the paper: "A test driver starts by creating two empty objects of
+the class.  The test driver also creates and starts a set of threads,
+where each thread executes different methods of either of the two objects
+concurrently.  We created two objects because some of the methods, such as
+``containsAll``, takes as an argument an object of the same type."
+
+Each driver below builds two synchronized collections (or two ``Vector``\\ s),
+pre-populates them, and starts four threads running fixed method scripts
+(generated once, from a fixed script seed, so the *program* is
+deterministic and only the schedule varies).  Cross-object bulk calls
+(``containsAll``/``addAll``/``removeAll``/``equals``) are what drive the
+JDK iteration bug; the expected exceptions are
+``ConcurrentModificationError`` and ``NoSuchElementError`` exactly as in
+Section 5.3.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.runtime import Program, join_all, spawn_all
+
+from repro.jdk import (
+    ArrayList,
+    HashSet,
+    LinkedList,
+    TreeSet,
+    Vector,
+    synchronized_list,
+    synchronized_set,
+)
+
+from .base import GroundTruth, PaperRow, WorkloadSpec, register
+
+#: values the scripts operate over
+_VALUES = (1, 2, 3, 4, 5)
+
+
+def _collection_script(rng: random.Random, length: int) -> list[tuple[str, int]]:
+    """A fixed method script: (method name, value) pairs."""
+    methods = (
+        "add",
+        "remove",
+        "contains",
+        "size",
+        "contains_all",
+        "add_all",
+        "remove_all",
+        "equals",
+    )
+    return [(rng.choice(methods), rng.choice(_VALUES)) for _ in range(length)]
+
+
+def _run_collection_script(mine, other, script):
+    """Execute one thread's script against its own and the peer object."""
+    for method, value in script:
+        if method == "add":
+            yield from mine.add(value)
+        elif method == "remove":
+            yield from mine.remove(value)
+        elif method == "contains":
+            yield from mine.contains(value)
+        elif method == "size":
+            yield from mine.size()
+        elif method == "contains_all":
+            yield from mine.contains_all(other)
+        elif method == "add_all":
+            yield from mine.add_all(other)
+        elif method == "remove_all":
+            yield from mine.remove_all(other)
+        elif method == "equals":
+            yield from mine.equals(other)
+
+
+def _build_collection_driver(
+    name: str,
+    backing_factory: Callable[[str], object],
+    wrap: Callable[[object], object],
+    *,
+    script_seed: int,
+    nthreads: int = 4,
+    script_length: int = 4,
+) -> Callable[[], Program]:
+    def build() -> Program:
+        rng = random.Random(script_seed)
+        scripts = [_collection_script(rng, script_length) for _ in range(nthreads)]
+
+        def make():
+            first = wrap(backing_factory(f"{name}1"))
+            second = wrap(backing_factory(f"{name}2"))
+
+            def seed_objects():
+                for value in (1, 2, 3):
+                    yield from first.add(value)
+                for value in (2, 3, 4):
+                    yield from second.add(value)
+
+            def actor(index):
+                mine, other = (first, second) if index % 2 == 0 else (second, first)
+                yield from _run_collection_script(mine, other, scripts[index])
+
+            def main():
+                yield from seed_objects()
+                actors = yield from spawn_all(
+                    [(lambda k: lambda: actor(k))(k) for k in range(nthreads)],
+                    prefix=f"{name}Actor",
+                )
+                yield from join_all(actors)
+
+            return main()
+
+        return Program(make, name=name)
+
+    return build
+
+
+# --------------------------------------------------------------------------- #
+# Vector 1.1: self-synchronized, so the driver calls it directly.
+
+_VECTOR_METHODS = (
+    "add_element",
+    "remove_element",
+    "contains",
+    "size",
+    "is_empty",
+    "copy_into",
+    "enumerate",
+    "index_of",
+    "remove_all_elements",
+)
+
+
+def _vector_script(rng: random.Random, length: int) -> list[tuple[str, int]]:
+    return [(rng.choice(_VECTOR_METHODS), rng.choice(_VALUES)) for _ in range(length)]
+
+
+def _run_vector_script(mine: Vector, script):
+    for method, value in script:
+        if method == "add_element":
+            yield from mine.add_element(value)
+        elif method == "remove_element":
+            yield from mine.remove_element(value)
+        elif method == "contains":
+            yield from mine.contains(value)
+        elif method == "size":
+            yield from mine.size()
+        elif method == "is_empty":
+            yield from mine.is_empty()
+        elif method == "copy_into":
+            yield from mine.copy_into()
+        elif method == "enumerate":
+            enumeration = mine.elements()
+            while (yield from enumeration.has_more_elements()):
+                yield from enumeration.next_element()
+        elif method == "index_of":
+            yield from mine.index_of(value)
+        elif method == "remove_all_elements":
+            yield from mine.remove_all_elements()
+
+
+def build_vector(nthreads: int = 4, script_length: int = 4) -> Program:
+    rng = random.Random(707)
+    scripts = [_vector_script(rng, script_length) for _ in range(nthreads)]
+
+    def make():
+        first = Vector("vector1")
+        second = Vector("vector2")
+
+        def seed_objects():
+            for value in (1, 2, 3):
+                yield from first.add_element(value)
+                yield from second.add_element(value)
+
+        def actor(index):
+            mine = first if index % 2 == 0 else second
+            yield from _run_vector_script(mine, scripts[index])
+
+        def main():
+            yield from seed_objects()
+            actors = yield from spawn_all(
+                [(lambda k: lambda: actor(k))(k) for k in range(nthreads)],
+                prefix="vectorActor",
+            )
+            yield from join_all(actors)
+
+        return main()
+
+    return Program(make, name="vector")
+
+
+# --------------------------------------------------------------------------- #
+# Registry entries, one per Table 1 collection row.
+
+SPEC_VECTOR = register(
+    WorkloadSpec(
+        name="vector",
+        build=build_vector,
+        description="JDK 1.1 Vector driver: benign unsynchronized readers",
+        paper=PaperRow(709, 0.11, 0.25, 0.20, 9, 9, 9, 0, 0, 0.94),
+        truth=GroundTruth(
+            real_pairs=5,
+            harmful_pairs=0,
+            notes=(
+                "unsynchronized size/is_empty/copy_into/enumeration reads "
+                "race with the synchronized mutators; all benign (the "
+                "enumeration is not fail-fast).  Five distinct statement "
+                "pairs under the default driver scripts."
+            ),
+        ),
+        kind="collection",
+    )
+)
+
+SPEC_LINKEDLIST = register(
+    WorkloadSpec(
+        name="linkedlist",
+        build=_build_collection_driver(
+            "linkedlist", LinkedList, synchronized_list, script_seed=101
+        ),
+        description="synchronized LinkedList driver (containsAll/equals bug)",
+        paper=PaperRow(5_979, 0.16, 0.26, 0.22, 12, 12, None, 5, 0, 0.85),
+        truth=GroundTruth(
+            real_pairs=10,
+            harmful_pairs=10,
+            notes=(
+                "bulk ops iterate the peer without its mutex (JDK bug): "
+                "iterator node/size/modCount reads race with _unlink and "
+                "_bump_mod_count, throwing ConcurrentModificationError and "
+                "NoSuchElementError."
+            ),
+        ),
+        kind="collection",
+    )
+)
+
+SPEC_ARRAYLIST = register(
+    WorkloadSpec(
+        name="arraylist",
+        build=_build_collection_driver(
+            "arraylist", ArrayList, synchronized_list, script_seed=202
+        ),
+        description="synchronized ArrayList driver (containsAll/equals bug)",
+        paper=PaperRow(5_866, 0.16, 0.26, 0.24, 14, 7, None, 7, 0, 0.55),
+        truth=GroundTruth(
+            real_pairs=7,
+            harmful_pairs=7,
+            notes=(
+                "bulk ops iterate the peer without its mutex (JDK bug): "
+                "iterator cell/size/modCount reads race with the mutators."
+            ),
+        ),
+        kind="collection",
+    )
+)
+
+SPEC_HASHSET = register(
+    WorkloadSpec(
+        name="hashset",
+        build=_build_collection_driver(
+            "hashset", HashSet, synchronized_set, script_seed=303
+        ),
+        description="synchronized HashSet driver (containsAll/addAll bug)",
+        paper=PaperRow(7_086, 0.16, 0.26, 0.25, 11, 11, None, 8, 1, 0.54),
+        truth=GroundTruth(
+            real_pairs=4,
+            harmful_pairs=3,
+            notes=(
+                "bulk ops iterate the peer without its mutex (JDK bug); "
+                "this driver also exposes the cross-object lock-order "
+                "DEADLOCK of synchronized wrappers (removeAll holding one "
+                "mutex probes the other), which RaceFuzzer reports as a "
+                "real deadlock in many runs (Algorithm 1 lines 30-32)."
+            ),
+        ),
+        kind="collection",
+    )
+)
+
+SPEC_TREESET = register(
+    WorkloadSpec(
+        name="treeset",
+        build=_build_collection_driver(
+            "treeset", TreeSet, synchronized_set, script_seed=404
+        ),
+        description="synchronized TreeSet driver (containsAll/addAll bug)",
+        paper=PaperRow(7_532, 0.17, 0.26, 0.24, 13, 8, None, 8, 1, 0.41),
+        truth=GroundTruth(
+            real_pairs=3,
+            harmful_pairs=2,
+            notes=(
+                "bulk ops iterate the peer without its mutex (JDK bug): "
+                "chain-node and modCount reads race with add/remove "
+                "relinking (the Java-faithful pointer-checking has_next "
+                "keeps the racing surface to node/modCount statements)."
+            ),
+        ),
+        kind="collection",
+    )
+)

@@ -1,0 +1,93 @@
+"""Figure 1 of the paper: a program with one real race and one false alarm.
+
+::
+
+    Initially: x = y = z = 0
+    thread1 {                thread2 {
+    1: x = 1;                 7: z = 1;
+    2: lock(L);               8: lock(L);
+    3: y = 1;                 9: if (y == 1) {
+    4: unlock(L);            10:   if (x != 1) {
+    5: if (z == 1)           11:     ERROR2;
+    6:   ERROR1;             12:   }
+       }                     13: }
+                             14: unlock(L);
+                             }
+
+The hybrid detector reports two potentially racing pairs: ``(5, 7)`` on
+``z`` (a real race — ERROR1 is reachable) and ``(1, 10)`` on ``x`` (a false
+alarm: the accesses are implicitly ordered by the lock-protected flag
+``y``).  RaceFuzzer classifies them correctly: ``{5, 7}`` is created with
+probability 1 and reaches ERROR1 in about half of the runs; ``{1, 10}`` can
+never be created.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import Lock, Program, SharedVar, join_all, spawn_all
+from repro.runtime.errors import AssertionViolation
+from repro.runtime.statement import Statement, StatementPair
+
+from .base import GroundTruth, WorkloadSpec, register
+
+#: the statements the paper discusses, as labelled sites
+STMT_1 = Statement(label="1")  # thread1: x = 1
+STMT_5 = Statement(label="5")  # thread1: read z
+STMT_7 = Statement(label="7")  # thread2: z = 1
+STMT_10 = Statement(label="10")  # thread2: read x
+
+REAL_PAIR = StatementPair(STMT_5, STMT_7)
+FALSE_PAIR = StatementPair(STMT_1, STMT_10)
+
+
+def build() -> Program:
+    """Construct the Figure 1 program (fresh shared world per execution)."""
+
+    def make():
+        x = SharedVar("x", 0)
+        y = SharedVar("y", 0)
+        z = SharedVar("z", 0)
+        lock = Lock("L")
+
+        def thread1():
+            yield x.write(1, label="1")
+            yield lock.acquire(label="2")
+            yield y.write(1, label="3")
+            yield lock.release(label="4")
+            if (yield z.read(label="5")) == 1:
+                raise AssertionViolation("ERROR1")  # statement 6
+
+        def thread2():
+            yield z.write(1, label="7")
+            yield lock.acquire(label="8")
+            if (yield y.read(label="9")) == 1:
+                if (yield x.read(label="10")) != 1:
+                    raise AssertionViolation("ERROR2")  # statement 11
+            yield lock.release(label="14")
+
+        def main():
+            threads = yield from spawn_all([thread1, thread2], prefix="thread")
+            yield from join_all(threads)
+
+        return main()
+
+    return Program(make, name="figure1")
+
+
+SPEC = register(
+    WorkloadSpec(
+        name="figure1",
+        build=build,
+        description="Paper Figure 1: one real race (z), one false alarm (x)",
+        truth=GroundTruth(
+            real_pairs=1,
+            harmful_pairs=1,
+            notes=(
+                "(5,7) on z is real and reaches ERROR1 when 7 is resolved "
+                "first; (1,10) on x is a false alarm (flag-synchronized by y "
+                "under lock L)."
+            ),
+        ),
+        kind="example",
+    )
+)

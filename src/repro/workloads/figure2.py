@@ -1,0 +1,83 @@
+"""Figure 2 of the paper: a hard-to-reproduce real race.
+
+::
+
+    Initially: x = 0
+    thread1 {                   thread2 {
+    1. lock(L);                 10. x = 1;
+    2. f1();                    11. lock(L);
+    3. f2();                    12. f6();
+    4. f3();                    13. unlock(L);
+    5. f4();                    }
+    6. f5();
+    7. unlock(L);
+    8. if (x == 0)
+    9.   ERROR;
+    }
+
+The race is between statement 8 (the read of ``x``) and statement 10 (the
+write).  Under a passive scheduler the probability of executing 8 and 10
+temporally next to each other — and especially of 10 executing *after* 8,
+reaching ERROR — decays with the amount of padding work ``f1..f5``.
+Section 3.2 argues RaceFuzzer creates the race with probability 1 and
+reaches ERROR with probability 0.5, *independent of the padding*.  The
+``padding`` parameter makes that claim measurable (benchmark E7).
+"""
+
+from __future__ import annotations
+
+from repro.runtime import Lock, Program, SharedVar, join_all, ops, spawn_all
+from repro.runtime.errors import AssertionViolation
+from repro.runtime.statement import Statement, StatementPair
+
+from .base import GroundTruth, WorkloadSpec, register
+
+STMT_8 = Statement(label="8")  # thread1: read x after the padded critical section
+STMT_10 = Statement(label="10")  # thread2: x = 1
+
+RACING_PAIR = StatementPair(STMT_8, STMT_10)
+
+
+def build(padding: int = 5) -> Program:
+    """Figure 2 with ``padding`` filler statements inside the lock region."""
+
+    def make():
+        x = SharedVar("x", 0)
+        lock = Lock("L")
+
+        def thread1():
+            yield lock.acquire(label="1")
+            for _ in range(padding):  # f1() .. f5()
+                yield ops.yield_point()
+            yield lock.release(label="7")
+            if (yield x.read(label="8")) == 0:
+                raise AssertionViolation("ERROR")  # statement 9
+
+        def thread2():
+            yield x.write(1, label="10")
+            yield lock.acquire(label="11")
+            yield ops.yield_point()  # f6()
+            yield lock.release(label="13")
+
+        def main():
+            threads = yield from spawn_all([thread1, thread2], prefix="thread")
+            yield from join_all(threads)
+
+        return main()
+
+    return Program(make, name=f"figure2(padding={padding})")
+
+
+SPEC = register(
+    WorkloadSpec(
+        name="figure2",
+        build=build,
+        description="Paper Figure 2: RF hits the race regardless of padding",
+        truth=GroundTruth(
+            real_pairs=1,
+            harmful_pairs=1,
+            notes="(8,10) on x is real; ERROR reached iff 8 resolves before 10.",
+        ),
+        kind="example",
+    )
+)

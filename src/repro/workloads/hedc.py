@@ -1,0 +1,149 @@
+"""``hedc`` — ETH meta-crawler application kernel (Table 1, row 6).
+
+A coordinator dispatches search tasks to worker threads; a watchdog
+monitors the workers' progress so stuck queries can be reported.  The
+row's shape: several potential races (most of them publication patterns
+the hybrid detector cannot order), **one real race, and it is harmful**:
+
+* each worker announces what it is fetching by setting ``busy`` under the
+  task lock but writing ``current_url`` *without* it; the watchdog reads
+  ``busy`` under the lock and then dereferences ``current_url`` bare.  The
+  write and the read race for real, and when the read wins the url is
+  still null — the watchdog crashes with :class:`NullPointerError` (the
+  paper's hedc exception).  Probability is below 1.0 because the watchdog
+  only samples workers that look busy, mirroring the row's 0.86.
+
+False alarms come from the result-publication cells (locked-counter
+handoff, invisible to the hybrid detector) in the fetch and merge stages.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import Lock, Program, SharedCells, SharedObject, SharedVar, join_all, ops, spawn_all
+from repro.runtime.errors import NullPointerError
+
+from .base import GroundTruth, PaperRow, WorkloadSpec, register
+
+
+def _fetch(engine: int, query: int) -> int:
+    """Deterministic stand-in for querying one search engine."""
+    return (engine * 131 + query * 17) % 97
+
+
+def build(nworkers: int = 2, queries: int = 3) -> Program:
+    def make():
+        results = SharedCells("hedc.results")
+        merged = SharedCells("hedc.merged")
+        published = SharedVar("hedc.published", 0)
+        publish_lock = Lock("hedc.publishLock")
+        tasks = [
+            SharedObject(f"hedc.task{i}", busy=0, current_url=None)
+            for i in range(nworkers)
+        ]
+        task_lock = Lock("hedc.taskLock")
+        watchdog_log = SharedVar("hedc.watchdogLog", 0)
+
+        def worker(index):
+            task = tasks[index]
+            for query in range(queries):
+                yield task_lock.acquire()
+                yield task.set("busy", 1)
+                yield task_lock.release()
+                # THE real race: url written without the task lock.
+                yield task.set("current_url", f"http://engine{index}/q{query}")
+                value = _fetch(index, query)
+                yield results.write(index * queries + query, value)
+                yield task.set("current_url", None)
+                yield task_lock.acquire()
+                yield task.set("busy", 0)
+                yield task_lock.release()
+                # Publish through the locked counter (correct, but a hybrid
+                # blind spot: the result cells carry no common lock).
+                yield publish_lock.acquire()
+                count = yield published.read()
+                yield published.write(count + 1)
+                yield publish_lock.release()
+
+        def watchdog():
+            for _ in range(queries * 2):
+                for task in tasks:
+                    yield task_lock.acquire()
+                    busy = yield task.get("busy")
+                    yield task_lock.release()
+                    if busy:
+                        url = yield task.get("current_url")  # unguarded!
+                        if url is None:
+                            # Java: url.length() on null — the hedc crash.
+                            raise NullPointerError(
+                                "watchdog dereferenced current_url of a "
+                                "busy task before the worker published it"
+                            )
+                        stamp = yield watchdog_log.read()
+                        yield watchdog_log.write(stamp + len(url))
+                yield ops.sleep(3)
+
+        def merger():
+            seen = 0
+            while seen < nworkers * queries:
+                yield publish_lock.acquire()
+                seen = yield published.read()
+                yield publish_lock.release()
+                yield ops.yield_point()
+            total = 0
+            for slot in range(nworkers * queries):
+                total += yield results.read(slot)
+            yield merged.write(0, total)
+
+        def main():
+            dog = yield ops.spawn(watchdog, name="watchdog")
+            workers = yield from spawn_all(
+                [(lambda k: lambda: worker(k))(k) for k in range(nworkers)],
+                prefix="hedcWorker",
+            )
+            merge_thread = yield ops.spawn(merger, name="merger")
+            yield from join_all(workers)
+            yield ops.join(merge_thread)
+            yield ops.join(dog)
+            total = yield merged.read(0)
+            expected = sum(
+                _fetch(w, q) for w in range(nworkers) for q in range(queries)
+            )
+            yield ops.check(total == expected, "merged result corrupted")
+
+        return main()
+
+    return Program(make, name="hedc")
+
+
+SPEC = register(
+    WorkloadSpec(
+        name="hedc",
+        build=build,
+        description="Meta-crawler kernel: busy/current_url watchdog race",
+        paper=PaperRow(
+            sloc=29_948,
+            normal_s=1.10,
+            hybrid_s=1.35,
+            racefuzzer_s=1.11,
+            hybrid_races=9,
+            real_races=1,
+            known_races=1,
+            exceptions_rf=1,
+            exceptions_simple=0,
+            probability=0.86,
+        ),
+        truth=GroundTruth(
+            real_pairs=2,
+            harmful_pairs=2,
+            notes=(
+                "current_url set and reset writes vs the watchdog read are "
+                "the two real pairs; resolving the read before the set "
+                "NPEs the watchdog (url still None after busy=1), and the "
+                "crash attribution covers both pairs since the watchdog "
+                "participates in each.  Result/merged cells are "
+                "locked-counter false alarms."
+            ),
+        ),
+        kind="closed",
+    )
+)

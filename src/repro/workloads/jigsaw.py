@@ -1,0 +1,211 @@
+"""``jigsaw`` — W3C's Jigsaw web server, as a request-serving kernel
+(Table 1, row 9).
+
+The paper's largest benchmark: hundreds of potential races, a few dozen
+real ones, none of which threw.  Our kernel reproduces the architecture at
+reduced scale — handler threads pull requests from a locked accept queue
+and serve three resource types through *separately written* code paths
+(static files, CGI, directory listings), because Table 1 counts distinct
+statement pairs and Jigsaw's bulk comes from many distinct modules:
+
+* every resource type caches its responses with the flag-under-lock
+  publication pattern → a bank of hybrid **false alarms**;
+* every resource type also bumps unsynchronized telemetry — global hit
+  counter, per-type byte gauges, a ``last_client`` tag — and the admin
+  thread samples all of it bare → many **real but benign** races;
+* the admin thread toggles ``log_verbose`` bare while handlers read it
+  bare → more real benign pairs.
+
+Nothing throws: the row's 0 exceptions.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import Lock, Program, SharedCells, SharedVar, join_all, ops, spawn_all
+
+from .base import GroundTruth, PaperRow, WorkloadSpec, register
+
+
+def build(nhandlers: int = 3, requests: int = 9) -> Program:
+    def make():
+        # Accept queue (properly locked).
+        queue = SharedCells("accept.queue")
+        queue_head = SharedVar("accept.head", 0)
+        queue_tail = SharedVar("accept.tail", 0)
+        queue_lock = Lock("accept.lock")
+
+        # Per-resource-type response caches: bare cells + locked counters.
+        static_cache = SharedCells("static.cache")
+        static_ready = SharedVar("static.ready", 0)
+        static_lock = Lock("static.lock")
+        cgi_cache = SharedCells("cgi.cache")
+        cgi_ready = SharedVar("cgi.ready", 0)
+        cgi_lock = Lock("cgi.lock")
+        dir_cache = SharedCells("dir.cache")
+        dir_ready = SharedVar("dir.ready", 0)
+        dir_lock = Lock("dir.lock")
+
+        # Unsynchronized telemetry (the real, benign races).
+        hits = SharedVar("stats.hits", 0)
+        static_bytes = SharedVar("stats.staticBytes", 0)
+        cgi_bytes = SharedVar("stats.cgiBytes", 0)
+        last_client = SharedVar("stats.lastClient", -1)
+        log_verbose = SharedVar("config.logVerbose", 0)
+
+        def accept_all():
+            yield queue_lock.acquire()
+            for request in range(requests):
+                slot = yield queue_tail.read()
+                yield queue.write(slot, request)
+                yield queue_tail.write(slot + 1)
+            yield queue_lock.release()
+
+        def next_request():
+            yield queue_lock.acquire()
+            first = yield queue_head.read()
+            last = yield queue_tail.read()
+            if first >= last:
+                yield queue_lock.release()
+                return None
+            request = yield queue.read(first)
+            yield queue_head.write(first + 1)
+            yield queue_lock.release()
+            return request
+
+        def serve_static(request):
+            body = (request * 53 + 7) % 199
+            yield static_cache.write(request, body)  # bare (false alarm)
+            yield static_lock.acquire()
+            ready = yield static_ready.read()
+            yield static_ready.write(ready + 1)
+            yield static_lock.release()
+            size = yield static_bytes.read()  # racy gauge (real, benign)
+            yield static_bytes.write(size + body)
+            return body
+
+        def serve_cgi(request):
+            body = (request * 101 + 31) % 211
+            yield cgi_cache.write(request, body)  # bare (false alarm)
+            yield cgi_lock.acquire()
+            ready = yield cgi_ready.read()
+            yield cgi_ready.write(ready + 1)
+            yield cgi_lock.release()
+            size = yield cgi_bytes.read()  # racy gauge (real, benign)
+            yield cgi_bytes.write(size + body)
+            return body
+
+        def serve_directory(request):
+            body = (request * 29 + 3) % 191
+            yield dir_cache.write(request, body)  # bare (false alarm)
+            yield dir_lock.acquire()
+            ready = yield dir_ready.read()
+            yield dir_ready.write(ready + 1)
+            yield dir_lock.release()
+            return body
+
+        def handler(handler_id):
+            while True:
+                request = yield from next_request()
+                if request is None:
+                    return
+                verbose = yield log_verbose.read()  # racy config read
+                if request % 3 == 0:
+                    yield from serve_static(request)
+                elif request % 3 == 1:
+                    yield from serve_cgi(request)
+                else:
+                    yield from serve_directory(request)
+                count = yield hits.read()  # racy hit counter
+                yield hits.write(count + 1)
+                yield last_client.write(handler_id)  # racy w/w tag
+                if verbose:
+                    yield ops.yield_point()  # "log line"
+
+        def admin():
+            for toggle in range(3):
+                yield log_verbose.write(toggle % 2)  # racy config write
+                sampled_hits = yield hits.read()  # racy sample reads
+                sampled_static = yield static_bytes.read()
+                sampled_cgi = yield cgi_bytes.read()
+                sampled_client = yield last_client.read()
+                yield ops.check(
+                    sampled_hits >= 0
+                    and sampled_static >= 0
+                    and sampled_cgi >= 0
+                    and sampled_client >= -1,
+                    "telemetry went nonsensical",
+                )
+                yield ops.sleep(4)
+
+        n_static = len(range(0, requests, 3))
+        n_cgi = len(range(1, requests, 3))
+        n_dir = len(range(2, requests, 3))
+
+        def sweeper():
+            """Validates each cache once its locked counter says it is full.
+
+            Correct (cell writes precede their counter increments), but the
+            cache cells themselves are hybrid false alarms."""
+            banks = (
+                (static_lock, static_ready, n_static, static_cache, 0),
+                (cgi_lock, cgi_ready, n_cgi, cgi_cache, 1),
+                (dir_lock, dir_ready, n_dir, dir_cache, 2),
+            )
+            for lock, ready, expected, cache, offset in banks:
+                while True:
+                    yield lock.acquire()
+                    count = yield ready.read()
+                    yield lock.release()
+                    if count >= expected:
+                        break
+                    yield ops.sleep(2)
+                for request in range(offset, requests, 3):
+                    body = yield cache.read(request)  # bare (false alarm)
+                    yield ops.check(body is not None, "cache hole")
+
+        def main():
+            yield from accept_all()
+            admin_thread = yield ops.spawn(admin, name="admin")
+            sweep_thread = yield ops.spawn(sweeper, name="sweeper")
+            handlers = yield from spawn_all(
+                [(lambda k: lambda: handler(k))(k) for k in range(nhandlers)],
+                prefix="handler",
+            )
+            yield from join_all(handlers)
+            yield ops.join(admin_thread)
+            yield ops.join(sweep_thread)
+
+        return main()
+
+    return Program(make, name="jigsaw")
+
+
+SPEC = register(
+    WorkloadSpec(
+        name="jigsaw",
+        build=build,
+        description="Web-server kernel: telemetry races + cache false alarms",
+        paper=PaperRow(
+            sloc=381_348,
+            normal_s=None,
+            hybrid_s=None,
+            racefuzzer_s=0.81,
+            hybrid_races=547,
+            real_races=36,
+            known_races=None,
+            exceptions_rf=0,
+            exceptions_simple=0,
+            probability=0.90,
+        ),
+        truth=GroundTruth(
+            real_pairs=12,
+            harmful_pairs=0,
+            notes=(
+                "hits / per-type byte gauges / last_client / log_verbose are "
+                "all real benign races across handler and admin statements; "
+                "the three response caches are locked-counter false alarms."
+            ),
+        ),
+        kind="closed",
+    )
+)

@@ -1,0 +1,123 @@
+"""``jspider`` — configurable web-spider engine (Table 1, row 8).
+
+The original is an event-driven plugin pipeline, and the paper found it
+clean: 29 potential races, **zero real**.  Our kernel reproduces the
+plugin-pipeline architecture as three stages (fetch → parse → index) that
+exchange work through per-stage mailboxes, each published with the
+flag-under-lock discipline: the payload cells carry no common lock, but a
+lock-protected sequence counter orders every handoff.  The hybrid detector
+reports every payload cell of every stage; RaceFuzzer confirms none.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import Lock, Program, SharedCells, SharedVar, join_all, ops, spawn_all
+
+from .base import GroundTruth, PaperRow, WorkloadSpec, register
+
+
+class _Mailbox:
+    """A one-way stage connector: bare payload cells + a locked counter."""
+
+    def __init__(self, name: str):
+        self.cells = SharedCells(f"{name}.payload")
+        self.count = SharedVar(f"{name}.count", 0)
+        self.lock = Lock(f"{name}.lock")
+
+    def publish(self, slot, value):
+        yield self.cells.write(slot, value)  # bare: the false alarm
+        yield self.lock.acquire()
+        count = yield self.count.read()
+        yield self.count.write(count + 1)
+        yield self.lock.release()
+
+    def available(self):
+        yield self.lock.acquire()
+        count = yield self.count.read()
+        yield self.lock.release()
+        return count
+
+    def consume(self, slot):
+        value = yield self.cells.read(slot)  # bare: the false alarm
+        return value
+
+
+def build(documents: int = 5) -> Program:
+    def make():
+        fetched = _Mailbox("fetched")
+        parsed = _Mailbox("parsed")
+        indexed = SharedVar("indexedTotal", 0)
+        index_lock = Lock("indexLock")
+
+        def fetcher():
+            for doc in range(documents):
+                body = (doc * 37 + 11) % 101
+                yield from fetched.publish(doc, body)
+
+        def parser():
+            done = 0
+            while done < documents:
+                ready = yield from fetched.available()
+                while done < ready:
+                    body = yield from fetched.consume(done)
+                    yield from parsed.publish(done, body * 2 + 1)
+                    done += 1
+                yield ops.yield_point()
+
+        def indexer():
+            done = 0
+            while done < documents:
+                ready = yield from parsed.available()
+                while done < ready:
+                    tokens = yield from parsed.consume(done)
+                    yield index_lock.acquire()
+                    total = yield indexed.read()
+                    yield indexed.write(total + tokens)
+                    yield index_lock.release()
+                    done += 1
+                yield ops.yield_point()
+
+        def main():
+            stages = yield from spawn_all(
+                [fetcher, parser, indexer], prefix="stage"
+            )
+            yield from join_all(stages)
+            yield index_lock.acquire()
+            total = yield indexed.read()
+            yield index_lock.release()
+            expected = sum(((d * 37 + 11) % 101) * 2 + 1 for d in range(documents))
+            yield ops.check(total == expected, "pipeline dropped a document")
+
+        return main()
+
+    return Program(make, name="jspider")
+
+
+SPEC = register(
+    WorkloadSpec(
+        name="jspider",
+        build=build,
+        description="Plugin pipeline: all-false-positive publication cells",
+        paper=PaperRow(
+            sloc=64_933,
+            normal_s=4.79,
+            hybrid_s=4.88,
+            racefuzzer_s=4.81,
+            hybrid_races=29,
+            real_races=0,
+            known_races=None,
+            exceptions_rf=0,
+            exceptions_simple=0,
+            probability=None,
+        ),
+        truth=GroundTruth(
+            real_pairs=0,
+            harmful_pairs=0,
+            notes=(
+                "every mailbox payload pair is ordered by its locked "
+                "counter; zero real races by construction."
+            ),
+        ),
+        kind="closed",
+    )
+)

@@ -1,0 +1,105 @@
+"""``montecarlo`` — Java Grande Monte Carlo pricing kernel (Table 1, row 3).
+
+``nthreads`` workers price a slice of simulated paths each, publish their
+per-task results into a result table, and bump a lock-protected
+``ready`` counter; the coordinator polls the counter under the lock and
+then reads the results.  That publication is *correct* (the counter
+orders it) but invisible to the hybrid detector — lock release→acquire
+edges are deliberately not tracked — so every result cell becomes a false
+alarm, reproducing the row's 5-potential/1-real shape.
+
+The one **real** race is the ``finished`` flag: every worker writes it
+(the same value) without synchronization — a write/write racing pair,
+benign, like the original's static-field race.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import Lock, Program, SharedCells, SharedVar, join_all, ops, spawn_all
+
+from .base import GroundTruth, PaperRow, WorkloadSpec, register
+
+
+def _price_path(task: int, path: int) -> int:
+    """Deterministic stand-in for one Monte Carlo path evaluation."""
+    value = (task * 2654435761 + path * 40503) % 1000
+    return value
+
+
+def build(nthreads: int = 4, paths_per_task: int = 8) -> Program:
+    def make():
+        results = SharedCells("results")
+        ready = SharedVar("ready", 0)
+        ready_lock = Lock("readyLock")
+        finished = SharedVar("finished", 0)  # the real (benign) race
+
+        def worker(task_id):
+            total = 0
+            for path in range(paths_per_task):
+                total += _price_path(task_id, path)
+            # Publish result, then announce under the lock (correct, but a
+            # hybrid-detector blind spot: no common lock on the cell).
+            yield results.write(task_id, total)
+            yield ready_lock.acquire()
+            count = yield ready.read()
+            yield ready.write(count + 1)
+            yield ready_lock.release()
+            yield finished.write(1)  # racy write/write, same value: benign
+
+        def main():
+            workers = yield from spawn_all(
+                [(lambda k: lambda: worker(k))(k) for k in range(nthreads)],
+                prefix="mc",
+            )
+            while True:
+                yield ready_lock.acquire()
+                count = yield ready.read()
+                yield ready_lock.release()
+                if count == nthreads:
+                    break
+                yield ops.yield_point()
+            grand_total = 0
+            for task_id in range(nthreads):
+                grand_total += yield results.read(task_id)
+            expected = sum(
+                _price_path(t, p)
+                for t in range(nthreads)
+                for p in range(paths_per_task)
+            )
+            yield ops.check(grand_total == expected, "lost a task result")
+            yield from join_all(workers)
+
+        return main()
+
+    return Program(make, name="montecarlo")
+
+
+SPEC = register(
+    WorkloadSpec(
+        name="montecarlo",
+        build=build,
+        description="Java Grande Monte Carlo: counter-published results",
+        paper=PaperRow(
+            sloc=3_619,
+            normal_s=3.48,
+            hybrid_s=3600.0,
+            racefuzzer_s=6.44,
+            hybrid_races=5,
+            real_races=1,
+            known_races=1,
+            exceptions_rf=0,
+            exceptions_simple=0,
+            probability=1.00,
+        ),
+        truth=GroundTruth(
+            real_pairs=1,
+            harmful_pairs=0,
+            notes=(
+                "finished write/write is real and benign; the result-cell "
+                "pairs are ordered by the locked ready counter (false "
+                "alarms, one per worker)."
+            ),
+        ),
+        kind="closed",
+    )
+)

@@ -1,0 +1,84 @@
+"""Dining philosophers — the deadlock-direction showcase (not a Table 1 row).
+
+Section 1's generalization claims the postponing scheduler works for "a
+set of statements whose simultaneous execution could lead to a concurrency
+problem ... such as potential deadlocks".  The canonical such program is
+Dijkstra's dining philosophers with naive fork ordering: each philosopher
+takes the left fork then the right, so the all-holding-one-fork cycle
+deadlocks — but only if every philosopher grabs the left fork before any
+completes, which a passive scheduler rarely arranges once thinking time is
+non-trivial.
+
+The workload registers with ground truth "no data races" (forks fully
+order the counters): its concurrency problem is purely a deadlock, which
+makes it the clean demonstration target for
+:func:`repro.core.detect_lock_order_inversions` +
+:class:`repro.core.DeadlockFuzzer` — see
+``tests/workloads/test_philosophers.py``.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import Lock, Program, SharedVar, join_all, ops, spawn_all
+
+from .base import GroundTruth, WorkloadSpec, register
+
+
+def build(philosophers: int = 3, meals: int = 2, thinking: int = 5) -> Program:
+    """Naive left-then-right fork acquisition; deadlock-prone by design."""
+
+    def make():
+        forks = [Lock(f"fork{i}") for i in range(philosophers)]
+        eaten = SharedVar("mealsEaten", 0)
+        meal_lock = Lock("mealLock")
+
+        def philosopher(index):
+            left = forks[index]
+            right = forks[(index + 1) % philosophers]
+            for _ in range(meals):
+                for _ in range(thinking):
+                    yield ops.yield_point()  # think
+                yield left.acquire()
+                yield right.acquire()  # the inner, cycle-closing acquire
+                yield meal_lock.acquire()  # the meal count has its own lock
+                total = yield eaten.read()
+                yield eaten.write(total + 1)
+                yield meal_lock.release()
+                yield right.release()
+                yield left.release()
+
+        def main():
+            handles = yield from spawn_all(
+                [(lambda k: lambda: philosopher(k))(k) for k in range(philosophers)],
+                prefix="phil",
+            )
+            yield from join_all(handles)
+            total = yield eaten.read()
+            yield ops.check(
+                total == philosophers * meals, f"meals miscounted: {total}"
+            )
+
+        return main()
+
+    return Program(make, name="philosophers")
+
+
+SPEC = register(
+    WorkloadSpec(
+        name="philosophers",
+        build=build,
+        description="Dining philosophers: deadlock-directed fuzzing target",
+        truth=GroundTruth(
+            real_pairs=0,
+            harmful_pairs=0,
+            notes=(
+                "no data races (every shared access is fork- or "
+                "meal-lock-ordered); the defect is the circular "
+                "left-then-right fork order, surfaced by DeadlockFuzzer "
+                "via Algorithm 1's real-deadlock report."
+            ),
+        ),
+        kind="example",
+        max_steps=500_000,
+    )
+)

@@ -1,0 +1,110 @@
+"""``raytracer`` — Java Grande ray tracer kernel (Table 1, row 2).
+
+The original's famous defect is a data race on the scene ``checksum``:
+worker threads render interleaved scanlines and accumulate the pixel
+checksum with an unsynchronized read-modify-write.  That single
+``checksum += value`` source line yields exactly **two distinct racing
+statement pairs** — (read, write) and (write, write) — which is the
+paper's row: 2 potential, 2 real, 2 previously known, no exceptions, and
+RaceFuzzer creates them with probability 1.  Everything else (the work
+queue of scanlines, the completion latch) is properly synchronized, so the
+hybrid report contains nothing but the real races.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import (
+    CountDownLatch,
+    Lock,
+    Program,
+    SharedArray,
+    SharedVar,
+    join_all,
+    ops,
+    spawn_all,
+)
+
+from .base import GroundTruth, PaperRow, WorkloadSpec, register
+
+
+def _trace_ray(row: int, column: int) -> int:
+    """A deterministic stand-in for shading one pixel."""
+    return (row * 31 + column * 17) % 256
+
+
+def build(nthreads: int = 2, width: int = 6, height: int = 6) -> Program:
+    def make():
+        checksum = SharedVar("checksum", 0)  # the racy accumulator
+        next_row = SharedVar("nextRow", 0)  # work-stealing cursor (locked)
+        row_lock = Lock("rowLock")
+        image = SharedArray(width * height, "image", init=0)
+        latch = CountDownLatch(nthreads, "renderDone")
+
+        def render_worker():
+            while True:
+                yield row_lock.acquire()
+                row = yield next_row.read()
+                if row >= height:
+                    yield row_lock.release()
+                    break
+                yield next_row.write(row + 1)
+                yield row_lock.release()
+                row_sum = 0
+                for column in range(width):
+                    pixel = _trace_ray(row, column)
+                    yield image.write(row * width + column, pixel)
+                    row_sum += pixel
+                # THE raytracer bug: unsynchronized checksum accumulation.
+                current = yield checksum.read()
+                yield checksum.write(current + row_sum)
+            yield from latch.count_down()
+
+        def main():
+            workers = yield from spawn_all(
+                [render_worker for _ in range(nthreads)], prefix="rt"
+            )
+            yield from latch.await_zero()
+            yield from join_all(workers)
+            expected = sum(
+                _trace_ray(r, c) for r in range(height) for c in range(width)
+            )
+            final = yield checksum.read()
+            # Lost updates are possible (benign in the original too: the JGF
+            # validation only warns); we merely observe, never throw.
+            yield ops.yield_point()
+            _ = (final, expected)
+
+        return main()
+
+    return Program(make, name="raytracer")
+
+
+SPEC = register(
+    WorkloadSpec(
+        name="raytracer",
+        build=build,
+        description="Java Grande ray tracer: the classic checksum race",
+        paper=PaperRow(
+            sloc=1_924,
+            normal_s=3.25,
+            hybrid_s=3600.0,
+            racefuzzer_s=3.81,
+            hybrid_races=2,
+            real_races=2,
+            known_races=2,
+            exceptions_rf=0,
+            exceptions_simple=0,
+            probability=1.00,
+        ),
+        truth=GroundTruth(
+            real_pairs=2,
+            harmful_pairs=0,
+            notes=(
+                "checksum read/write and write/write pairs from the "
+                "unsynchronized `checksum += row_sum`; benign (validation "
+                "only warns)."
+            ),
+        ),
+        kind="closed",
+    )
+)

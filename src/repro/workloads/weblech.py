@@ -1,0 +1,143 @@
+"""``weblech`` — multi-threaded web-site mirroring tool (Table 1, row 7).
+
+Spider threads pull URLs from a frontier queue and store page contents.
+The row's shape — 2 real races, 1 of them harmful, and an exception the
+passive scheduler can also stumble into — comes from:
+
+* a **harmful real race** in the frontier's "optimized" fast path: when the
+  queue looks non-empty, spiders dequeue with unsynchronized head/tail
+  reads (a real weblech-era pattern).  Two spiders racing on the same head
+  slot can both claim it; the loser dequeues an empty cell and throws
+  :class:`NoSuchElementError`.
+* a **benign real race** on the ``downloaded`` statistics counter
+  (unsynchronized read-modify-write, lost updates tolerated).
+
+Page-content cells are published via a locked counter — correct but
+hybrid-invisible, supplying the row's false alarms.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import Lock, Program, SharedCells, SharedVar, join_all, ops, spawn_all
+from repro.runtime.errors import NoSuchElementError
+
+from .base import GroundTruth, PaperRow, WorkloadSpec, register
+
+
+def _download(url_id: int) -> int:
+    """Deterministic stand-in for fetching a page body."""
+    return (url_id * 8191 + 13) % 251
+
+
+def build(nspiders: int = 2, urls: int = 6) -> Program:
+    def make():
+        frontier = SharedCells("frontier.cells")
+        head = SharedVar("frontier.head", 0)
+        tail = SharedVar("frontier.tail", 0)
+        frontier_lock = Lock("frontier.lock")
+        pages = SharedCells("pages")
+        stored = SharedVar("pagesStored", 0)
+        store_lock = Lock("storeLock")
+        stop_reporting = SharedVar("stopReporting", 0)
+        downloaded = SharedVar("downloaded", 0)  # benign racy counter
+
+        def enqueue_all():
+            yield frontier_lock.acquire()
+            for url_id in range(urls):
+                slot = yield tail.read()
+                yield frontier.write(slot, url_id)
+                yield tail.write(slot + 1)
+            yield frontier_lock.release()
+
+        def spider():
+            while True:
+                # The "fast path": unsynchronized emptiness probe and pop.
+                first = yield head.read()
+                last = yield tail.read()
+                if first >= last:
+                    return
+                url_id = yield frontier.read(first)
+                yield head.write(first + 1)  # racy claim!
+                if url_id is None:
+                    raise NoSuchElementError(
+                        "two spiders claimed the same frontier slot"
+                    )
+                yield frontier.write(first, None)  # consume the slot
+                body = _download(url_id)
+                # Store the page under the store lock, publish via counter.
+                yield store_lock.acquire()
+                index = yield stored.read()
+                yield pages.write(index, body)
+                yield stored.write(index + 1)
+                yield store_lock.release()
+                # Benign racy statistics.
+                count = yield downloaded.read()
+                yield downloaded.write(count + 1)
+
+        def reporter():
+            while True:
+                yield store_lock.acquire()
+                done = yield stored.read()
+                stopping = yield stop_reporting.read()
+                yield store_lock.release()
+                if done >= urls or stopping:
+                    break
+                yield ops.sleep(2)
+            total = 0
+            for index in range(done):
+                body = yield pages.read(index)
+                total += body if body is not None else 0
+            yield ops.check(done == 0 or total > 0, "mirror came out empty")
+
+        def main():
+            yield from enqueue_all()
+            spiders = yield from spawn_all(
+                [spider for _ in range(nspiders)], prefix="spider"
+            )
+            report_thread = yield ops.spawn(reporter, name="reporter")
+            yield from join_all(spiders)
+            # Spiders may have crashed mid-mirror; tell the reporter to wrap
+            # up with whatever made it to the store.
+            yield store_lock.acquire()
+            yield stop_reporting.write(1)
+            yield store_lock.release()
+            yield ops.join(report_thread)
+
+        return main()
+
+    return Program(make, name="weblech")
+
+
+SPEC = register(
+    WorkloadSpec(
+        name="weblech",
+        build=build,
+        description="Site mirror: racy frontier fast path + racy statistics",
+        paper=PaperRow(
+            sloc=35_175,
+            normal_s=0.91,
+            hybrid_s=1.92,
+            racefuzzer_s=1.36,
+            hybrid_races=27,
+            real_races=2,
+            known_races=1,
+            exceptions_rf=1,
+            exceptions_simple=1,
+            probability=0.83,
+        ),
+        truth=GroundTruth(
+            real_pairs=6,
+            harmful_pairs=3,
+            notes=(
+                "six real pairs across the frontier fast path (head "
+                "read/write and write/write, slot read vs consume-write, "
+                "consume write/write) and the downloaded counter "
+                "(read/write, write/write); the three frontier pairs whose "
+                "mis-resolution double-claims a slot throw "
+                "NoSuchElementError.  Page cells are locked-counter false "
+                "alarms."
+            ),
+        ),
+        kind="closed",
+    )
+)

@@ -1,0 +1,38 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RandomScheduler
+from repro.runtime import Execution, Program
+
+
+def run_program(factory, *, seed=0, scheduler=None, observers=(), max_steps=100_000):
+    """Build and run a Program from a factory; return the ExecutionResult."""
+    program = factory if isinstance(factory, Program) else Program(factory)
+    execution = Execution(
+        program, seed=seed, observers=observers, max_steps=max_steps
+    )
+    return execution.run(scheduler or RandomScheduler(preemption="every"))
+
+
+def run_single(body_factory, *, seed=0, observers=(), max_steps=100_000):
+    """Run a single-threaded generator body to completion; assert success."""
+
+    def make():
+        def main():
+            yield from body_factory()
+
+        return main()
+
+    result = run_program(make, seed=seed, observers=observers, max_steps=max_steps)
+    assert not result.crashes, f"unexpected crashes: {result.crashes}"
+    assert not result.deadlock, "unexpected deadlock"
+    return result
+
+
+@pytest.fixture
+def rng_seeds():
+    """A small deterministic spread of seeds for multi-run assertions."""
+    return range(12)

@@ -1,0 +1,136 @@
+"""Mining check-then-act candidates, then closing the loop with the fuzzer."""
+
+from repro.core import AtomicityFuzzer
+from repro.core.atomicity_detect import detect_atomic_regions
+from repro.runtime import Lock, Program, SharedVar, join_all, ops, spawn_all
+
+
+def _stale_check_program(pad: int = 6):
+    """The bank-withdrawal bug from the fuzzer tests, unlabelled this time:
+    Phase 1 must find the pattern from raw source sites."""
+
+    def factory():
+        balance = SharedVar("balance", 10)
+        dispensed = SharedVar("dispensed", 0)
+        lock = Lock("L")
+
+        def slow_withdraw():
+            yield lock.acquire()
+            current = yield balance.read()
+            yield lock.release()
+            if current >= 10:
+                for _ in range(pad):
+                    yield ops.yield_point()
+                yield lock.acquire()
+                yield balance.write(current - 10)
+                cash = yield dispensed.read()
+                yield dispensed.write(cash + 10)
+                yield lock.release()
+
+        def fast_withdraw():
+            yield lock.acquire()
+            current = yield balance.read()
+            if current >= 10:
+                yield balance.write(current - 10)
+                cash = yield dispensed.read()
+                yield dispensed.write(cash + 10)
+            yield lock.release()
+
+        def main():
+            handles = yield from spawn_all([slow_withdraw, fast_withdraw])
+            yield from join_all(handles)
+            total = yield dispensed.read()
+            yield ops.check(total <= 10, f"dispensed {total} of 10")
+
+        return main()
+
+    return Program(factory, name="stale-check")
+
+
+def _atomic_control_program():
+    """Check and act inside ONE critical section: no candidate pattern."""
+
+    def factory():
+        balance = SharedVar("balance", 10)
+        lock = Lock("L")
+
+        def withdraw():
+            yield lock.acquire()
+            current = yield balance.read()
+            if current >= 10:
+                yield balance.write(current - 10)
+            yield lock.release()
+
+        def main():
+            handles = yield from spawn_all([withdraw, withdraw])
+            yield from join_all(handles)
+
+        return main()
+
+    return Program(factory, name="atomic-control")
+
+
+class TestDetection:
+    def test_finds_the_stale_check_pattern(self):
+        candidates = detect_atomic_regions(_stale_check_program(), seeds=range(4))
+        assert candidates
+        # The mined region spans the unlocked gap: check stmt differs from
+        # the act's acquire stmt, and the rival is the fast path's acquire.
+        spanning = [
+            c for c in candidates if c.region.first != c.region.second
+        ]
+        assert spanning
+        for candidate in candidates:
+            assert candidate.lock.describe() == "L"
+
+    def test_atomic_control_yields_no_candidates(self):
+        assert detect_atomic_regions(_atomic_control_program(), seeds=range(4)) == []
+
+    def test_unlocked_accesses_are_not_candidates(self):
+        """Bare racy accesses are RaceFuzzer's department, not this one's."""
+
+        def factory():
+            x = SharedVar("x", 0)
+
+            def writer():
+                value = yield x.read()
+                yield x.write(value + 1)
+
+            def main():
+                handles = yield from spawn_all([writer, writer])
+                yield from join_all(handles)
+
+            return main()
+
+        assert detect_atomic_regions(Program(factory), seeds=range(4)) == []
+
+
+class TestEndToEnd:
+    def test_mined_candidates_drive_the_fuzzer_to_the_violation(self):
+        program_builder = _stale_check_program
+        candidates = detect_atomic_regions(program_builder(), seeds=range(4))
+        assert candidates
+        violated = 0
+        for candidate in candidates:
+            fuzzer = AtomicityFuzzer(
+                candidate.region, candidate.rival, max_steps=50_000
+            )
+            for seed in range(10):
+                outcome = fuzzer.run(program_builder(), seed=seed)
+                if any(
+                    crash.error_type == "AssertionViolation"
+                    for crash in outcome.crashes
+                ):
+                    violated += 1
+        assert violated > 0, "no mined candidate produced the overdraft"
+
+    def test_control_program_survives_fuzzing_of_foreign_candidates(self):
+        """Candidates mined elsewhere do nothing to an atomic program."""
+        candidates = detect_atomic_regions(_stale_check_program(), seeds=range(3))
+        fuzzer = AtomicityFuzzer(
+            candidates[0].region, candidates[0].rival, max_steps=50_000
+        )
+        for seed in range(5):
+            outcome = fuzzer.run(_atomic_control_program(), seed=seed)
+            assert not outcome.crashes
+            assert not outcome.deadlock

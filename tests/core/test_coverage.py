@@ -1,0 +1,150 @@
+"""Schedule-coverage metrics: signature soundness and strategy comparison."""
+
+from repro.core import (
+    RandomScheduler,
+    conflict_signature,
+    measure_coverage,
+)
+from repro.runtime import EventTrace, Execution, Lock, Program, SharedVar, join_all, ops, spawn_all
+from repro.workloads import figure1
+
+
+def _trace(program, seed, scheduler=None):
+    trace = EventTrace()
+    Execution(program, seed=seed, observers=[trace]).run(
+        scheduler or RandomScheduler("every")
+    )
+    return trace.events
+
+
+class TestConflictSignature:
+    def test_identical_runs_identical_signatures(self):
+        first = conflict_signature(_trace(figure1.build(), seed=3))
+        second = conflict_signature(_trace(figure1.build(), seed=3))
+        assert first == second
+
+    def test_signature_ignores_independent_commutes(self):
+        """Two threads writing DIFFERENT locations: every interleaving is
+        one partial order, so all seeds share one signature."""
+
+        def factory():
+            a, b = SharedVar("a", 0), SharedVar("b", 0)
+
+            def writer_a():
+                for value in range(3):
+                    yield a.write(value)
+
+            def writer_b():
+                for value in range(3):
+                    yield b.write(value)
+
+            def main():
+                handles = yield from spawn_all([writer_a, writer_b])
+                yield from join_all(handles)
+
+            return main()
+
+        signatures = {
+            conflict_signature(_trace(Program(factory), seed=s)) for s in range(20)
+        }
+        assert len(signatures) == 1
+
+    def test_signature_distinguishes_conflicting_orders(self):
+        """Two threads writing the SAME location: write order is the
+        partial order, so multiple signatures must appear across seeds."""
+
+        def factory():
+            x = SharedVar("x", 0)
+
+            def writer(k):
+                for _ in range(2):
+                    yield x.write(k, label=f"w{k}")
+
+            def main():
+                handles = yield from spawn_all(
+                    [lambda: writer(1), lambda: writer(2)]
+                )
+                yield from join_all(handles)
+
+            return main()
+
+        signatures = {
+            conflict_signature(_trace(Program(factory), seed=s)) for s in range(20)
+        }
+        assert len(signatures) > 1
+
+    def test_reads_between_same_writes_commute(self):
+        """Reader order between two writes must NOT split signatures."""
+
+        def factory():
+            x = SharedVar("x", 0)
+
+            def reader(k):
+                yield x.read(label=f"r{k}")
+
+            def main():
+                yield x.write(1)
+                handles = yield from spawn_all(
+                    [lambda: reader(1), lambda: reader(2)]
+                )
+                yield from join_all(handles)
+                yield x.write(2)
+
+            return main()
+
+        signatures = {
+            conflict_signature(_trace(Program(factory), seed=s)) for s in range(15)
+        }
+        assert len(signatures) == 1
+
+
+class TestMeasureCoverage:
+    def test_report_fields(self):
+        report = measure_coverage(figure1.build(), seeds=range(10))
+        assert report.runs == 10
+        assert 1 <= report.distinct_signatures <= 10
+        assert 0 <= report.diversity <= 1
+        assert "distinct partial orders" in str(report)
+
+    @staticmethod
+    def counter_program(increments: int = 3):
+        """Two unlocked incrementers: plenty of distinct partial orders."""
+
+        def factory():
+            x = SharedVar("x", 0)
+
+            def worker(k):
+                for _ in range(increments):
+                    value = yield x.read(label=f"r{k}")
+                    yield x.write(value + 1, label=f"w{k}")
+
+            def main():
+                handles = yield from spawn_all(
+                    [lambda: worker(1), lambda: worker(2)]
+                )
+                yield from join_all(handles)
+
+            return main()
+
+        return Program(factory)
+
+    def test_passive_strategies_explore_many_partial_orders(self):
+        runs = 60
+        random_coverage = measure_coverage(
+            self.counter_program(), strategy="random", seeds=range(runs)
+        )
+        rapos_coverage = measure_coverage(
+            self.counter_program(), strategy="rapos", seeds=range(runs)
+        )
+        # Both passive strategies spread across the schedule space.
+        assert random_coverage.distinct_signatures >= 5
+        assert rapos_coverage.distinct_signatures >= 5
+        assert sum(random_coverage.signature_counts.values()) == runs
+        assert 0 < random_coverage.minority_share <= 1
+        assert 0 < rapos_coverage.minority_share <= 1
+
+    def test_unknown_strategy_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            measure_coverage(figure1.build(), strategy="psychic", seeds=range(2))

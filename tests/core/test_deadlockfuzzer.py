@@ -1,0 +1,110 @@
+"""Deadlock-directed active testing (the Section 1 generalization)."""
+
+from repro.core import DeadlockFuzzer, RandomScheduler, detect_lock_order_inversions
+from repro.runtime import Execution, Lock, Program, join_all, ops, spawn_all
+
+
+def _inversion_factory(work: int = 6):
+    """Lock-order inversion with padding so passive schedules rarely hit it."""
+
+    def factory():
+        a, b = Lock("A"), Lock("B")
+
+        def forward():
+            yield a.acquire()
+            yield b.acquire()  # inner acquire: the dangerous statement
+            yield b.release()
+            yield a.release()
+            for _ in range(work):
+                yield ops.yield_point()
+
+        def backward():
+            for _ in range(work):
+                yield ops.yield_point()
+            yield b.acquire()
+            yield a.acquire()  # inner acquire, inverted order
+            yield a.release()
+            yield b.release()
+
+        def main():
+            handles = yield from spawn_all([forward, backward])
+            yield from join_all(handles)
+
+        return main()
+
+    return Program(factory, name="inversion")
+
+
+def _well_ordered_factory():
+    def factory():
+        a, b = Lock("A"), Lock("B")
+
+        def worker():
+            yield a.acquire()
+            yield b.acquire()
+            yield b.release()
+            yield a.release()
+
+        def main():
+            handles = yield from spawn_all([worker, worker])
+            yield from join_all(handles)
+
+        return main()
+
+    return Program(factory, name="ordered")
+
+
+class TestLockOrderDetection:
+    def test_inversion_produces_a_cycle(self):
+        report = detect_lock_order_inversions(_inversion_factory(), seeds=range(3))
+        assert report.cycles()
+        targets = report.target_statements()
+        assert len(targets) == 2  # the two inner acquires
+
+    def test_consistent_order_has_no_cycle(self):
+        report = detect_lock_order_inversions(_well_ordered_factory(), seeds=range(3))
+        assert report.edges  # a->b edges exist
+        assert not report.cycles()
+        assert not report.target_statements()
+
+
+class TestDeadlockFuzzer:
+    def test_requires_targets(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            DeadlockFuzzer(frozenset())
+
+    def test_fuzzer_creates_the_deadlock_reliably(self):
+        program = _inversion_factory(work=10)
+        targets = detect_lock_order_inversions(program, seeds=range(3)).target_statements()
+        fuzzer = DeadlockFuzzer(targets, max_steps=50_000)
+        deadlocks = sum(
+            fuzzer.run(_inversion_factory(work=10), seed=seed).deadlock
+            for seed in range(20)
+        )
+        assert deadlocks >= 16  # near-certain under direction
+
+    def test_passive_scheduler_rarely_finds_it(self):
+        deadlocks = sum(
+            Execution(_inversion_factory(work=10), seed=seed)
+            .run(RandomScheduler(preemption="every"))
+            .deadlock
+            for seed in range(20)
+        )
+        # The inner critical sections are two statements wide; a passive
+        # random schedule almost never overlaps them.
+        assert deadlocks <= 6
+
+    def test_no_false_deadlocks_on_well_ordered_program(self):
+        program = _well_ordered_factory()
+        report = detect_lock_order_inversions(program, seeds=range(3))
+        # No targets -> nothing to fuzz; fuzz the inner acquire anyway by
+        # feeding all acquire statements, and the program must still finish.
+        all_stmts = {edge.stmt for edge in report.edges}
+        fuzzer = DeadlockFuzzer(all_stmts or {None}, max_steps=50_000)
+        if all_stmts:
+            outcomes = [
+                fuzzer.run(_well_ordered_factory(), seed=seed) for seed in range(10)
+            ]
+            assert not any(outcome.deadlock for outcome in outcomes)

@@ -1,0 +1,162 @@
+"""The two-phase pipeline: detect_races, fuzz_races, race_directed_test."""
+
+import pytest
+
+from repro.core import (
+    baseline_exceptions,
+    detect_races,
+    fuzz_races,
+    race_directed_test,
+)
+from repro.runtime import Program, SharedVar, join_all, ops, spawn_all
+from repro.runtime.statement import Statement, StatementPair
+from repro.workloads import figure1
+
+
+class TestDetectRaces:
+    def test_multiple_seeds_union_findings(self):
+        single = detect_races(figure1.build(), seeds=(0,))
+        multi = detect_races(figure1.build(), seeds=range(6))
+        assert set(single.pairs) <= set(multi.pairs)
+
+    def test_detector_selection(self):
+        hybrid = detect_races(figure1.build(), seeds=(0,), detector="hybrid")
+        lockset = detect_races(figure1.build(), seeds=(0,), detector="lockset")
+        hb = detect_races(figure1.build(), seeds=(0,), detector="happens-before")
+        assert hybrid.detector == "hybrid"
+        assert lockset.detector == "lockset"
+        assert hb.detector == "happens-before"
+
+    def test_unknown_detector_raises(self):
+        with pytest.raises(KeyError):
+            detect_races(figure1.build(), detector="psychic")
+
+    def test_needs_at_least_one_seed(self):
+        with pytest.raises(AssertionError):
+            detect_races(figure1.build(), seeds=())
+
+
+class TestFuzzRaces:
+    def test_verdict_per_pair_with_requested_trials(self):
+        pairs = [figure1.REAL_PAIR, figure1.FALSE_PAIR]
+        verdicts = fuzz_races(figure1.build(), pairs, trials=9)
+        assert set(verdicts) == set(pairs)
+        assert all(v.trials == 9 for v in verdicts.values())
+
+    def test_base_seed_shifts_runs(self):
+        verdicts_a = fuzz_races(
+            figure1.build(), [figure1.REAL_PAIR], trials=5, base_seed=0
+        )
+        verdicts_b = fuzz_races(
+            figure1.build(), [figure1.REAL_PAIR], trials=5, base_seed=1000
+        )
+        # Both confirm the race (robustness across seed ranges).
+        assert verdicts_a[figure1.REAL_PAIR].is_real
+        assert verdicts_b[figure1.REAL_PAIR].is_real
+
+
+class TestRaceDirectedTest:
+    def test_supplied_pairs_skip_phase1(self):
+        campaign = race_directed_test(
+            figure1.build(), pairs=[figure1.REAL_PAIR], trials=10
+        )
+        assert campaign.potential_pairs == 1
+        assert campaign.phase1.detector == "supplied"
+        assert campaign.real_pairs == [figure1.REAL_PAIR]
+
+    def test_str_rendering(self):
+        campaign = race_directed_test(
+            figure1.build(), pairs=[figure1.REAL_PAIR], trials=5
+        )
+        text = str(campaign)
+        assert "figure1" in text and "1 real" in text
+
+    def test_phase1_pairs_flow_into_phase2(self):
+        campaign = race_directed_test(figure1.build(), trials=5)
+        assert set(campaign.verdicts) == set(campaign.phase1.pairs)
+
+
+class TestBaselineExceptions:
+    def test_counts_exception_types(self):
+        def factory():
+            def main():
+                yield ops.check(False, "always")
+
+            return main()
+
+        counts = baseline_exceptions(Program(factory), runs=5)
+        assert counts["AssertionViolation"] == 5
+
+    def test_deadlock_counted_separately(self):
+        from repro.runtime import Lock
+
+        def factory():
+            lock = Lock("L")
+
+            def waiter():
+                yield lock.acquire()
+                yield lock.wait()
+
+            def main():
+                handle = yield ops.spawn(waiter)
+                yield ops.join(handle)
+
+            return main()
+
+        counts = baseline_exceptions(Program(factory), runs=3)
+        assert counts["Deadlock"] == 3
+
+    def test_scheduler_choices(self):
+        def factory():
+            def main():
+                yield ops.yield_point()
+
+            return main()
+
+        for scheduler in ("default", "random", "random-sync"):
+            counts = baseline_exceptions(
+                Program(factory), runs=2, scheduler=scheduler
+            )
+            assert not counts
+
+    def test_unknown_scheduler_raises(self):
+        def factory():
+            def main():
+                yield ops.yield_point()
+
+            return main()
+
+        with pytest.raises(ValueError):
+            baseline_exceptions(Program(factory), runs=1, scheduler="magic")
+
+
+class TestPipelineOnLostUpdateProgram:
+    """A miniature end-to-end: racy counter -> detect -> fuzz -> classify."""
+
+    @staticmethod
+    def _factory():
+        x = SharedVar("x", 0)
+        total = SharedVar("total", 0)
+
+        def racy():
+            value = yield x.read(label="r")
+            yield x.write(value + 1, label="w")
+
+        def safe():
+            yield total.read()
+
+        def main():
+            handles = yield from spawn_all([racy, racy, safe])
+            yield from join_all(handles)
+
+        return main()
+
+    def test_end_to_end(self):
+        program = Program(self._factory, name="mini")
+        campaign = race_directed_test(program, trials=30, phase1_seeds=range(4))
+        pair_rw = StatementPair(Statement(label="r"), Statement(label="w"))
+        pair_ww = StatementPair(Statement(label="w"), Statement(label="w"))
+        assert set(campaign.phase1.pairs) == {pair_rw, pair_ww}
+        assert set(campaign.real_pairs) == {pair_rw, pair_ww}
+        assert campaign.harmful_pairs == []
+        assert campaign.mean_probability() > 0.9

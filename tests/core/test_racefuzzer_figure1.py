@@ -1,0 +1,88 @@
+"""Experiment E6: RaceFuzzer on the paper's Figure 1, claim by claim."""
+
+import pytest
+
+from repro.core import RaceFuzzer, detect_races, fuzz_pair, race_directed_test
+from repro.runtime.statement import Statement, StatementPair
+from repro.workloads import figure1
+
+TRIALS = 60
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return race_directed_test(figure1.build(), trials=TRIALS, phase1_seeds=range(5))
+
+
+class TestPhase1:
+    def test_hybrid_reports_exactly_the_papers_two_pairs(self):
+        report = detect_races(figure1.build(), seeds=range(5))
+        assert set(report.pairs) == {figure1.REAL_PAIR, figure1.FALSE_PAIR}
+
+
+class TestClassification:
+    def test_real_pair_created_with_probability_one(self, campaign):
+        verdict = campaign.verdicts[figure1.REAL_PAIR]
+        assert verdict.is_real
+        assert verdict.probability == 1.0  # Section 3.1: probability 1
+
+    def test_false_pair_never_created(self, campaign):
+        verdict = campaign.verdicts[figure1.FALSE_PAIR]
+        assert not verdict.is_real
+        assert verdict.probability == 0.0
+        assert not verdict.is_harmful
+
+    def test_error1_reached_in_about_half_the_runs(self, campaign):
+        verdict = campaign.verdicts[figure1.REAL_PAIR]
+        errors = verdict.exceptions.get("AssertionViolation", 0)
+        # Coin-flip resolution: expect ~TRIALS/2; allow wide noise margin.
+        assert TRIALS * 0.25 <= errors <= TRIALS * 0.75
+
+    def test_error2_is_unreachable(self, campaign):
+        for verdict in campaign.verdicts.values():
+            for crash_type in verdict.exceptions:
+                assert crash_type == "AssertionViolation"
+        # And no AssertionViolation ever comes from ERROR2's pair.
+        assert not campaign.verdicts[figure1.FALSE_PAIR].exceptions
+
+    def test_summary_counts_match_paper(self, campaign):
+        assert campaign.potential_pairs == 2
+        assert campaign.real_pairs == [figure1.REAL_PAIR]
+        assert campaign.harmful_pairs == [figure1.REAL_PAIR]
+
+
+class TestNoFalseWarnings:
+    def test_every_reported_race_was_actually_created(self, campaign):
+        """'No false warnings' (Section 1): a pair is reported real only if
+        two threads were brought to adjacent conflicting accesses."""
+        for verdict in campaign.verdicts.values():
+            if verdict.is_real:
+                assert verdict.created_pairs
+                assert verdict.times_created > 0
+
+
+class TestRaceSetForms:
+    def test_fuzzer_accepts_statement_pair_or_set(self):
+        by_pair = RaceFuzzer(figure1.REAL_PAIR)
+        by_set = RaceFuzzer({Statement(label="5"), Statement(label="7")})
+        assert by_pair.race_set == by_set.race_set
+
+    def test_empty_race_set_rejected(self):
+        with pytest.raises(ValueError):
+            RaceFuzzer(set())
+
+    def test_fuzz_pair_runs_once_per_seed(self):
+        outcomes = fuzz_pair(figure1.build(), figure1.REAL_PAIR, seeds=range(7))
+        assert len(outcomes) == 7
+        assert all(outcome.created for outcome in outcomes)
+
+
+class TestHitMetadata:
+    def test_hit_records_location_and_threads(self):
+        fuzzer = RaceFuzzer(figure1.REAL_PAIR)
+        outcome = fuzzer.run(figure1.build(), seed=0)
+        assert outcome.created
+        hit = outcome.hits[0]
+        assert hit.location_name == "z"
+        assert hit.pair == figure1.REAL_PAIR
+        assert len(set(hit.tids)) == 2

@@ -1,0 +1,146 @@
+"""Verdict aggregation and crash attribution."""
+
+from repro.core.postponing import FuzzResult, TargetHit
+from repro.core.results import CampaignReport, PairVerdict
+from repro.detectors.report import RaceReport
+from repro.runtime.interpreter import ExecutionResult, ThreadCrash
+from repro.runtime.errors import SimulatedError
+from repro.runtime.statement import Statement, StatementPair
+
+
+def _pair(a="a", b="b"):
+    return StatementPair(Statement(label=a), Statement(label=b))
+
+
+def _result(crashes=(), deadlock=False):
+    result = ExecutionResult(program="p", seed=0)
+    result.crashes = list(crashes)
+    result.deadlock = deadlock
+    return result
+
+
+def _crash(tid=1, step=50, kind="SimulatedError"):
+    error = SimulatedError("x")
+    error.__class__ = type(kind, (SimulatedError,), {})
+    return ThreadCrash(tid=tid, name=f"t{tid}", error=error, stmt=None, step=step)
+
+
+def _hit(pair, tids=(1, 2), step=10):
+    return TargetHit(
+        step=step, pair=pair, tids=tids, location_name="x", executed_arrival=True
+    )
+
+
+class TestPairVerdictAttribution:
+    def test_crash_after_hit_in_hit_thread_is_attributed(self):
+        verdict = PairVerdict(pair=_pair())
+        hit = _hit(_pair())
+        outcome = FuzzResult(
+            result=_result(crashes=[_crash(tid=2, step=90)]),
+            hits=[hit],
+            pairs_created={_pair()},
+        )
+        verdict.absorb(outcome)
+        assert verdict.is_real and verdict.is_harmful
+        assert sum(verdict.exceptions.values()) == 1
+        assert not verdict.unattributed_exceptions
+
+    def test_crash_before_hit_is_unattributed(self):
+        verdict = PairVerdict(pair=_pair())
+        outcome = FuzzResult(
+            result=_result(crashes=[_crash(tid=2, step=5)]),
+            hits=[_hit(_pair(), step=10)],
+            pairs_created={_pair()},
+        )
+        verdict.absorb(outcome)
+        assert verdict.is_real
+        assert not verdict.is_harmful
+        assert sum(verdict.unattributed_exceptions.values()) == 1
+
+    def test_crash_in_unrelated_thread_is_unattributed(self):
+        verdict = PairVerdict(pair=_pair())
+        outcome = FuzzResult(
+            result=_result(crashes=[_crash(tid=9, step=90)]),
+            hits=[_hit(_pair(), tids=(1, 2))],
+            pairs_created={_pair()},
+        )
+        verdict.absorb(outcome)
+        assert not verdict.is_harmful
+
+    def test_crash_without_any_hit_is_unattributed(self):
+        verdict = PairVerdict(pair=_pair())
+        outcome = FuzzResult(result=_result(crashes=[_crash()]))
+        verdict.absorb(outcome)
+        assert not verdict.is_real
+        assert not verdict.is_harmful
+        assert sum(verdict.unattributed_exceptions.values()) == 1
+
+    def test_probability_and_deadlocks(self):
+        verdict = PairVerdict(pair=_pair())
+        verdict.absorb(FuzzResult(result=_result()))
+        verdict.absorb(
+            FuzzResult(
+                result=_result(deadlock=True),
+                hits=[_hit(_pair())],
+                pairs_created={_pair()},
+            )
+        )
+        assert verdict.trials == 2
+        assert verdict.probability == 0.5
+        assert verdict.deadlocks == 1
+
+    def test_empty_verdict_probability_zero(self):
+        assert PairVerdict(pair=_pair()).probability == 0.0
+
+    def test_describe(self):
+        verdict = PairVerdict(pair=_pair())
+        verdict.absorb(
+            FuzzResult(
+                result=_result(crashes=[_crash(tid=1, step=99)]),
+                hits=[_hit(_pair())],
+                pairs_created={_pair()},
+            )
+        )
+        text = verdict.describe()
+        assert "REAL" in text and "p=1.00" in text and "exceptions=" in text
+
+
+class TestCampaignReport:
+    def _campaign(self):
+        phase1 = RaceReport(program="p", detector="hybrid")
+        campaign = CampaignReport(program="p", phase1=phase1)
+        real = PairVerdict(pair=_pair("a", "b"))
+        real.absorb(
+            FuzzResult(
+                result=_result(crashes=[_crash(tid=1, step=99)]),
+                hits=[_hit(_pair("a", "b"))],
+                pairs_created={_pair("a", "b")},
+            )
+        )
+        false = PairVerdict(pair=_pair("c", "d"))
+        false.absorb(FuzzResult(result=_result()))
+        campaign.verdicts = {_pair("a", "b"): real, _pair("c", "d"): false}
+        return campaign
+
+    def test_real_and_harmful_lists(self):
+        campaign = self._campaign()
+        assert campaign.real_pairs == [_pair("a", "b")]
+        assert campaign.harmful_pairs == [_pair("a", "b")]
+
+    def test_mean_probability_over_real_pairs_only(self):
+        campaign = self._campaign()
+        assert campaign.mean_probability() == 1.0
+
+    def test_mean_probability_empty(self):
+        campaign = CampaignReport(
+            program="p", phase1=RaceReport(program="p", detector="hybrid")
+        )
+        assert campaign.mean_probability() == 0.0
+
+    def test_exception_types_aggregate(self):
+        campaign = self._campaign()
+        assert sum(campaign.exception_types.values()) == 1
+
+    def test_verdict_for(self):
+        campaign = self._campaign()
+        assert campaign.verdict_for(_pair("a", "b")).is_real

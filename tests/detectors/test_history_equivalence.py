@@ -1,0 +1,83 @@
+"""The history-replacement optimization is lossless for statement pairs.
+
+`HistoryRaceDetector` replaces an old access record when a new one with
+the same (tid, stmt, is_write, lockset) key arrives, and caps history
+length.  The module argues (AccessRecord.key docstring) that replacement
+cannot lose a *statement pair*.  This suite checks that claim empirically:
+a naive reference detector that appends every record unconditionally must
+report exactly the same pair set on randomly generated programs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RandomScheduler
+from repro.detectors import HybridRaceDetector
+from repro.detectors.base import AccessRecord
+from repro.runtime import Execution
+
+from tests.runtime.test_replay_determinism import _SCRIPTS, _make_program
+
+
+class NaiveHybridDetector(HybridRaceDetector):
+    """Reference: unbounded history, no key replacement."""
+
+    def __init__(self):
+        super().__init__(history_cap=10**9)
+
+    def _on_mem(self, event):
+        clock = self._clock(event.tid)
+        history = self._histories.setdefault(event.location, [])
+        for record in history:
+            if record.tid == event.tid:
+                continue
+            if not (record.is_write or event.is_write):
+                continue
+            if self.use_lockset and not record.lockset.isdisjoint(event.locks_held):
+                continue
+            if clock.knows(record.tid, record.epoch):
+                continue
+            self.report.record(
+                record.stmt,
+                event.stmt,
+                location=event.location,
+                tids=(record.tid, event.tid),
+                both_write=record.is_write and event.is_write,
+            )
+        history.append(  # no replacement, no cap
+            AccessRecord(
+                tid=event.tid,
+                epoch=clock.get(event.tid),
+                is_write=event.is_write,
+                lockset=event.locks_held,
+                stmt=event.stmt,
+            )
+        )
+
+
+class TestHistoryEquivalence:
+    @given(
+        scripts=st.lists(_SCRIPTS, min_size=1, max_size=3),
+        seed=st.integers(0, 5_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_replacement_reports_exactly_the_naive_pairs(self, scripts, seed):
+        program = _make_program(scripts)
+        optimized = HybridRaceDetector()
+        naive = NaiveHybridDetector()
+        Execution(
+            program, seed=seed, observers=[optimized, naive], max_steps=50_000
+        ).run(RandomScheduler(preemption="every"))
+        assert set(optimized.report.evidence) == set(naive.report.evidence)
+
+    def test_equivalence_on_a_workload(self):
+        from repro.workloads import get
+
+        for name in ("weblech", "linkedlist"):
+            program = get(name).build()
+            optimized = HybridRaceDetector()
+            naive = NaiveHybridDetector()
+            Execution(
+                program, seed=1, observers=[optimized, naive], max_steps=200_000
+            ).run(RandomScheduler(preemption="every"))
+            assert set(optimized.report.evidence) == set(naive.report.evidence), name

@@ -1,0 +1,175 @@
+"""Eraser lockset detector: the initialization state machine and refinement."""
+
+from repro.core import RandomScheduler
+from repro.detectors import EraserLocksetDetector
+from repro.runtime import (
+    Execution,
+    Lock,
+    Program,
+    SharedVar,
+    join_all,
+    ops,
+    spawn_all,
+)
+
+
+def detect_lockset(factory, seed=0):
+    detector = EraserLocksetDetector()
+    Execution(Program(factory), seed=seed, observers=[detector]).run(
+        RandomScheduler(preemption="every")
+    )
+    return detector.report
+
+
+class TestStateMachine:
+    def test_single_threaded_initialization_is_silent(self):
+        """Virgin -> Exclusive: unlocked writes by one thread never alarm."""
+
+        def factory():
+            x = SharedVar("x", 0)
+
+            def main():
+                yield x.write(1)
+                yield x.write(2)
+                yield x.read()
+
+            return main()
+
+        assert len(detect_lockset(factory)) == 0
+
+    def test_shared_read_only_is_silent(self):
+        """Exclusive -> Shared: unlocked foreign reads alone never alarm."""
+
+        def factory():
+            x = SharedVar("x", 0)
+
+            def reader():
+                yield x.read()
+
+            def main():
+                yield x.write(1)
+                handles = yield from spawn_all([reader, reader])
+                yield from join_all(handles)
+
+            return main()
+
+        assert len(detect_lockset(factory)) == 0
+
+    def test_unlocked_foreign_write_alarms(self):
+        def factory():
+            x = SharedVar("x", 0)
+
+            def writer():
+                yield x.write(2)
+
+            def main():
+                yield x.write(1)
+                handle = yield ops.spawn(writer)
+                yield ops.join(handle)
+                yield x.read()
+
+            return main()
+
+        report = detect_lockset(factory)
+        assert len(report) >= 1
+
+    def test_consistent_lock_discipline_is_silent(self):
+        def factory():
+            x = SharedVar("x", 0)
+            lock = Lock("L")
+
+            def worker():
+                yield lock.acquire()
+                value = yield x.read()
+                yield x.write(value + 1)
+                yield lock.release()
+
+            def main():
+                handles = yield from spawn_all([worker, worker])
+                yield from join_all(handles)
+
+            return main()
+
+        for seed in range(5):
+            assert len(detect_lockset(factory, seed=seed)) == 0
+
+    def test_candidate_set_refinement_across_two_locks(self):
+        """Accesses under {A,B} then {A} keep C(v)={A}: silent.  A later
+        access under {B} empties C(v): alarm."""
+
+        def factory():
+            x = SharedVar("x", 0)
+            a, b = Lock("A"), Lock("B")
+
+            def holder_ab():
+                yield a.acquire()
+                yield b.acquire()
+                yield x.write(1)
+                yield b.release()
+                yield a.release()
+
+            def holder_a():
+                yield ops.sleep(10)
+                yield a.acquire()
+                yield x.write(2)
+                yield a.release()
+
+            def holder_b():
+                yield ops.sleep(20)
+                yield b.acquire()
+                yield x.write(3)
+                yield b.release()
+
+            def main():
+                handles = yield from spawn_all([holder_ab, holder_a, holder_b])
+                yield from join_all(handles)
+
+            return main()
+
+        report = detect_lockset(factory)
+        assert len(report) == 1
+
+    def test_lockset_ignores_happens_before(self):
+        """Join-ordered unlocked accesses still alarm under pure lockset —
+        this is why Eraser over-approximates more than hybrid."""
+
+        def factory():
+            x = SharedVar("x", 0)
+
+            def early():
+                yield x.write(1)
+
+            def late():
+                yield x.write(2)
+
+            def main():
+                first = yield ops.spawn(early)
+                yield ops.join(first)
+                second = yield ops.spawn(late)
+                yield ops.join(second)
+
+            return main()
+
+        report = detect_lockset(factory)
+        assert len(report) == 1  # hybrid would be silent here
+
+
+class TestAttribution:
+    def test_pair_names_both_statements(self):
+        def factory():
+            x = SharedVar("x", 0)
+
+            def writer():
+                yield x.write(2, label="foreign-write")
+
+            def main():
+                yield x.write(1, label="init-write")
+                handle = yield ops.spawn(writer)
+                yield ops.join(handle)
+
+            return main()
+
+        report = detect_lockset(factory)
+        (pair,) = report.pairs
+        sites = {pair.first.site, pair.second.site}
+        assert sites == {"init-write", "foreign-write"}

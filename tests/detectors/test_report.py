@@ -1,0 +1,74 @@
+"""RaceReport bookkeeping: dedup, merge, ordering."""
+
+from repro.detectors.report import PairEvidence, RaceReport
+from repro.runtime.location import VarLoc, fresh_uid
+from repro.runtime.statement import Statement, StatementPair
+
+
+def _loc():
+    return VarLoc(fresh_uid(), "x")
+
+
+class TestRecord:
+    def test_first_record_is_new(self):
+        report = RaceReport(program="p", detector="d")
+        fresh = report.record(
+            Statement(label="a"), Statement(label="b"), _loc(), (1, 2), False
+        )
+        assert fresh is True
+        assert len(report) == 1
+
+    def test_duplicate_pair_increments_count(self):
+        report = RaceReport(program="p", detector="d")
+        a, b = Statement(label="a"), Statement(label="b")
+        report.record(a, b, _loc(), (1, 2), False)
+        fresh = report.record(b, a, _loc(), (2, 1), True)  # reversed order
+        assert fresh is False
+        assert len(report) == 1
+        evidence = report.evidence[StatementPair(a, b)]
+        assert evidence.count == 2
+        assert evidence.both_write  # upgraded by the second observation
+
+    def test_pairs_sorted_deterministically(self):
+        report = RaceReport(program="p", detector="d")
+        for label in ("z", "a", "m"):
+            report.record(
+                Statement(label=label), Statement(label="k"), _loc(), (1, 2), False
+            )
+        assert [str(p) for p in report.pairs] == ["(a, k)", "(k, m)", "(k, z)"]
+
+    def test_iteration_and_str(self):
+        report = RaceReport(program="prog", detector="hybrid")
+        report.record(Statement(label="a"), Statement(label="b"), _loc(), (1, 2), True)
+        assert list(report) == report.pairs
+        rendered = str(report)
+        assert "hybrid" in rendered and "prog" in rendered and "(a, b)" in rendered
+        assert "write/write" in rendered
+
+
+class TestMerge:
+    def test_merge_unions_pairs(self):
+        first = RaceReport(program="p", detector="d")
+        second = RaceReport(program="p", detector="d")
+        a, b, c = (Statement(label=l) for l in "abc")
+        first.record(a, b, _loc(), (1, 2), False)
+        second.record(a, b, _loc(), (1, 2), False)
+        second.record(a, c, _loc(), (1, 3), True)
+        second.truncated_locations = 2
+        first.merge(second)
+        assert len(first) == 2
+        assert first.evidence[StatementPair(a, b)].count == 2
+        assert first.truncated_locations == 2
+
+
+class TestEvidence:
+    def test_describe(self):
+        evidence = PairEvidence(
+            pair=StatementPair(Statement(label="a"), Statement(label="b")),
+            location=VarLoc(1, "x"),
+            tids=(1, 2),
+            both_write=False,
+            count=3,
+        )
+        text = evidence.describe()
+        assert "read/write" in text and "3x" in text and "x" in text

@@ -1,0 +1,143 @@
+"""Vector clock laws — unit and property-based."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors import VectorClock
+
+clocks = st.dictionaries(
+    st.integers(0, 5), st.integers(0, 20), min_size=0, max_size=6
+).map(VectorClock)
+
+
+class TestBasics:
+    def test_fresh_thread_clock_starts_at_one(self):
+        clock = VectorClock.for_thread(3)
+        assert clock.get(3) == 1
+        assert clock.get(0) == 0
+
+    def test_tick_advances_own_component(self):
+        clock = VectorClock.for_thread(1)
+        clock.tick(1)
+        assert clock.get(1) == 2
+        clock.tick(9)  # ticking an absent component starts it
+        assert clock.get(9) == 1
+
+    def test_join_is_pointwise_max(self):
+        a = VectorClock({1: 3, 2: 1})
+        b = VectorClock({1: 2, 3: 5})
+        a.join(b)
+        assert (a.get(1), a.get(2), a.get(3)) == (3, 1, 5)
+
+    def test_copy_is_independent(self):
+        a = VectorClock({1: 1})
+        b = a.copy()
+        b.tick(1)
+        assert a.get(1) == 1
+        assert b.get(1) == 2
+
+    def test_equality_ignores_zero_entries(self):
+        assert VectorClock({1: 1, 2: 0}) == VectorClock({1: 1})
+        assert VectorClock({1: 1}) != VectorClock({1: 2})
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(VectorClock())
+
+    def test_repr(self):
+        assert repr(VectorClock({2: 3})) == "VC(2:3)"
+
+    def test_knows_is_epoch_dominance(self):
+        clock = VectorClock({1: 3})
+        assert clock.knows(1, 3)
+        assert clock.knows(1, 2)
+        assert not clock.knows(1, 4)
+        assert not clock.knows(2, 1)
+
+
+class TestConcurrency:
+    def test_fresh_threads_are_concurrent(self):
+        assert VectorClock.for_thread(1).concurrent(VectorClock.for_thread(2))
+
+    def test_message_creates_order(self):
+        sender = VectorClock.for_thread(1)
+        receiver = VectorClock.for_thread(2)
+        snapshot = sender.copy()
+        sender.tick(1)
+        receiver.join(snapshot)
+        assert snapshot.leq(receiver)
+        assert not receiver.leq(snapshot)
+        # Sender's post-tick state is still concurrent with the receiver.
+        assert sender.concurrent(receiver)
+
+
+class TestProperties:
+    @given(a=clocks)
+    @settings(max_examples=50)
+    def test_leq_reflexive(self, a):
+        assert a.leq(a)
+
+    @given(a=clocks, b=clocks)
+    @settings(max_examples=100)
+    def test_leq_antisymmetric_up_to_equality(self, a, b):
+        if a.leq(b) and b.leq(a):
+            assert a == b
+
+    @given(a=clocks, b=clocks, c=clocks)
+    @settings(max_examples=100)
+    def test_leq_transitive(self, a, b, c):
+        if a.leq(b) and b.leq(c):
+            assert a.leq(c)
+
+    @given(a=clocks, b=clocks)
+    @settings(max_examples=100)
+    def test_join_is_least_upper_bound(self, a, b):
+        joined = a.copy()
+        joined.join(b)
+        assert a.leq(joined) and b.leq(joined)
+        # Least: any other upper bound dominates the join.
+        upper = a.copy()
+        upper.join(b)
+        upper.tick(0)
+        assert joined.leq(upper)
+
+    @given(a=clocks, b=clocks)
+    @settings(max_examples=100)
+    def test_join_commutative(self, a, b):
+        left = a.copy()
+        left.join(b)
+        right = b.copy()
+        right.join(a)
+        assert left == right
+
+    @given(a=clocks, b=clocks, c=clocks)
+    @settings(max_examples=100)
+    def test_join_associative(self, a, b, c):
+        left = a.copy()
+        left.join(b)
+        left.join(c)
+        bc = b.copy()
+        bc.join(c)
+        right = a.copy()
+        right.join(bc)
+        assert left == right
+
+    @given(a=clocks)
+    @settings(max_examples=50)
+    def test_join_idempotent(self, a):
+        joined = a.copy()
+        joined.join(a)
+        assert joined == a
+
+    @given(a=clocks, b=clocks)
+    @settings(max_examples=100)
+    def test_concurrent_iff_incomparable(self, a, b):
+        assert a.concurrent(b) == (not a.leq(b) and not b.leq(a))
+
+    @given(a=clocks, tid=st.integers(0, 5))
+    @settings(max_examples=50)
+    def test_tick_strictly_increases(self, a, tid):
+        before = a.copy()
+        a.tick(tid)
+        assert before.leq(a) and before != a

@@ -1,0 +1,38 @@
+"""Figure 2 probability sweep harness."""
+
+import pytest
+
+from repro.harness.figure2_prob import measure_point, render_sweep, sweep
+
+
+@pytest.fixture(scope="module")
+def points():
+    return sweep(paddings=(0, 10), runs=30)
+
+
+class TestSweep:
+    def test_point_fields(self, points):
+        for point in points:
+            assert 0.0 <= point.rf_race_probability <= 1.0
+            assert 0.0 <= point.simple_error_probability <= 1.0
+
+    def test_rf_flat_at_one(self, points):
+        assert all(point.rf_race_probability == 1.0 for point in points)
+
+    def test_passive_not_better_than_rf(self, points):
+        for point in points:
+            assert point.simple_error_probability <= point.rf_error_probability
+
+    def test_render(self, points):
+        text = render_sweep(points)
+        assert "padding" in text
+        assert "RF P(race)" in text
+        assert str(points[0].padding) in text
+
+
+class TestMeasurePoint:
+    def test_single_point(self):
+        point = measure_point(4, runs=20)
+        assert point.padding == 4
+        assert point.rf_race_probability == 1.0
+        assert 0 <= point.rf_error_probability <= 1

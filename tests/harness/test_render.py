@@ -1,0 +1,41 @@
+"""Text-table rendering."""
+
+from repro.harness.render import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_float_two_decimals(self):
+        assert format_cell(0.855) == "0.85" or format_cell(0.855) == "0.86"
+        assert format_cell(1.0) == "1.00"
+
+    def test_passthrough(self):
+        assert format_cell(12) == "12"
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(
+            ["Name", "Value"],
+            [["a", 1], ["longer", 23]],
+            title="My Table",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert "Name" in lines[1] and "Value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        # All rows equal width.
+        assert len({len(line) for line in lines[1:]}) <= 2
+
+    def test_right_aligned_numbers(self):
+        text = render_table(["N", "X"], [["a", 5], ["b", 555]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("  5".rstrip()) or rows[0].endswith("5")
+        assert rows[1].endswith("555")
+
+    def test_empty_rows(self):
+        text = render_table(["A", "B"], [])
+        assert "A" in text

@@ -1,0 +1,60 @@
+"""Table 1 harness: one full row measured end-to-end, and rendering."""
+
+import pytest
+
+from repro.harness.table1 import (
+    Table1Row,
+    build_table,
+    measure_row,
+    render_comparison,
+    render_measured,
+)
+from repro.workloads import get
+
+
+@pytest.fixture(scope="module")
+def raytracer_row():
+    return measure_row(get("raytracer"), trials=20, baseline_runs=10, timing_runs=2)
+
+
+class TestMeasureRow:
+    def test_row_fields(self, raytracer_row):
+        row = raytracer_row
+        assert isinstance(row, Table1Row)
+        assert row.name == "raytracer"
+        assert row.sloc > 50  # module line count
+        assert row.normal_s > 0
+        assert row.hybrid_s > 0
+        assert row.racefuzzer_s > 0
+        assert row.potential == 2
+        assert row.real == 2
+        assert row.harmful == 0
+        assert row.probability == 1.0
+        assert row.campaign is not None
+
+    def test_timing_shape(self, raytracer_row):
+        """The paper's qualitative timing claim: hybrid instrumentation
+        costs more than an uninstrumented run."""
+        assert raytracer_row.hybrid_s > raytracer_row.normal_s
+
+
+class TestRendering:
+    def test_render_measured(self, raytracer_row):
+        text = render_measured([raytracer_row])
+        assert "raytracer" in text
+        assert "Hybrid#" in text
+        assert "RF(real)" in text
+
+    def test_render_comparison_contains_paper_values(self, raytracer_row):
+        text = render_comparison([raytracer_row])
+        assert "2/2" in text  # paper potential / measured potential
+        assert "p/m" in text
+
+    def test_build_table_subset(self):
+        rows = build_table(
+            [get("figure1")] if get("figure1").paper else [get("sor")],
+            trials=10,
+            baseline_runs=5,
+            timing_runs=1,
+        )
+        assert len(rows) == 1

@@ -1,0 +1,95 @@
+"""DeadlockFuzzer pointed at the real JDK-wrapper hazard.
+
+The synchronized-collection drivers exposed a genuine lock-order
+inversion: ``l1.removeAll(l2)`` holds l1's mutex and acquires l2's (via
+``l2.contains``), while ``l2.removeAll(l1)`` does the opposite.  This test
+closes the loop the way a user would: mine the lock-order graph from
+passive runs, hand the cyclic acquire statements to the DeadlockFuzzer,
+and watch it manufacture the deadlock far more reliably than chance.
+"""
+
+from repro.core import (
+    DeadlockFuzzer,
+    RandomScheduler,
+    detect_lock_order_inversions,
+)
+from repro.jdk import HashSet, synchronized_set
+from repro.runtime import Execution, Program, join_all, ops, spawn_all
+
+
+def _cross_remove_all_program(pad: int = 40):
+    def factory():
+        first = synchronized_set(HashSet("first"))
+        second = synchronized_set(HashSet("second"))
+
+        def setup():
+            for value in range(3):
+                yield from first.add(value)
+                yield from second.add(value + 2)
+
+        def left():
+            # Enough skew that many passive schedules serialize the two
+            # bulk calls: the lock-order miner learns edges from *clean*
+            # runs (a blocked acquisition emits no event), exactly like
+            # the original DeadlockFuzzer's Phase 1.
+            for _ in range(pad):
+                yield ops.yield_point()
+            yield from first.remove_all(second)
+
+        def right():
+            yield from second.remove_all(first)
+
+        def main():
+            yield from setup()
+            handles = yield from spawn_all([left, right])
+            yield from join_all(handles)
+
+        return main()
+
+    return Program(factory, name="cross-removeAll")
+
+
+class TestJdkWrapperDeadlock:
+    def test_lock_order_graph_has_the_cycle(self):
+        report = detect_lock_order_inversions(
+            _cross_remove_all_program(), seeds=range(4)
+        )
+        cycles = report.cycles()
+        assert cycles
+        lock_names = {
+            edge.acquired.describe() for pair in cycles for edge in pair
+        }
+        assert any("mutex" in name for name in lock_names)
+
+    def test_directed_beats_passive(self):
+        runs = 25
+        passive = sum(
+            Execution(_cross_remove_all_program(), seed=seed)
+            .run(RandomScheduler("every"))
+            .deadlock
+            for seed in range(runs)
+        )
+        targets = detect_lock_order_inversions(
+            _cross_remove_all_program(), seeds=range(4)
+        ).target_statements()
+        assert targets
+        fuzzer = DeadlockFuzzer(targets, max_steps=100_000)
+        directed = sum(
+            fuzzer.run(_cross_remove_all_program(), seed=seed).deadlock
+            for seed in range(runs)
+        )
+        assert directed > passive
+        assert directed >= runs * 0.6
+
+    def test_deadlocked_threads_hold_the_two_mutexes(self):
+        targets = detect_lock_order_inversions(
+            _cross_remove_all_program(), seeds=range(4)
+        ).target_statements()
+        fuzzer = DeadlockFuzzer(targets, max_steps=100_000)
+        for seed in range(25):
+            outcome = fuzzer.run(_cross_remove_all_program(), seed=seed)
+            if outcome.deadlock:
+                # main + both actors are stuck.
+                assert len(outcome.result.deadlocked_tids) == 3
+                return
+        raise AssertionError("directed fuzzing never produced the deadlock")

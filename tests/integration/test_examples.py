@@ -1,0 +1,64 @@
+"""Every example script runs end-to-end (the docs must not rot)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None):
+    script = EXAMPLES / name
+    assert script.exists(), script
+    old_argv = sys.argv
+    sys.argv = [str(script)] + (argv or [])
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "Phase 1" in out and "Phase 2" in out
+        assert "replayed identically" in out
+
+    def test_figure1(self, capsys):
+        run_example("figure1_races.py")
+        out = capsys.readouterr().out
+        assert "created 100/100" in out
+        assert "created 0/100" in out
+
+    def test_figure2(self, capsys):
+        run_example("figure2_probability.py", ["--runs", "20"])
+        out = capsys.readouterr().out
+        assert "RF P(race)" in out
+        assert "1.00" in out
+
+    def test_jdk_collections_bug(self, capsys):
+        run_example("jdk_collections_bug.py")
+        out = capsys.readouterr().out
+        assert "ConcurrentModificationError" in out
+        assert "fixed version" in out
+        assert "crashes: none" in out
+
+    def test_deadlock_fuzzing(self, capsys):
+        run_example("deadlock_fuzzing.py")
+        out = capsys.readouterr().out
+        assert "deadlock-directed fuzzer" in out
+        assert "cycle:" in out
+
+    def test_atomicity_fuzzing(self, capsys):
+        run_example("atomicity_fuzzing.py")
+        out = capsys.readouterr().out
+        assert "interleavings forced" in out
+
+    def test_native_threads(self, capsys):
+        run_example("native_threads.py")
+        out = capsys.readouterr().out
+        assert "race created" in out
+        assert "Phase 1" in out

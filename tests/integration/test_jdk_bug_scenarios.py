@@ -1,0 +1,166 @@
+"""Section 5.3's JDK bug narratives, reproduced scenario by scenario.
+
+"if we call l1.containsAll(l2) and l2.removeAll() in two threads, where l1
+and l2 are synchronized LinkedLists ..., then we can get both
+ConcurrentModificationException and NoSuchElementException."
+"""
+
+import pytest
+
+from repro.core import RandomScheduler, detect_races, race_directed_test
+from repro.jdk import (
+    ArrayList,
+    HashSet,
+    LinkedList,
+    TreeSet,
+    synchronized_list,
+    synchronized_set,
+)
+from repro.runtime import Execution, Program, join_all, spawn_all
+
+
+def _two_object_scenario(backing_factory, wrap, left_call, right_call):
+    """l1.<left_call>(l2) racing l2.<right_call>(probe)."""
+
+    def factory():
+        first = wrap(backing_factory("obj1"))
+        second = wrap(backing_factory("obj2"))
+        probe = wrap(backing_factory("probe"))
+
+        def setup():
+            for value in range(4):
+                yield from first.add(value)
+                yield from second.add(value)
+            yield from probe.add(2)
+
+        def left():
+            yield from getattr(first, left_call)(second)
+
+        def right():
+            yield from getattr(second, right_call)(probe)
+
+        def main():
+            yield from setup()
+            handles = yield from spawn_all([left, right])
+            yield from join_all(handles)
+
+        return main()
+
+    return Program(factory, name=f"{left_call}-vs-{right_call}")
+
+
+def _collect_exceptions(program, runs=120):
+    seen = set()
+    for seed in range(runs):
+        result = Execution(program, seed=seed, max_steps=100_000).run(
+            RandomScheduler(preemption="every")
+        )
+        seen.update(result.exception_types)
+    return seen
+
+
+class TestLinkedListScenario:
+    def test_contains_all_vs_remove_all_throws_both_exceptions(self):
+        program = _two_object_scenario(
+            LinkedList, synchronized_list, "contains_all", "remove_all"
+        )
+        seen = _collect_exceptions(program)
+        assert "ConcurrentModificationError" in seen
+        assert "NoSuchElementError" in seen
+        assert seen <= {"ConcurrentModificationError", "NoSuchElementError"}
+
+    def test_equals_vs_remove_all_throws(self):
+        program = _two_object_scenario(
+            LinkedList, synchronized_list, "equals", "remove_all"
+        )
+        assert "ConcurrentModificationError" in _collect_exceptions(program)
+
+
+class TestArrayListScenario:
+    def test_contains_all_vs_clear_throws(self):
+        program = _two_object_scenario(
+            ArrayList, synchronized_list, "contains_all", "remove_all"
+        )
+        seen = _collect_exceptions(program)
+        assert "ConcurrentModificationError" in seen
+
+
+class TestSetScenarios:
+    def test_hashset_contains_all_vs_remove_all(self):
+        program = _two_object_scenario(
+            HashSet, synchronized_set, "contains_all", "remove_all"
+        )
+        assert "ConcurrentModificationError" in _collect_exceptions(program)
+
+    def test_treeset_add_all_vs_remove_all(self):
+        program = _two_object_scenario(
+            TreeSet, synchronized_set, "add_all", "remove_all"
+        )
+        assert "ConcurrentModificationError" in _collect_exceptions(program)
+
+
+class TestRaceFuzzerOnTheScenario:
+    """The full pipeline on the paper's exact scenario: the racing pairs
+    are found by Phase 1, confirmed real by Phase 2, and the exceptions
+    are attributed to them."""
+
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        program = _two_object_scenario(
+            LinkedList, synchronized_list, "contains_all", "remove_all"
+        )
+        return race_directed_test(program, trials=25, phase1_seeds=range(5))
+
+    def test_all_pairs_confirmed_real(self, campaign):
+        assert campaign.potential_pairs >= 4
+        assert len(campaign.real_pairs) >= campaign.potential_pairs - 1
+
+    def test_exceptions_attributed(self, campaign):
+        assert "ConcurrentModificationError" in campaign.exception_types
+
+    def test_every_pair_is_on_the_victim_collection(self, campaign):
+        """All racing statements live in the LinkedList internals: the bug
+        is entirely inside the library, as the paper emphasizes."""
+        for pair in campaign.phase1.pairs:
+            for stmt in (pair.first, pair.second):
+                assert "linked_list.py" in stmt.file
+
+
+class TestProperlyLockedControl:
+    def test_manual_client_locking_fixes_it(self):
+        """The JDK-documented fix: callers synchronize on the argument's
+        mutex around bulk operations.  No exceptions under any seed."""
+
+        def factory():
+            first = synchronized_list(LinkedList("obj1"))
+            second = synchronized_list(LinkedList("obj2"))
+            probe = synchronized_list(LinkedList("probe"))
+
+            def setup():
+                for value in range(4):
+                    yield from first.add(value)
+                    yield from second.add(value)
+                yield from probe.add(2)
+
+            def left():
+                # Client-side locking of the iterated collection.
+                yield second.mutex.acquire()
+                yield from first.contains_all(second)
+                yield second.mutex.release()
+
+            def right():
+                yield from second.remove_all(probe)
+
+            def main():
+                yield from setup()
+                handles = yield from spawn_all([left, right])
+                yield from join_all(handles)
+
+            return main()
+
+        program = Program(factory, name="fixed")
+        for seed in range(60):
+            result = Execution(program, seed=seed, max_steps=100_000).run(
+                RandomScheduler(preemption="every")
+            )
+            assert not result.crashes, f"seed {seed}: {result.crashes}"

@@ -1,0 +1,85 @@
+"""The paper's "embarrassingly parallel" property, asserted.
+
+"Since different invocations of RaceFuzzer are independent of each other,
+performance of RaceFuzzer can be increased linearly with the number of
+processors or cores."  (Section 1.)
+
+Independence here means: a trial is a pure function of (program, pair,
+seed).  We check it two ways: (a) trials commute — fuzzing seed ranges in
+any order or partition yields identical aggregated verdicts; (b) a trial's
+outcome is unaffected by the trials that ran before it in the same
+process.
+"""
+
+from repro.core import RaceFuzzer, fuzz_races
+from repro.core.results import PairVerdict
+from repro.workloads import figure1
+
+
+def _fuzz_partition(seed_ranges):
+    """Fuzz each range separately (simulating separate workers), merge."""
+    merged = None
+    for seeds in seed_ranges:
+        fuzzer = RaceFuzzer(figure1.REAL_PAIR)
+        verdict = PairVerdict(pair=figure1.REAL_PAIR)
+        for seed in seeds:
+            verdict.absorb(fuzzer.run(figure1.build(), seed=seed))
+        if merged is None:
+            merged = verdict
+        else:
+            merged.merge(verdict)
+    return merged
+
+
+def _signature(verdict):
+    return (
+        verdict.trials,
+        verdict.times_created,
+        dict(verdict.exceptions),
+        verdict.deadlocks,
+        verdict.created_pairs,
+    )
+
+
+class TestEmbarrassinglyParallel:
+    def test_partitioned_workers_equal_single_worker(self):
+        single = _fuzz_partition([range(40)])
+        two_way = _fuzz_partition([range(20), range(20, 40)])
+        four_way = _fuzz_partition(
+            [range(0, 10), range(10, 20), range(20, 30), range(30, 40)]
+        )
+        assert _signature(single) == _signature(two_way) == _signature(four_way)
+
+    def test_partition_order_is_irrelevant(self):
+        forward = _fuzz_partition([range(15), range(15, 30)])
+        backward = _fuzz_partition([range(15, 30), range(15)])
+        assert _signature(forward) == _signature(backward)
+
+    def test_trial_outcome_independent_of_history(self):
+        """Seed 17's outcome is the same whether it runs cold or after 16
+        other trials on the same fuzzer object."""
+        fuzzer = RaceFuzzer(figure1.REAL_PAIR)
+        for seed in range(17):
+            fuzzer.run(figure1.build(), seed=seed)
+        warm = fuzzer.run(figure1.build(), seed=17)
+        cold = RaceFuzzer(figure1.REAL_PAIR).run(figure1.build(), seed=17)
+        assert warm.created == cold.created
+        assert warm.result.steps == cold.result.steps
+        assert [c.error_type for c in warm.crashes] == [
+            c.error_type for c in cold.crashes
+        ]
+
+    def test_merge_rejects_foreign_pairs(self):
+        import pytest
+
+        mine = PairVerdict(pair=figure1.REAL_PAIR)
+        theirs = PairVerdict(pair=figure1.FALSE_PAIR)
+        with pytest.raises(ValueError):
+            mine.merge(theirs)
+
+    def test_fuzz_races_matches_manual_partition(self):
+        verdicts = fuzz_races(
+            figure1.build(), [figure1.REAL_PAIR], trials=30, base_seed=0
+        )
+        manual = _fuzz_partition([range(30)])
+        assert _signature(verdicts[figure1.REAL_PAIR]) == _signature(manual)

@@ -1,0 +1,183 @@
+"""ArrayList: sequential semantics and fail-fast iterator behaviour."""
+
+import pytest
+
+from repro.jdk import ArrayList
+from repro.runtime.errors import (
+    ConcurrentModificationError,
+    IndexOutOfBoundsError,
+    NoSuchElementError,
+)
+
+from tests.conftest import run_single
+
+
+class TestBasics:
+    def test_add_get_size(self):
+        def body():
+            lst = ArrayList("l")
+            assert (yield from lst.is_empty())
+            yield from lst.add("a")
+            yield from lst.add("b")
+            assert (yield from lst.size()) == 2
+            assert (yield from lst.get(0)) == "a"
+            assert (yield from lst.get(1)) == "b"
+
+        run_single(body)
+
+    def test_set_returns_old_value(self):
+        def body():
+            lst = ArrayList("l")
+            yield from lst.add("a")
+            old = yield from lst.set(0, "z")
+            assert old == "a"
+            assert (yield from lst.get(0)) == "z"
+
+        run_single(body)
+
+    def test_index_of_and_contains(self):
+        def body():
+            lst = ArrayList("l")
+            for value in ("a", "b", "a"):
+                yield from lst.add(value)
+            assert (yield from lst.index_of("a")) == 0
+            assert (yield from lst.index_of("b")) == 1
+            assert (yield from lst.index_of("zzz")) == -1
+            assert (yield from lst.contains("b"))
+            assert not (yield from lst.contains("q"))
+
+        run_single(body)
+
+    def test_remove_at_shifts(self):
+        def body():
+            lst = ArrayList("l")
+            for value in ("a", "b", "c"):
+                yield from lst.add(value)
+            removed = yield from lst.remove_at(1)
+            assert removed == "b"
+            assert (yield from lst.to_pylist()) == ["a", "c"]
+
+        run_single(body)
+
+    def test_remove_by_value(self):
+        def body():
+            lst = ArrayList("l")
+            for value in ("a", "b", "a"):
+                yield from lst.add(value)
+            assert (yield from lst.remove("a"))  # first occurrence only
+            assert (yield from lst.to_pylist()) == ["b", "a"]
+            assert not (yield from lst.remove("zzz"))
+
+        run_single(body)
+
+    def test_clear_is_constant_time_reset(self):
+        def body():
+            lst = ArrayList("l")
+            for value in range(5):
+                yield from lst.add(value)
+            yield from lst.clear()
+            assert (yield from lst.is_empty())
+            assert (yield from lst.to_pylist()) == []
+
+        run_single(body)
+
+    def test_range_checks(self):
+        def body():
+            lst = ArrayList("l")
+            yield from lst.add("a")
+            with pytest.raises(IndexOutOfBoundsError):
+                yield from lst.get(1)
+            with pytest.raises(IndexOutOfBoundsError):
+                yield from lst.get(-1)
+            with pytest.raises(IndexOutOfBoundsError):
+                yield from lst.remove_at(5)
+
+        run_single(body)
+
+
+class TestIterator:
+    def test_full_walk(self):
+        def body():
+            lst = ArrayList("l")
+            for value in ("a", "b", "c"):
+                yield from lst.add(value)
+            iterator = yield from lst.iterator()
+            seen = []
+            while (yield from iterator.has_next()):
+                seen.append((yield from iterator.next()))
+            assert seen == ["a", "b", "c"]
+
+        run_single(body)
+
+    def test_comodification_fails_fast_even_single_threaded(self):
+        """Java semantics: mutating the list invalidates live iterators —
+        no concurrency needed."""
+
+        def body():
+            lst = ArrayList("l")
+            for value in ("a", "b", "c"):
+                yield from lst.add(value)
+            iterator = yield from lst.iterator()
+            yield from iterator.next()
+            yield from lst.add("d")  # bump modCount behind the iterator
+            with pytest.raises(ConcurrentModificationError):
+                yield from iterator.next()
+
+        run_single(body)
+
+    def test_next_past_end_raises_no_such_element(self):
+        def body():
+            lst = ArrayList("l")
+            yield from lst.add("a")
+            iterator = yield from lst.iterator()
+            yield from iterator.next()
+            with pytest.raises(NoSuchElementError):
+                yield from iterator.next()
+
+        run_single(body)
+
+    def test_iterator_remove(self):
+        def body():
+            lst = ArrayList("l")
+            for value in ("a", "b", "c"):
+                yield from lst.add(value)
+            iterator = yield from lst.iterator()
+            while (yield from iterator.has_next()):
+                value = yield from iterator.next()
+                if value == "b":
+                    yield from iterator.remove()
+            assert (yield from lst.to_pylist()) == ["a", "c"]
+
+        run_single(body)
+
+    def test_iterator_remove_before_next_raises(self):
+        def body():
+            lst = ArrayList("l")
+            yield from lst.add("a")
+            iterator = yield from lst.iterator()
+            with pytest.raises(NoSuchElementError):
+                yield from iterator.remove()
+
+        run_single(body)
+
+
+class TestBulkOperations:
+    def test_contains_all_add_all_remove_all_equals(self):
+        def body():
+            first, second = ArrayList("f"), ArrayList("s")
+            for value in (1, 2, 3):
+                yield from first.add(value)
+            for value in (2, 3):
+                yield from second.add(value)
+            assert (yield from first.contains_all(second))
+            assert not (yield from second.contains_all(first))
+            yield from second.add_all(first)
+            assert (yield from second.to_pylist()) == [2, 3, 1, 2, 3]
+            yield from first.remove_all(second)
+            assert (yield from first.to_pylist()) == []
+            other = ArrayList("o")
+            assert (yield from first.equals(other))
+            yield from other.add(9)
+            assert not (yield from first.equals(other))
+
+        run_single(body)

@@ -1,0 +1,142 @@
+"""The synchronized decorators: what they lock, and what they (faithfully)
+fail to lock."""
+
+from repro.core import RandomScheduler
+from repro.jdk import (
+    ArrayList,
+    HashSet,
+    LinkedList,
+    TreeSet,
+    synchronized_list,
+    synchronized_set,
+)
+from repro.runtime import AcquireEvent, EventTrace, Execution, Program
+
+from tests.conftest import run_single
+
+
+class TestDelegation:
+    def test_list_operations_delegate(self):
+        def body():
+            wrapper = synchronized_list(ArrayList("backing"))
+            yield from wrapper.add("a")
+            yield from wrapper.add("b")
+            assert (yield from wrapper.size()) == 2
+            assert (yield from wrapper.get(1)) == "b"
+            assert (yield from wrapper.index_of("a")) == 0
+            old = yield from wrapper.set(0, "z")
+            assert old == "a"
+            assert (yield from wrapper.contains("z"))
+            assert (yield from wrapper.remove("z"))
+            assert not (yield from wrapper.is_empty()) is False or True
+            yield from wrapper.clear()
+            assert (yield from wrapper.is_empty())
+
+        run_single(body)
+
+    def test_set_operations_delegate(self):
+        def body():
+            wrapper = synchronized_set(HashSet("backing"))
+            yield from wrapper.add(1)
+            yield from wrapper.add(1)
+            assert (yield from wrapper.size()) == 1
+            assert (yield from wrapper.to_pylist()) == [1]
+
+        run_single(body)
+
+    def test_bulk_ops_work_sequentially(self):
+        def body():
+            first = synchronized_list(LinkedList("f"))
+            second = synchronized_list(LinkedList("s"))
+            for value in (1, 2, 3):
+                yield from first.add(value)
+            for value in (2, 3):
+                yield from second.add(value)
+            assert (yield from first.contains_all(second))
+            assert not (yield from second.contains_all(first))
+            yield from second.add_all(first)
+            assert (yield from second.to_pylist()) == [2, 3, 1, 2, 3]
+            yield from second.remove_all(first)
+            assert (yield from second.to_pylist()) == []
+            assert not (yield from first.equals(second))
+
+        run_single(body)
+
+    def test_wrapping_all_four_collections(self):
+        def body():
+            for backing in (
+                ArrayList("a"),
+                LinkedList("l"),
+            ):
+                wrapper = synchronized_list(backing)
+                yield from wrapper.add(1)
+                assert (yield from wrapper.size()) == 1
+            for backing in (HashSet("h"), TreeSet("t")):
+                wrapper = synchronized_set(backing)
+                yield from wrapper.add(1)
+                assert (yield from wrapper.size()) == 1
+
+        run_single(body)
+
+    def test_repr(self):
+        wrapper = synchronized_list(ArrayList("backing"))
+        assert "backing" in repr(wrapper)
+
+
+class TestLockingShape:
+    """Verify, via acquire events, the exact JDK locking behaviour that
+    creates the Section 5.3 bug."""
+
+    @staticmethod
+    def _acquired_locks(body_factory):
+        trace = EventTrace()
+
+        def make():
+            def main():
+                yield from body_factory()
+
+            return main()
+
+        Execution(Program(make), observers=[trace]).run(RandomScheduler())
+        return [event.lock.describe() for event in trace.of_type(AcquireEvent)]
+
+    def test_own_operations_lock_own_mutex(self):
+        wrapper_box = {}
+
+        def body():
+            wrapper = synchronized_list(ArrayList("backing"))
+            wrapper_box["w"] = wrapper
+            yield from wrapper.add(1)
+
+        locks = self._acquired_locks(body)
+        assert locks == [wrapper_box["w"].mutex.id.describe()]
+
+    def test_contains_all_locks_only_the_receiver(self):
+        """THE bug: l1.containsAll(l2) acquires l1's mutex but never l2's."""
+        boxes = {}
+
+        def body():
+            first = synchronized_list(LinkedList("b1"))
+            second = synchronized_list(LinkedList("b2"))
+            boxes["first"], boxes["second"] = first, second
+            yield from second.add(1)
+            yield from first.contains_all(second)
+
+        locks = self._acquired_locks(body)
+        second_mutex = boxes["second"].mutex.id.describe()
+        first_mutex = boxes["first"].mutex.id.describe()
+        assert first_mutex in locks
+        # second's mutex is acquired only by the setup add, never by
+        # containsAll's iteration of it:
+        assert locks.count(second_mutex) == 1
+
+    def test_iterator_is_unsynchronized(self):
+        def body():
+            wrapper = synchronized_list(ArrayList("backing"))
+            yield from wrapper.add(1)
+            iterator = yield from wrapper.iterator()
+            while (yield from iterator.has_next()):
+                yield from iterator.next()
+
+        locks = self._acquired_locks(body)
+        assert len(locks) == 1  # only the add

@@ -1,0 +1,143 @@
+"""LinkedList: node ring semantics and fail-fast iteration."""
+
+import pytest
+
+from repro.jdk import LinkedList
+from repro.runtime.errors import (
+    ConcurrentModificationError,
+    IndexOutOfBoundsError,
+    NoSuchElementError,
+)
+
+from tests.conftest import run_single
+
+
+class TestBasics:
+    def test_append_and_walk(self):
+        def body():
+            lst = LinkedList("l")
+            for value in ("a", "b", "c"):
+                yield from lst.add(value)
+            assert (yield from lst.size()) == 3
+            assert (yield from lst.to_pylist()) == ["a", "b", "c"]
+
+        run_single(body)
+
+    def test_add_first_and_get_first(self):
+        def body():
+            lst = LinkedList("l")
+            yield from lst.add("b")
+            yield from lst.add_first("a")
+            assert (yield from lst.get_first()) == "a"
+            assert (yield from lst.to_pylist()) == ["a", "b"]
+
+        run_single(body)
+
+    def test_remove_first(self):
+        def body():
+            lst = LinkedList("l")
+            for value in ("a", "b"):
+                yield from lst.add(value)
+            assert (yield from lst.remove_first()) == "a"
+            assert (yield from lst.to_pylist()) == ["b"]
+
+        run_single(body)
+
+    def test_empty_accessors_raise(self):
+        def body():
+            lst = LinkedList("l")
+            with pytest.raises(NoSuchElementError):
+                yield from lst.get_first()
+            with pytest.raises(NoSuchElementError):
+                yield from lst.remove_first()
+
+        run_single(body)
+
+    def test_get_by_index(self):
+        def body():
+            lst = LinkedList("l")
+            for value in ("a", "b", "c"):
+                yield from lst.add(value)
+            assert (yield from lst.get(2)) == "c"
+            with pytest.raises(IndexOutOfBoundsError):
+                yield from lst.get(3)
+
+        run_single(body)
+
+    def test_remove_by_value_unlinks(self):
+        def body():
+            lst = LinkedList("l")
+            for value in ("a", "b", "c"):
+                yield from lst.add(value)
+            assert (yield from lst.remove("b"))
+            assert (yield from lst.to_pylist()) == ["a", "c"]
+            assert not (yield from lst.remove("zzz"))
+            yield from lst.remove("a")
+            yield from lst.remove("c")
+            assert (yield from lst.is_empty())
+
+        run_single(body)
+
+
+class TestIterator:
+    def test_comodification_fails_fast(self):
+        def body():
+            lst = LinkedList("l")
+            for value in ("a", "b"):
+                yield from lst.add(value)
+            iterator = yield from lst.iterator()
+            yield from iterator.next()
+            yield from lst.remove("b")
+            with pytest.raises(ConcurrentModificationError):
+                yield from iterator.next()
+
+        run_single(body)
+
+    def test_iterator_remove(self):
+        def body():
+            lst = LinkedList("l")
+            for value in ("a", "b", "c"):
+                yield from lst.add(value)
+            iterator = yield from lst.iterator()
+            while (yield from iterator.has_next()):
+                if (yield from iterator.next()) == "b":
+                    yield from iterator.remove()
+            assert (yield from lst.to_pylist()) == ["a", "c"]
+
+        run_single(body)
+
+    def test_next_past_end(self):
+        def body():
+            lst = LinkedList("l")
+            iterator = yield from lst.iterator()
+            assert not (yield from iterator.has_next())
+            with pytest.raises(NoSuchElementError):
+                yield from iterator.next()
+
+        run_single(body)
+
+
+class TestBulkAndClear:
+    def test_clear_via_iterator(self):
+        def body():
+            lst = LinkedList("l")
+            for value in range(4):
+                yield from lst.add(value)
+            yield from lst.clear()
+            assert (yield from lst.is_empty())
+            yield from lst.add("fresh")
+            assert (yield from lst.to_pylist()) == ["fresh"]
+
+        run_single(body)
+
+    def test_equals_pairwise(self):
+        def body():
+            first, second = LinkedList("f"), LinkedList("s")
+            for value in (1, 2):
+                yield from first.add(value)
+                yield from second.add(value)
+            assert (yield from first.equals(second))
+            yield from second.add(3)
+            assert not (yield from first.equals(second))
+
+        run_single(body)

@@ -1,0 +1,134 @@
+"""Model-based property tests: random op sequences vs Python's list/set.
+
+Run single-threaded (the concurrent behaviour is covered by the fuzzing
+integration tests); here hypothesis checks that every collection is a
+correct *sequential* implementation of its contract, which is the
+precondition for calling the concurrent failures "bugs".
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jdk import ArrayList, HashSet, LinkedList, TreeSet, Vector
+
+from tests.conftest import run_single
+
+# op, value — value range kept small to exercise collisions/duplicates
+list_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove", "contains", "size", "clear"]),
+        st.integers(0, 7),
+    ),
+    max_size=25,
+)
+
+set_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove", "contains", "size"]),
+        st.integers(0, 7),
+    ),
+    max_size=25,
+)
+
+
+def _check_list_model(make_collection, script):
+    def body():
+        collection = make_collection()
+        model = []
+        for op, value in script:
+            if op == "add":
+                yield from collection.add(value)
+                model.append(value)
+            elif op == "remove":
+                removed = yield from collection.remove(value)
+                assert removed == (value in model)
+                if removed:
+                    model.remove(value)
+            elif op == "contains":
+                assert (yield from collection.contains(value)) == (value in model)
+            elif op == "size":
+                assert (yield from collection.size()) == len(model)
+            elif op == "clear":
+                yield from collection.clear()
+                model.clear()
+        assert (yield from collection.to_pylist()) == model
+
+    run_single(body)
+
+
+def _check_set_model(make_collection, script, sorted_iteration):
+    def body():
+        collection = make_collection()
+        model = set()
+        for op, value in script:
+            if op == "add":
+                added = yield from collection.add(value)
+                assert added == (value not in model)
+                model.add(value)
+            elif op == "remove":
+                removed = yield from collection.remove(value)
+                assert removed == (value in model)
+                model.discard(value)
+            elif op == "contains":
+                assert (yield from collection.contains(value)) == (value in model)
+            elif op == "size":
+                assert (yield from collection.size()) == len(model)
+        items = yield from collection.to_pylist()
+        assert len(items) == len(model)
+        assert set(items) == model
+        if sorted_iteration:
+            assert items == sorted(model)
+
+    run_single(body)
+
+
+class TestListModels:
+    @given(script=list_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_arraylist_matches_python_list(self, script):
+        _check_list_model(lambda: ArrayList("al"), script)
+
+    @given(script=list_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_linkedlist_matches_python_list(self, script):
+        _check_list_model(lambda: LinkedList("ll"), script)
+
+
+class TestSetModels:
+    @given(script=set_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_hashset_matches_python_set(self, script):
+        _check_set_model(lambda: HashSet("hs", capacity=3), script, False)
+
+    @given(script=set_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_treeset_matches_python_set(self, script):
+        _check_set_model(lambda: TreeSet("ts"), script, True)
+
+
+class TestVectorModel:
+    @given(script=list_ops)
+    @settings(max_examples=40, deadline=None)
+    def test_vector_matches_python_list(self, script):
+        def body():
+            vector = Vector("v")
+            model = []
+            for op, value in script:
+                if op == "add":
+                    yield from vector.add_element(value)
+                    model.append(value)
+                elif op == "remove":
+                    removed = yield from vector.remove_element(value)
+                    assert removed == (value in model)
+                    if removed:
+                        model.remove(value)
+                elif op == "contains":
+                    assert (yield from vector.contains(value)) == (value in model)
+                elif op == "size":
+                    assert (yield from vector.size()) == len(model)
+                elif op == "clear":
+                    yield from vector.remove_all_elements()
+                    model.clear()
+            assert (yield from vector.copy_into()) == model
+
+        run_single(body)

@@ -1,0 +1,173 @@
+"""HashSet and TreeSet semantics and fail-fast iteration."""
+
+import pytest
+
+from repro.jdk import HashSet, TreeSet
+from repro.runtime.errors import ConcurrentModificationError, NoSuchElementError
+
+from tests.conftest import run_single
+
+
+class TestHashSet:
+    def test_add_deduplicates(self):
+        def body():
+            hs = HashSet("s")
+            assert (yield from hs.add(1))
+            assert not (yield from hs.add(1))
+            assert (yield from hs.size()) == 1
+
+        run_single(body)
+
+    def test_contains_and_remove(self):
+        def body():
+            hs = HashSet("s")
+            for value in (1, 2, 3):
+                yield from hs.add(value)
+            assert (yield from hs.contains(2))
+            assert (yield from hs.remove(2))
+            assert not (yield from hs.contains(2))
+            assert not (yield from hs.remove(2))
+
+        run_single(body)
+
+    def test_collisions_share_bucket_correctly(self):
+        def body():
+            hs = HashSet("s", capacity=2)  # force collisions
+            for value in range(8):
+                yield from hs.add(value)
+            assert (yield from hs.size()) == 8
+            for value in range(8):
+                assert (yield from hs.contains(value))
+            assert (yield from hs.remove(4))
+            assert not (yield from hs.contains(4))
+            assert (yield from hs.contains(6))  # same bucket survivor
+
+        run_single(body)
+
+    def test_iterator_sees_every_element_once(self):
+        def body():
+            hs = HashSet("s", capacity=3)
+            for value in range(6):
+                yield from hs.add(value)
+            seen = yield from hs.to_pylist()
+            assert sorted(seen) == list(range(6))
+
+        run_single(body)
+
+    def test_iterator_fails_fast(self):
+        def body():
+            hs = HashSet("s")
+            for value in (1, 2, 3):
+                yield from hs.add(value)
+            iterator = yield from hs.iterator()
+            yield from iterator.next()
+            yield from hs.add(99)
+            with pytest.raises(ConcurrentModificationError):
+                yield from iterator.next()
+
+        run_single(body)
+
+    def test_iterator_remove(self):
+        def body():
+            hs = HashSet("s")
+            for value in (1, 2, 3):
+                yield from hs.add(value)
+            iterator = yield from hs.iterator()
+            while (yield from iterator.has_next()):
+                if (yield from iterator.next()) == 2:
+                    yield from iterator.remove()
+            assert sorted((yield from hs.to_pylist())) == [1, 3]
+
+        run_single(body)
+
+    def test_empty_iterator(self):
+        def body():
+            hs = HashSet("s")
+            iterator = yield from hs.iterator()
+            assert not (yield from iterator.has_next())
+            with pytest.raises(NoSuchElementError):
+                yield from iterator.remove()
+
+        run_single(body)
+
+
+class TestTreeSet:
+    def test_iteration_is_sorted(self):
+        def body():
+            ts = TreeSet("t")
+            for value in (5, 1, 3, 2, 4):
+                yield from ts.add(value)
+            assert (yield from ts.to_pylist()) == [1, 2, 3, 4, 5]
+
+        run_single(body)
+
+    def test_add_deduplicates(self):
+        def body():
+            ts = TreeSet("t")
+            assert (yield from ts.add(2))
+            assert not (yield from ts.add(2))
+            assert (yield from ts.size()) == 1
+
+        run_single(body)
+
+    def test_first(self):
+        def body():
+            ts = TreeSet("t")
+            with pytest.raises(NoSuchElementError):
+                yield from ts.first()
+            yield from ts.add(9)
+            yield from ts.add(4)
+            assert (yield from ts.first()) == 4
+
+        run_single(body)
+
+    def test_contains_uses_order_for_early_exit(self):
+        def body():
+            ts = TreeSet("t")
+            for value in (1, 5, 9):
+                yield from ts.add(value)
+            assert (yield from ts.contains(5))
+            assert not (yield from ts.contains(4))
+            assert not (yield from ts.contains(99))
+
+        run_single(body)
+
+    def test_remove_relinks(self):
+        def body():
+            ts = TreeSet("t")
+            for value in (1, 2, 3):
+                yield from ts.add(value)
+            assert (yield from ts.remove(2))
+            assert (yield from ts.to_pylist()) == [1, 3]
+            assert not (yield from ts.remove(2))
+            assert not (yield from ts.remove(99))
+
+        run_single(body)
+
+    def test_iterator_fails_fast(self):
+        def body():
+            ts = TreeSet("t")
+            for value in (1, 2, 3):
+                yield from ts.add(value)
+            iterator = yield from ts.iterator()
+            yield from iterator.next()
+            yield from ts.remove(3)
+            with pytest.raises(ConcurrentModificationError):
+                yield from iterator.next()
+
+        run_single(body)
+
+    def test_cross_container_bulk_ops(self):
+        def body():
+            ts = TreeSet("t")
+            hs = HashSet("h")
+            for value in (1, 2):
+                yield from ts.add(value)
+                yield from hs.add(value)
+            assert (yield from ts.contains_all(hs))
+            yield from hs.add(3)
+            assert not (yield from ts.contains_all(hs))
+            yield from ts.add_all(hs)
+            assert (yield from ts.to_pylist()) == [1, 2, 3]
+
+        run_single(body)

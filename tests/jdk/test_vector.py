@@ -1,0 +1,171 @@
+"""Vector (JDK 1.1 style): synchronized surface and the benign readers."""
+
+import pytest
+
+from repro.core import RandomScheduler
+from repro.jdk import Vector
+from repro.runtime import AcquireEvent, EventTrace, Execution, Program
+from repro.runtime.errors import NoSuchElementError
+from repro.runtime import join_all, ops, spawn_all
+
+from tests.conftest import run_single
+
+
+class TestVectorBasics:
+    def test_add_element_at_size(self):
+        def body():
+            vec = Vector("v")
+            yield from vec.add_element("a")
+            yield from vec.add_element("b")
+            assert (yield from vec.size()) == 2
+            assert (yield from vec.element_at(0)) == "a"
+            assert (yield from vec.element_at(1)) == "b"
+
+        run_single(body)
+
+    def test_element_at_bounds(self):
+        def body():
+            vec = Vector("v")
+            yield from vec.add_element("a")
+            with pytest.raises(NoSuchElementError):
+                yield from vec.element_at(1)
+            with pytest.raises(NoSuchElementError):
+                yield from vec.element_at(-1)
+
+        run_single(body)
+
+    def test_first_element(self):
+        def body():
+            vec = Vector("v")
+            with pytest.raises(NoSuchElementError):
+                yield from vec.first_element()
+            yield from vec.add_element("x")
+            assert (yield from vec.first_element()) == "x"
+
+        run_single(body)
+
+    def test_remove_element_shifts(self):
+        def body():
+            vec = Vector("v")
+            for value in ("a", "b", "c"):
+                yield from vec.add_element(value)
+            assert (yield from vec.remove_element("b"))
+            assert (yield from vec.copy_into()) == ["a", "c"]
+            assert not (yield from vec.remove_element("zzz"))
+
+        run_single(body)
+
+    def test_set_element_at(self):
+        def body():
+            vec = Vector("v")
+            yield from vec.add_element("a")
+            yield from vec.set_element_at("z", 0)
+            assert (yield from vec.element_at(0)) == "z"
+            with pytest.raises(NoSuchElementError):
+                yield from vec.set_element_at("q", 5)
+
+        run_single(body)
+
+    def test_index_of_and_contains(self):
+        def body():
+            vec = Vector("v")
+            for value in ("a", "b"):
+                yield from vec.add_element(value)
+            assert (yield from vec.index_of("b")) == 1
+            assert (yield from vec.index_of("q")) == -1
+            assert (yield from vec.contains("a"))
+            assert not (yield from vec.contains("q"))
+
+        run_single(body)
+
+    def test_remove_all_elements(self):
+        def body():
+            vec = Vector("v")
+            for value in range(3):
+                yield from vec.add_element(value)
+            yield from vec.remove_all_elements()
+            assert (yield from vec.is_empty())
+            assert (yield from vec.copy_into()) == []
+
+        run_single(body)
+
+    def test_enumeration_walks_all(self):
+        def body():
+            vec = Vector("v")
+            for value in ("a", "b", "c"):
+                yield from vec.add_element(value)
+            enumeration = vec.elements()
+            seen = []
+            while (yield from enumeration.has_more_elements()):
+                seen.append((yield from enumeration.next_element()))
+            assert seen == ["a", "b", "c"]
+
+        run_single(body)
+
+
+class TestSynchronizationSurface:
+    def test_mutators_acquire_the_monitor(self):
+        trace = EventTrace()
+
+        def make():
+            vec = Vector("v")
+
+            def main():
+                yield from vec.add_element("a")
+                yield from vec.element_at(0)
+
+            return main()
+
+        Execution(Program(make), observers=[trace]).run(RandomScheduler())
+        acquires = trace.of_type(AcquireEvent)
+        assert len(acquires) == 2  # one per synchronized method call
+
+    def test_unsync_readers_never_acquire(self):
+        trace = EventTrace()
+
+        def make():
+            vec = Vector("v")
+
+            def main():
+                yield from vec.add_element("a")  # 1 acquire
+                yield from vec.size()  # none
+                yield from vec.is_empty()  # none
+                yield from vec.copy_into()  # none
+                enumeration = vec.elements()
+                while (yield from enumeration.has_more_elements()):
+                    yield from enumeration.next_element()  # none
+
+            return main()
+
+        Execution(Program(make), observers=[trace]).run(RandomScheduler())
+        assert len(trace.of_type(AcquireEvent)) == 1
+
+    def test_enumeration_tolerates_concurrent_shrink(self):
+        """Non-fail-fast: a racing remove_all_elements never makes the
+        enumeration throw (the vector row's 0 exceptions)."""
+
+        def make():
+            vec = Vector("v")
+
+            def enumerator():
+                enumeration = vec.elements()
+                while (yield from enumeration.has_more_elements()):
+                    yield from enumeration.next_element()
+
+            def shrinker():
+                yield from vec.remove_all_elements()
+
+            def main():
+                for value in range(4):
+                    yield from vec.add_element(value)
+                handles = yield from spawn_all([enumerator, shrinker])
+                yield from join_all(handles)
+
+            return main()
+
+        for seed in range(25):
+            result = Execution(Program(make), seed=seed).run(
+                RandomScheduler(preemption="every")
+            )
+            assert not result.crashes, f"seed {seed}: {result.crashes}"
+            assert not result.deadlock

@@ -1,0 +1,297 @@
+"""The real-threads backend: token scheduling, monitors, crash domains."""
+
+import pytest
+
+from repro.native import NativeRuntime
+from repro.runtime.errors import AssertionViolation, IllegalMonitorState
+from repro.runtime.observer import EventTrace
+from repro.runtime.events import AcquireEvent, MemEvent
+
+
+def run_native(program, seed=0, **kwargs):
+    runtime = NativeRuntime(seed=seed, **kwargs)
+    return runtime.run(program, runtime)
+
+
+class TestBasics:
+    def test_single_thread_reads_and_writes(self):
+        observed = {}
+
+        def program(rt):
+            x = rt.var("x", 5)
+            observed["initial"] = rt.read(x)
+            rt.write(x, 9)
+            observed["after"] = rt.read(x)
+
+        result = run_native(program)
+        assert observed == {"initial": 5, "after": 9}
+        assert not result.crashes and not result.deadlock
+        assert result.ops >= 3
+
+    def test_spawn_join(self):
+        log = []
+
+        def program(rt):
+            x = rt.var("x", 0)
+
+            def child(value):
+                rt.write(x, value)
+                log.append(value)
+
+            handle = rt.spawn(child, 42, name="kid")
+            assert handle.name == "kid"
+            rt.join(handle)
+            assert rt.read(x) == 42
+
+        result = run_native(program)
+        assert log == [42]
+        assert not result.crashes
+
+    def test_locked_counter_is_exact_under_all_seeds(self):
+        for seed in range(10):
+            def program(rt):
+                value = rt.var("value", 0)
+                lock = rt.lock("L")
+
+                def worker():
+                    for _ in range(4):
+                        rt.acquire(lock)
+                        rt.write(value, rt.read(value) + 1)
+                        rt.release(lock)
+
+                workers = [rt.spawn(worker) for _ in range(3)]
+                for handle in workers:
+                    rt.join(handle)
+                rt.check(rt.read(value) == 12, "lost update under lock!")
+
+            result = run_native(program, seed=seed)
+            assert not result.crashes, f"seed {seed}: {result.crashes}"
+
+    def test_unlocked_counter_loses_updates_on_some_seed(self):
+        outcomes = set()
+        for seed in range(30):
+            def program(rt):
+                value = rt.var("value", 0)
+
+                def worker():
+                    for _ in range(4):
+                        rt.write(value, rt.read(value) + 1)
+
+                workers = [rt.spawn(worker) for _ in range(2)]
+                for handle in workers:
+                    rt.join(handle)
+                rt.check(rt.read(value) == 8, "lost update")
+
+            outcomes.add(bool(run_native(program, seed=seed).crashes))
+        assert outcomes == {True, False}
+
+    def test_crash_domain(self):
+        def program(rt):
+            def bad():
+                rt.yield_point()
+                raise ValueError("boom")
+
+            handle = rt.spawn(bad)
+            rt.join(handle)
+
+        result = run_native(program)
+        assert result.exception_types == ["ValueError"]
+        assert not result.deadlock
+
+    def test_check_failure(self):
+        def program(rt):
+            rt.check(False, "nope")
+
+        result = run_native(program)
+        assert result.exception_types == ["AssertionViolation"]
+
+
+class TestMonitors:
+    def test_reentrant(self):
+        def program(rt):
+            lock = rt.lock("L")
+            rt.acquire(lock)
+            rt.acquire(lock)
+            rt.release(lock)
+            rt.release(lock)
+
+        assert not run_native(program).crashes
+
+    def test_release_unheld_raises_in_owner(self):
+        def program(rt):
+            lock = rt.lock("L")
+            rt.release(lock)
+
+        result = run_native(program)
+        assert result.exception_types == ["IllegalMonitorState"]
+
+    def test_wait_notify(self):
+        order = []
+
+        def program(rt):
+            lock = rt.lock("L")
+            ready = rt.var("ready", 0)
+
+            def consumer():
+                rt.acquire(lock)
+                while rt.read(ready) == 0:
+                    rt.wait(lock)
+                order.append("consumed")
+                rt.release(lock)
+
+            def producer():
+                rt.acquire(lock)
+                rt.write(ready, 1)
+                order.append("produced")
+                rt.notify(lock)
+                rt.release(lock)
+
+            handles = [rt.spawn(consumer), rt.spawn(producer)]
+            for handle in handles:
+                rt.join(handle)
+
+        for seed in range(10):
+            order.clear()
+            result = run_native(program, seed=seed)
+            assert not result.deadlock, f"seed {seed}"
+            assert order == ["produced", "consumed"], f"seed {seed}: {order}"
+
+    def test_notify_all(self):
+        def program(rt):
+            lock = rt.lock("L")
+            go = rt.var("go", 0)
+            done = rt.var("done", 0)
+
+            def waiter():
+                rt.acquire(lock)
+                while rt.read(go) == 0:
+                    rt.wait(lock)
+                rt.write(done, rt.read(done) + 1)
+                rt.release(lock)
+
+            handles = [rt.spawn(waiter) for _ in range(3)]
+            rt.yield_point()
+            rt.acquire(lock)
+            rt.write(go, 1)
+            rt.notify_all(lock)
+            rt.release(lock)
+            for handle in handles:
+                rt.join(handle)
+            rt.check(rt.read(done) == 3, "a waiter was lost")
+
+        for seed in range(10):
+            result = run_native(program, seed=seed)
+            assert not result.crashes and not result.deadlock, f"seed {seed}"
+
+
+class TestDeadlockAndBudget:
+    def test_deadlock_detected_and_run_terminates(self):
+        def program(rt):
+            a, b = rt.lock("A"), rt.lock("B")
+
+            def forward():
+                rt.acquire(a)
+                rt.yield_point()
+                rt.acquire(b)
+
+            def backward():
+                rt.acquire(b)
+                rt.yield_point()
+                rt.acquire(a)
+
+            handles = [rt.spawn(forward), rt.spawn(backward)]
+            for handle in handles:
+                rt.join(handle)
+
+        deadlocks = sum(run_native(program, seed=s).deadlock for s in range(15))
+        assert deadlocks > 0  # some interleavings cross
+        # And crucially: every run returned (no hung real threads).
+
+    def test_budget_truncation(self):
+        def program(rt):
+            x = rt.var("x", 0)
+            while True:
+                rt.read(x)
+
+        result = run_native(program, max_ops=200)
+        assert result.truncated
+
+
+class TestEventsAndReplay:
+    def test_events_match_generator_engine_shapes(self):
+        trace = EventTrace()
+
+        def program(rt):
+            x = rt.var("x", 0)
+            lock = rt.lock("L")
+            rt.acquire(lock)
+            rt.write(x, 1)
+            rt.release(lock)
+            rt.read(x)
+
+        runtime = NativeRuntime(seed=0, observers=(trace,))
+        runtime.run(program, runtime)
+        mems = trace.of_type(MemEvent)
+        assert len(mems) == 2
+        assert mems[0].is_write and not mems[1].is_write
+        assert mems[0].locks_held  # held the monitor during the write
+        assert not mems[1].locks_held
+        acquires = trace.of_type(AcquireEvent)
+        assert len(acquires) == 1
+        assert acquires[0].stmt is not None
+
+    def test_statement_identity_is_the_call_site(self):
+        trace = EventTrace()
+
+        def program(rt):
+            x = rt.var("x", 0)
+            rt.write(x, 1)  # line A
+            rt.write(x, 2)  # line B
+
+        runtime = NativeRuntime(seed=0, observers=(trace,))
+        runtime.run(program, runtime)
+        stmts = [event.stmt for event in trace.of_type(MemEvent)]
+        assert stmts[0] != stmts[1]
+        assert stmts[0].file.endswith("test_native_runtime.py")
+        assert stmts[1].line == stmts[0].line + 1
+
+    def test_label_overrides_site(self):
+        trace = EventTrace()
+
+        def program(rt):
+            x = rt.var("x", 0)
+            rt.write(x, 1, label="W1")
+
+        runtime = NativeRuntime(seed=0, observers=(trace,))
+        runtime.run(program, runtime)
+        (event,) = trace.of_type(MemEvent)
+        assert event.stmt.site == "W1"
+
+    def test_seed_replay(self):
+        def program(rt):
+            x = rt.var("x", 0)
+
+            def worker():
+                for _ in range(3):
+                    rt.write(x, rt.read(x) + 1)
+
+            handles = [rt.spawn(worker) for _ in range(2)]
+            for handle in handles:
+                rt.join(handle)
+            rt.check(rt.read(x) == 6, "lost")
+
+        def signature(seed):
+            result = run_native(program, seed=seed)
+            return (result.ops, tuple(result.exception_types))
+
+        for seed in range(6):
+            assert signature(seed) == signature(seed)
+
+    def test_runtime_runs_once(self):
+        def program(rt):
+            rt.yield_point()
+
+        runtime = NativeRuntime(seed=0)
+        runtime.run(program, runtime)
+        with pytest.raises(Exception):
+            runtime.run(program, runtime)

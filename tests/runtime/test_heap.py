@@ -1,0 +1,45 @@
+"""Heap semantics: lazy defaults, snapshots."""
+
+from repro.runtime.heap import Heap
+from repro.runtime.location import VarLoc, fresh_uid
+
+
+class TestHeap:
+    def test_read_unwritten_returns_default(self):
+        heap = Heap()
+        loc = VarLoc(fresh_uid(), "x")
+        assert heap.read(loc, default=5) == 5
+        assert heap.read(loc) is None
+        assert not heap.written(loc)
+
+    def test_write_then_read(self):
+        heap = Heap()
+        loc = VarLoc(fresh_uid(), "x")
+        heap.write(loc, 10)
+        assert heap.read(loc, default=5) == 10
+        assert heap.written(loc)
+
+    def test_write_none_shadows_default(self):
+        heap = Heap()
+        loc = VarLoc(fresh_uid(), "x")
+        heap.write(loc, None)
+        assert heap.read(loc, default=5) is None
+
+    def test_distinct_locations_independent(self):
+        heap = Heap()
+        a, b = VarLoc(fresh_uid(), "a"), VarLoc(fresh_uid(), "b")
+        heap.write(a, 1)
+        assert heap.read(b, default=0) == 0
+
+    def test_snapshot_and_len_and_iter(self):
+        heap = Heap()
+        a, b = VarLoc(fresh_uid(), "a"), VarLoc(fresh_uid(), "b")
+        heap.write(a, 1)
+        heap.write(b, 2)
+        snap = heap.snapshot()
+        assert snap == {a: 1, b: 2}
+        assert len(heap) == 2
+        assert set(heap) == {a, b}
+        # snapshot is a copy
+        snap[a] = 99
+        assert heap.read(a) == 1

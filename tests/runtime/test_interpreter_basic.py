@@ -1,0 +1,296 @@
+"""Core engine behaviour: stepping, spawn/join, crash domains, results."""
+
+import pytest
+
+from repro.core import RandomScheduler
+from repro.runtime import (
+    EngineError,
+    EventTrace,
+    Execution,
+    Program,
+    RcvEvent,
+    SchedulerMisuse,
+    SharedVar,
+    SndEvent,
+    ThreadEndEvent,
+    ThreadStartEvent,
+    join_all,
+    ops,
+    spawn_all,
+)
+from repro.runtime.errors import AssertionViolation, SimulatedError
+
+from tests.conftest import run_program, run_single
+
+
+class TestBasicStepping:
+    def test_single_thread_runs_to_completion(self):
+        log = []
+
+        def body():
+            log.append("start")
+            yield ops.yield_point()
+            log.append("end")
+
+        result = run_single(body)
+        assert log == ["start", "end"]
+        assert result.steps >= 1
+
+    def test_read_sends_value_back(self):
+        seen = {}
+
+        def body():
+            x = SharedVar("x", init=7)
+            seen["initial"] = yield x.read()
+            yield x.write(13)
+            seen["after"] = yield x.read()
+
+        run_single(body)
+        assert seen == {"initial": 7, "after": 13}
+
+    def test_step_requires_enabled_thread(self):
+        def make():
+            def main():
+                yield ops.yield_point()
+
+            return main()
+
+        execution = Execution(Program(make))
+        execution.start()
+        with pytest.raises(SchedulerMisuse):
+            execution.step(99)  # unknown thread
+
+    def test_yielding_non_op_is_engine_error(self):
+        def make():
+            def main():
+                yield "not an op"
+
+            return main()
+
+        execution = Execution(Program(make))
+        with pytest.raises(EngineError):
+            execution.run(RandomScheduler())
+
+    def test_cannot_start_twice(self):
+        def make():
+            def main():
+                yield ops.yield_point()
+
+            return main()
+
+        execution = Execution(Program(make))
+        execution.start()
+        with pytest.raises(SchedulerMisuse):
+            execution.start()
+
+
+class TestSpawnJoin:
+    def test_spawn_returns_handle_and_runs_child(self):
+        log = []
+
+        def child(value):
+            log.append(value)
+            yield ops.yield_point()
+
+        def body():
+            handle = yield ops.spawn(child, 42, name="kid")
+            assert handle.name == "kid"
+            yield ops.join(handle)
+
+        run_single(body)
+        assert log == [42]
+
+    def test_join_blocks_until_child_done(self):
+        order = []
+
+        def make():
+            flag = SharedVar("flag", 0)
+
+            def child():
+                yield ops.yield_point()
+                order.append("child-done")
+                yield flag.write(1)
+
+            def main():
+                handle = yield ops.spawn(child)
+                yield ops.join(handle)
+                order.append("after-join")
+                value = yield flag.read()
+                assert value == 1
+
+            return main()
+
+        for seed in range(10):
+            order.clear()
+            result = run_program(make, seed=seed)
+            assert not result.crashes
+            assert order == ["child-done", "after-join"]
+
+    def test_join_on_dead_thread_is_immediate(self):
+        def make():
+            def empty():
+                if False:
+                    yield
+
+            def main():
+                handle = yield ops.spawn(empty)
+                yield ops.yield_point()
+                yield ops.join(handle)
+                yield ops.join(handle)
+
+            return main()
+
+        result = run_program(make)
+        assert not result.crashes and not result.deadlock
+
+    def test_spawn_join_events(self):
+        trace = EventTrace()
+
+        def make():
+            def child():
+                yield ops.yield_point()
+
+            def main():
+                handle = yield ops.spawn(child)
+                yield ops.join(handle)
+
+            return main()
+
+        run_program(make, observers=[trace])
+        starts = trace.of_type(ThreadStartEvent)
+        assert [e.child for e in starts] == [0, 1]
+        # SND/RCV: spawn edge + termination/join edges (child + main term).
+        snds = trace.of_type(SndEvent)
+        rcvs = trace.of_type(RcvEvent)
+        assert len(snds) == 3  # spawn, child term, main term
+        assert len(rcvs) == 2  # child spawn rcv, main join rcv
+        ends = trace.of_type(ThreadEndEvent)
+        assert {e.tid for e in ends} == {0, 1}
+
+    def test_spawn_all_and_join_all(self):
+        counter = SharedVar("n", 0)
+
+        def make():
+            total = SharedVar("total", 0)
+
+            def worker(k):
+                value = yield total.read()
+                yield total.write(value + k)
+
+            def main():
+                handles = yield from spawn_all(
+                    [(lambda k: lambda: worker(k))(k) for k in range(4)]
+                )
+                assert [h.tid for h in handles] == [1, 2, 3, 4]
+                yield from join_all(handles)
+
+            return main()
+
+        result = run_program(make)
+        assert not result.crashes
+
+
+class TestCrashDomains:
+    def test_uncaught_exception_kills_only_its_thread(self):
+        def make():
+            x = SharedVar("x", 0)
+
+            def bad():
+                yield ops.yield_point()
+                raise SimulatedError("boom")
+
+            def good():
+                yield x.write(1)
+
+            def main():
+                handles = yield from spawn_all([bad, good])
+                yield from join_all(handles)
+                value = yield x.read()
+                assert value == 1
+
+            return main()
+
+        result = run_program(make)
+        assert result.exception_types == ["SimulatedError"]
+        assert not result.deadlock
+        crash = result.crashes[0]
+        assert crash.name.startswith("worker")
+        assert "boom" in str(crash)
+
+    def test_check_failure_raises_assertion_violation(self):
+        def make():
+            def main():
+                yield ops.check(1 + 1 == 3, "math broke")
+
+            return main()
+
+        result = run_program(make)
+        assert result.exception_types == ["AssertionViolation"]
+
+    def test_check_success_continues(self):
+        def body():
+            yield ops.check(True, "fine")
+            yield ops.yield_point()
+
+        run_single(body)
+
+    def test_check_failure_is_catchable(self):
+        caught = []
+
+        def body():
+            try:
+                yield ops.check(False, "caught me")
+            except AssertionViolation as err:
+                caught.append(str(err))
+            yield ops.yield_point()
+
+        run_single(body)
+        assert caught == ["caught me"]
+
+    def test_crash_records_statement_and_step(self):
+        def make():
+            x = SharedVar("x", 0)
+
+            def main():
+                yield x.write(1, label="last-op")
+                raise SimulatedError("died")
+
+            return main()
+
+        result = run_program(make)
+        crash = result.crashes[0]
+        assert crash.stmt is not None
+        assert crash.step > 0
+
+
+class TestResults:
+    def test_result_fields(self):
+        def make():
+            def main():
+                yield ops.yield_point()
+                yield ops.yield_point()
+
+            return main()
+
+        result = run_program(make, seed=5)
+        assert result.seed == 5
+        assert result.steps >= 2
+        assert result.wall_time > 0
+        assert not result.truncated
+        assert "seed=5" in str(result)
+
+    def test_max_steps_truncation(self):
+        def make():
+            x = SharedVar("x", 0)
+
+            def main():
+                while True:
+                    yield x.read()
+
+            return main()
+
+        execution = Execution(Program(make), max_steps=50)
+        result = execution.run(RandomScheduler())
+        assert result.truncated
+        assert not result.deadlock  # truncation is not deadlock
+        assert "TRUNCATED" in str(result)

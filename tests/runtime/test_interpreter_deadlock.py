@@ -1,0 +1,116 @@
+"""Real-deadlock detection (Algorithm 1, lines 30-32) at the engine level."""
+
+from repro.core import DefaultScheduler, RandomScheduler
+from repro.runtime import (
+    DeadlockEvent,
+    EventTrace,
+    Execution,
+    Lock,
+    Program,
+    join_all,
+    ops,
+    spawn_all,
+)
+
+
+def _lock_order_inversion_program():
+    a, b = Lock("A"), Lock("B")
+
+    def forward():
+        yield a.acquire()
+        yield ops.yield_point()
+        yield b.acquire()
+        yield b.release()
+        yield a.release()
+
+    def backward():
+        yield b.acquire()
+        yield ops.yield_point()
+        yield a.acquire()
+        yield a.release()
+        yield b.release()
+
+    def main():
+        handles = yield from spawn_all([forward, backward])
+        yield from join_all(handles)
+
+    return main()
+
+
+class TestDeadlockDetection:
+    def test_lock_order_inversion_deadlocks_on_some_seeds(self):
+        results = [
+            Execution(Program(_lock_order_inversion_program), seed=seed).run(
+                RandomScheduler()
+            )
+            for seed in range(30)
+        ]
+        deadlocked = [r for r in results if r.deadlock]
+        clean = [r for r in results if not r.deadlock]
+        assert deadlocked, "no seed deadlocked; inversion program is broken"
+        assert clean, "every seed deadlocked; scheduler diversity is broken"
+
+    def test_deadlocked_tids_include_main_joiner(self):
+        for seed in range(30):
+            result = Execution(
+                Program(_lock_order_inversion_program), seed=seed
+            ).run(RandomScheduler())
+            if result.deadlock:
+                # main (tid 0) is blocked on join, both workers on locks.
+                assert set(result.deadlocked_tids) == {0, 1, 2}
+                return
+        raise AssertionError("expected at least one deadlock in 30 seeds")
+
+    def test_deadlock_event_emitted(self):
+        for seed in range(30):
+            trace = EventTrace()
+            result = Execution(
+                Program(_lock_order_inversion_program), seed=seed, observers=[trace]
+            ).run(RandomScheduler())
+            if result.deadlock:
+                events = trace.of_type(DeadlockEvent)
+                assert len(events) == 1
+                assert set(events[0].blocked) == set(result.deadlocked_tids)
+                return
+        raise AssertionError("expected at least one deadlock in 30 seeds")
+
+    def test_waiting_forever_is_deadlock(self):
+        def make():
+            lock = Lock("L")
+
+            def waiter():
+                yield lock.acquire()
+                yield lock.wait()  # nobody will ever notify
+                yield lock.release()
+
+            def main():
+                handle = yield ops.spawn(waiter)
+                yield ops.join(handle)
+
+            return main()
+
+        result = Execution(Program(make)).run(RandomScheduler())
+        assert result.deadlock
+        assert set(result.deadlocked_tids) == {0, 1}
+
+    def test_self_join_is_deadlock(self):
+        def make():
+            def main():
+                # A thread can't join itself; tid 0 is main.
+                yield ops.join(0)
+
+            return main()
+
+        result = Execution(Program(make)).run(DefaultScheduler())
+        assert result.deadlock
+
+    def test_clean_termination_is_not_deadlock(self):
+        def make():
+            def main():
+                yield ops.yield_point()
+
+            return main()
+
+        result = Execution(Program(make)).run(RandomScheduler())
+        assert not result.deadlock
+        assert result.deadlocked_tids == ()

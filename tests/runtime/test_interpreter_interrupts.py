@@ -1,0 +1,206 @@
+"""Interrupt semantics: wait/sleep interruption, flag polling, Java fidelity."""
+
+from repro.runtime import (
+    InterruptedException,
+    Lock,
+    SharedVar,
+    ops,
+)
+
+from tests.conftest import run_program
+
+
+class TestInterruptWaiting:
+    def test_interrupt_waiting_thread_raises_inside_it(self, rng_seeds):
+        outcomes = []
+
+        def make():
+            lock = Lock("L")
+
+            def waiter():
+                yield lock.acquire()
+                try:
+                    yield lock.wait()
+                    outcomes.append("woke")
+                except InterruptedException:
+                    outcomes.append("interrupted")
+                yield lock.release()
+
+            def main():
+                handle = yield ops.spawn(waiter)
+                yield ops.yield_point()
+                yield ops.yield_point()
+                yield ops.interrupt(handle)
+                yield ops.join(handle)
+
+            return main()
+
+        for seed in rng_seeds:
+            outcomes.clear()
+            result = run_program(make, seed=seed)
+            assert not result.deadlock, f"seed {seed}"
+            assert outcomes == ["interrupted"], f"seed {seed}: {outcomes}"
+
+    def test_interrupted_waiter_reacquires_lock_before_throwing(self):
+        """Java: the InterruptedException is delivered with the monitor held."""
+
+        def make():
+            lock = Lock("L")
+            witness = SharedVar("witness", 0)
+
+            def waiter():
+                yield lock.acquire()
+                try:
+                    yield lock.wait()
+                except InterruptedException:
+                    # We must own the monitor here: this write is protected.
+                    yield witness.write(1)
+                yield lock.release()
+
+            def main():
+                handle = yield ops.spawn(waiter)
+                yield ops.yield_point()
+                yield ops.yield_point()
+                yield ops.interrupt(handle)
+                yield ops.join(handle)
+                value = yield witness.read()
+                yield ops.check(value == 1, "waiter never saw the interrupt")
+
+            return main()
+
+        for seed in range(10):
+            result = run_program(make, seed=seed)
+            assert not result.crashes and not result.deadlock, f"seed {seed}"
+
+    def test_uncaught_interrupt_kills_the_thread(self):
+        def make():
+            lock = Lock("L")
+
+            def waiter():
+                yield lock.acquire()
+                yield lock.wait()  # no try/except: crash on interrupt
+                yield lock.release()
+
+            def main():
+                handle = yield ops.spawn(waiter)
+                yield ops.yield_point()
+                yield ops.yield_point()
+                yield ops.interrupt(handle)
+                yield ops.join(handle)
+
+            return main()
+
+        result = run_program(make, seed=1)
+        assert result.exception_types == ["InterruptedException"]
+        assert not result.deadlock
+
+
+class TestInterruptSleeping:
+    def test_interrupt_wakes_sleeper_early(self):
+        def make():
+            def sleeper():
+                try:
+                    yield ops.sleep(10_000)
+                except InterruptedException:
+                    pass
+
+            def main():
+                handle = yield ops.spawn(sleeper)
+                yield ops.yield_point()
+                yield ops.interrupt(handle)
+                yield ops.join(handle)
+
+            return main()
+
+        result = run_program(make, max_steps=5_000)
+        assert not result.truncated  # woke long before 10k ticks
+        assert not result.crashes and not result.deadlock
+
+
+class TestInterruptFlag:
+    def test_interrupt_runnable_thread_sets_flag(self):
+        observed = {}
+
+        def make():
+            def worker():
+                yield ops.yield_point()
+                yield ops.yield_point()
+                yield ops.yield_point()
+                observed["first"] = yield ops.interrupted()
+                observed["second"] = yield ops.interrupted()  # poll clears
+
+            def main():
+                handle = yield ops.spawn(worker)
+                yield ops.interrupt(handle)
+                yield ops.join(handle)
+
+            return main()
+
+        result = run_program(make, seed=3)
+        assert not result.crashes
+        assert observed == {"first": True, "second": False}
+
+    def test_wait_with_pending_flag_throws_immediately(self):
+        outcomes = []
+
+        def make():
+            lock = Lock("L")
+
+            def worker():
+                yield ops.yield_point()
+                yield ops.yield_point()
+                yield lock.acquire()
+                try:
+                    yield lock.wait()
+                except InterruptedException:
+                    outcomes.append("immediate")
+                yield lock.release()
+
+            def main():
+                handle = yield ops.spawn(worker)
+                yield ops.interrupt(handle)  # lands while runnable
+                yield ops.join(handle)
+
+            return main()
+
+        result = run_program(make, seed=0)
+        assert not result.deadlock
+        assert outcomes == ["immediate"]
+
+    def test_sleep_with_pending_flag_throws_immediately(self):
+        outcomes = []
+
+        def make():
+            def worker():
+                yield ops.yield_point()
+                yield ops.yield_point()
+                try:
+                    yield ops.sleep(100)
+                except InterruptedException:
+                    outcomes.append("immediate")
+
+            def main():
+                handle = yield ops.spawn(worker)
+                yield ops.interrupt(handle)
+                yield ops.join(handle)
+
+            return main()
+
+        result = run_program(make, seed=0, max_steps=1_000)
+        assert outcomes == ["immediate"]
+        assert not result.truncated
+
+    def test_interrupt_dead_thread_is_noop(self):
+        def make():
+            def quick():
+                yield ops.yield_point()
+
+            def main():
+                handle = yield ops.spawn(quick)
+                yield ops.join(handle)
+                yield ops.interrupt(handle)  # already dead
+
+            return main()
+
+        result = run_program(make)
+        assert not result.crashes and not result.deadlock

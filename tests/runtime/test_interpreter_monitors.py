@@ -1,0 +1,306 @@
+"""Monitor semantics: blocking, reentrancy, wait/notify two-stage wakeup."""
+
+import pytest
+
+from repro.core import RandomScheduler
+from repro.runtime import (
+    AcquireEvent,
+    EventTrace,
+    Execution,
+    IllegalMonitorState,
+    Lock,
+    Program,
+    ReleaseEvent,
+    SharedVar,
+    join_all,
+    ops,
+    spawn_all,
+)
+
+from tests.conftest import run_program, run_single
+
+
+class TestMutualExclusion:
+    def test_critical_section_is_atomic_under_all_seeds(self, rng_seeds):
+        def make():
+            x = SharedVar("x", 0)
+            lock = Lock("L")
+
+            def worker():
+                for _ in range(5):
+                    yield lock.acquire()
+                    value = yield x.read()
+                    yield x.write(value + 1)
+                    yield lock.release()
+
+            def main():
+                handles = yield from spawn_all([worker, worker])
+                yield from join_all(handles)
+                total = yield x.read()
+                yield ops.check(total == 10, f"lost updates: {total}")
+
+            return main()
+
+        for seed in rng_seeds:
+            result = run_program(make, seed=seed)
+            assert not result.crashes, f"seed {seed}: {result.crashes}"
+
+    def test_unlocked_counter_loses_updates_on_some_seed(self, rng_seeds):
+        """The negative control: without the lock, some schedule loses one."""
+
+        def make():
+            x = SharedVar("x", 0)
+
+            def worker():
+                for _ in range(5):
+                    value = yield x.read()
+                    yield x.write(value + 1)
+
+            def main():
+                handles = yield from spawn_all([worker, worker])
+                yield from join_all(handles)
+                total = yield x.read()
+                yield ops.check(total == 10, f"lost updates: {total}")
+
+            return main()
+
+        outcomes = {run_program(make, seed=seed).crashes != [] for seed in range(30)}
+        assert True in outcomes, "expected at least one seed to lose an update"
+
+    def test_reentrant_locking(self):
+        def body():
+            lock = Lock("L")
+            yield lock.acquire()
+            yield lock.acquire()
+            yield lock.release()
+            yield lock.release()
+
+        run_single(body)
+
+    def test_blocked_thread_waits_for_release(self):
+        order = []
+
+        def make():
+            lock = Lock("L")
+
+            def holder():
+                yield lock.acquire()
+                order.append("holder-in")
+                yield ops.yield_point()
+                yield ops.yield_point()
+                order.append("holder-out")
+                yield lock.release()
+
+            def contender():
+                yield ops.yield_point()  # let holder get there first sometimes
+                yield lock.acquire()
+                order.append("contender-in")
+                yield lock.release()
+
+            def main():
+                handles = yield from spawn_all([holder, contender])
+                yield from join_all(handles)
+
+            return main()
+
+        for seed in range(10):
+            order.clear()
+            run_program(make, seed=seed)
+            if order[0] == "holder-in":
+                assert order.index("holder-out") < order.index("contender-in")
+
+
+class TestMonitorMisuse:
+    def test_release_without_acquire(self):
+        def make():
+            lock = Lock("L")
+
+            def main():
+                yield lock.release()
+
+            return main()
+
+        with pytest.raises(IllegalMonitorState):
+            run_program(make)
+
+    def test_notify_without_holding(self):
+        def make():
+            lock = Lock("L")
+
+            def main():
+                yield lock.notify()
+
+            return main()
+
+        with pytest.raises(IllegalMonitorState):
+            run_program(make)
+
+    def test_wait_without_holding(self):
+        def make():
+            lock = Lock("L")
+
+            def main():
+                yield lock.wait()
+
+            return main()
+
+        with pytest.raises(IllegalMonitorState):
+            run_program(make)
+
+
+class TestWaitNotify:
+    @staticmethod
+    def _producer_consumer_program():
+        lock = Lock("L")
+        ready = SharedVar("ready", 0)
+        log = []
+
+        def consumer():
+            yield lock.acquire()
+            while (yield ready.read()) == 0:
+                yield lock.wait()
+            log.append("consumed")
+            yield lock.release()
+
+        def producer():
+            yield lock.acquire()
+            yield ready.write(1)
+            log.append("produced")
+            yield lock.notify()
+            yield lock.release()
+
+        def main():
+            handles = yield from spawn_all([consumer, producer])
+            yield from join_all(handles)
+
+        return main, log
+
+    def test_wait_releases_and_reacquires(self, rng_seeds):
+        for seed in rng_seeds:
+            holder = {}
+
+            def make():
+                main, log = self._producer_consumer_program()
+                holder["log"] = log
+                return main()
+
+            result = run_program(make, seed=seed)
+            assert not result.deadlock, f"seed {seed}"
+            assert holder["log"] == ["produced", "consumed"]
+
+    def test_notify_all_wakes_everyone(self, rng_seeds):
+        def make():
+            lock = Lock("L")
+            go = SharedVar("go", 0)
+            done = SharedVar("done", 0)
+
+            def waiter():
+                yield lock.acquire()
+                while (yield go.read()) == 0:
+                    yield lock.wait()
+                count = yield done.read()
+                yield done.write(count + 1)
+                yield lock.release()
+
+            def main():
+                handles = yield from spawn_all([waiter] * 3)
+                yield ops.yield_point()
+                yield lock.acquire()
+                yield go.write(1)
+                yield lock.notify_all()
+                yield lock.release()
+                yield from join_all(handles)
+                count = yield done.read()
+                yield ops.check(count == 3, f"only {count} woke up")
+
+            return main()
+
+        for seed in rng_seeds:
+            result = run_program(make, seed=seed)
+            assert not result.crashes and not result.deadlock, f"seed {seed}"
+
+    def test_single_notify_wakes_exactly_one(self):
+        """With two waiters and one notify, one stays waiting -> deadlock."""
+
+        def make():
+            lock = Lock("L")
+
+            def waiter():
+                yield lock.acquire()
+                yield lock.wait()  # no condition loop on purpose
+                yield lock.release()
+
+            def main():
+                handles = yield from spawn_all([waiter, waiter])
+                yield ops.yield_point()
+                yield ops.yield_point()
+                yield lock.acquire()
+                yield lock.notify()
+                yield lock.release()
+                yield from join_all(handles)
+
+            return main()
+
+        deadlocks = sum(run_program(make, seed=s).deadlock for s in range(10))
+        assert deadlocks == 10
+
+    def test_notify_before_wait_is_lost(self):
+        """Java semantics: a notify with an empty wait set does nothing."""
+
+        def make():
+            lock = Lock("L")
+
+            def main():
+                yield lock.acquire()
+                yield lock.notify()
+                yield lock.notify_all()
+                yield lock.release()
+
+            return main()
+
+        result = run_program(make)
+        assert not result.deadlock and not result.crashes
+
+    def test_wait_preserves_reentrant_depth(self):
+        def make():
+            lock = Lock("L")
+            flag = SharedVar("flag", 0)
+
+            def waiter():
+                yield lock.acquire()
+                yield lock.acquire()  # depth 2
+                while (yield flag.read()) == 0:
+                    yield lock.wait()
+                yield lock.release()
+                yield lock.release()  # both releases must succeed
+
+            def main():
+                handle = yield ops.spawn(waiter)
+                yield ops.yield_point()
+                yield ops.yield_point()
+                yield lock.acquire()
+                yield flag.write(1)
+                yield lock.notify()
+                yield lock.release()
+                yield ops.join(handle)
+
+            return main()
+
+        for seed in range(10):
+            result = run_program(make, seed=seed)
+            assert not result.crashes and not result.deadlock, f"seed {seed}"
+
+    def test_acquire_release_events_outermost_only(self):
+        trace = EventTrace()
+
+        def body():
+            lock = Lock("L")
+            yield lock.acquire()
+            yield lock.acquire()
+            yield lock.release()
+            yield lock.release()
+
+        run_single(body, observers=[trace])
+        assert len(trace.of_type(AcquireEvent)) == 1
+        assert len(trace.of_type(ReleaseEvent)) == 1
+        assert trace.of_type(AcquireEvent)[0].stmt is not None

@@ -1,0 +1,100 @@
+"""Abstract-time sleep: tick accounting and clock fast-forward."""
+
+from repro.core import RandomScheduler
+from repro.runtime import Execution, Program, SharedVar, ops
+
+
+class TestSleep:
+    def test_sleep_delays_relative_to_peer(self):
+        order = []
+
+        def make():
+            def sleeper():
+                yield ops.sleep(50)
+                order.append("sleeper")
+
+            def busy():
+                for _ in range(5):
+                    yield ops.yield_point()
+                order.append("busy")
+
+            def main():
+                a = yield ops.spawn(sleeper)
+                b = yield ops.spawn(busy)
+                yield ops.join(b)
+                yield ops.join(a)
+
+            return main()
+
+        for seed in range(10):
+            order.clear()
+            Execution(Program(make), seed=seed).run(RandomScheduler())
+            assert order == ["busy", "sleeper"], f"seed {seed}: {order}"
+
+    def test_clock_fast_forwards_when_only_sleepers_remain(self):
+        def make():
+            def main():
+                yield ops.sleep(10_000)
+
+            return main()
+
+        execution = Execution(Program(make), max_steps=500)
+        result = execution.run(RandomScheduler())
+        # Without fast-forward this would burn 10k steps and truncate.
+        assert not result.truncated
+        assert not result.deadlock
+        assert execution.step_count >= 10_000  # the clock really advanced
+
+    def test_two_sleepers_wake_in_order(self):
+        order = []
+
+        def make():
+            def napper(name, ticks):
+                yield ops.sleep(ticks)
+                order.append(name)
+
+            def main():
+                a = yield ops.spawn(napper, "long", 500)
+                b = yield ops.spawn(napper, "short", 100)
+                yield ops.join(a)
+                yield ops.join(b)
+
+            return main()
+
+        for seed in range(5):
+            order.clear()
+            Execution(Program(make), seed=seed).run(RandomScheduler())
+            assert order == ["short", "long"], f"seed {seed}: {order}"
+
+    def test_sleep_zero_still_yields(self):
+        def make():
+            def main():
+                yield ops.sleep(0)
+
+            return main()
+
+        result = Execution(Program(make)).run(RandomScheduler())
+        assert not result.deadlock
+
+    def test_sleeper_does_not_block_others(self):
+        def make():
+            x = SharedVar("x", 0)
+
+            def sleeper():
+                yield ops.sleep(30)
+
+            def writer():
+                yield x.write(1)
+
+            def main():
+                a = yield ops.spawn(sleeper)
+                b = yield ops.spawn(writer)
+                yield ops.join(b)
+                value = yield x.read()
+                assert value == 1
+                yield ops.join(a)
+
+            return main()
+
+        result = Execution(Program(make)).run(RandomScheduler())
+        assert not result.crashes and not result.deadlock

@@ -1,0 +1,68 @@
+"""Location value objects and lock identities."""
+
+from repro.runtime.location import (
+    ElemLoc,
+    FieldLoc,
+    LockId,
+    VarLoc,
+    fresh_uid,
+)
+
+
+class TestUids:
+    def test_fresh_uids_are_unique_and_increasing(self):
+        first, second = fresh_uid(), fresh_uid()
+        assert second > first
+
+
+class TestVarLoc:
+    def test_equality_by_uid_not_name(self):
+        uid = fresh_uid()
+        assert VarLoc(uid, "a") == VarLoc(uid, "b")  # name is debug-only
+        assert VarLoc(fresh_uid(), "a") != VarLoc(fresh_uid(), "a")
+
+    def test_describe(self):
+        assert VarLoc(1, "x").describe() == "x"
+        assert VarLoc(7, "").describe() == "var#7"
+        assert str(VarLoc(1, "x")) == "x"
+
+
+class TestFieldLoc:
+    def test_fields_of_same_object_differ(self):
+        uid = fresh_uid()
+        assert FieldLoc(uid, "o", "a") != FieldLoc(uid, "o", "b")
+        assert FieldLoc(uid, "o", "a") == FieldLoc(uid, "other-name", "a")
+
+    def test_describe(self):
+        assert FieldLoc(3, "task", "busy").describe() == "task.busy"
+        assert FieldLoc(3, "", "busy").describe() == "obj#3.busy"
+
+
+class TestElemLoc:
+    def test_elements_differ_by_index(self):
+        uid = fresh_uid()
+        assert ElemLoc(uid, "a", 0) != ElemLoc(uid, "a", 1)
+        assert ElemLoc(uid, "a", 2) == ElemLoc(uid, "b", 2)
+
+    def test_describe(self):
+        assert ElemLoc(5, "arr", 2).describe() == "arr[2]"
+
+
+class TestCrossKindInequality:
+    def test_different_kinds_never_equal(self):
+        uid = fresh_uid()
+        assert VarLoc(uid, "x") != FieldLoc(uid, "x", "")
+        assert FieldLoc(uid, "x", "f") != ElemLoc(uid, "x", 0)
+
+
+class TestLockId:
+    def test_identity_and_describe(self):
+        uid = fresh_uid()
+        assert LockId(uid, "L") == LockId(uid, "M")
+        assert LockId(uid, "L").describe() == "L"
+        assert LockId(uid, "").describe() == f"lock#{uid}"
+        assert LockId(uid, "L") != LockId(fresh_uid(), "L")
+
+    def test_locks_are_not_locations(self):
+        uid = fresh_uid()
+        assert LockId(uid, "L") != VarLoc(uid, "L")

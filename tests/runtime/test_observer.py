@@ -1,0 +1,96 @@
+"""Observer protocol: fan-out, tracing, MemEvent gating."""
+
+from repro.core import RandomScheduler
+from repro.runtime import (
+    EventTrace,
+    Execution,
+    ExecutionObserver,
+    MemEvent,
+    ObserverChain,
+    Program,
+    SharedVar,
+    ops,
+)
+
+
+def _tiny_program():
+    x = SharedVar("x", 0)
+
+    def main():
+        yield x.write(1)
+        yield x.read()
+        yield ops.yield_point()
+
+    return main()
+
+
+class _Recorder(ExecutionObserver):
+    def __init__(self, wants_mem=True):
+        self.wants_mem_events = wants_mem
+        self.started = 0
+        self.finished = 0
+        self.events = []
+
+    def on_start(self, execution):
+        self.started += 1
+
+    def on_event(self, event):
+        self.events.append(event)
+
+    def on_finish(self, execution):
+        self.finished += 1
+
+
+class TestObserverLifecycle:
+    def test_start_and_finish_called_once(self):
+        recorder = _Recorder()
+        Execution(Program(_tiny_program), observers=[recorder]).run(
+            RandomScheduler()
+        )
+        assert recorder.started == 1
+        assert recorder.finished == 1
+        assert recorder.events
+
+    def test_chain_fans_out_in_order(self):
+        first, second = _Recorder(), _Recorder()
+        chain = ObserverChain([first, second])
+        Execution(Program(_tiny_program), observers=[chain]).run(RandomScheduler())
+        assert len(first.events) == len(second.events) > 0
+
+    def test_no_observers_no_cost_path_still_correct(self):
+        result = Execution(Program(_tiny_program)).run(RandomScheduler())
+        assert not result.crashes
+
+
+class TestMemEventGating:
+    def test_mem_events_skipped_when_no_observer_wants_them(self):
+        recorder = _Recorder(wants_mem=False)
+        Execution(Program(_tiny_program), observers=[recorder]).run(
+            RandomScheduler()
+        )
+        assert not [e for e in recorder.events if isinstance(e, MemEvent)]
+        # Non-mem events still flow.
+        assert recorder.events
+
+    def test_mixed_chain_delivers_mem_events(self):
+        hungry, indifferent = _Recorder(wants_mem=True), _Recorder(wants_mem=False)
+        Execution(
+            Program(_tiny_program), observers=[hungry, indifferent]
+        ).run(RandomScheduler())
+        assert [e for e in hungry.events if isinstance(e, MemEvent)]
+
+
+class TestEventTrace:
+    def test_of_type_filters(self):
+        trace = EventTrace()
+        Execution(Program(_tiny_program), observers=[trace]).run(RandomScheduler())
+        mems = trace.of_type(MemEvent)
+        assert len(mems) == 2
+        assert mems[0].is_write and not mems[1].is_write
+        assert mems[0].locks_held == frozenset()
+
+    def test_steps_strictly_increase(self):
+        trace = EventTrace()
+        Execution(Program(_tiny_program), observers=[trace]).run(RandomScheduler())
+        steps = [event.step for event in trace.events]
+        assert steps == sorted(steps)

@@ -1,0 +1,102 @@
+"""Operation descriptor construction and classification."""
+
+import pytest
+
+from repro.runtime import ops
+from repro.runtime.location import LockId, VarLoc, fresh_uid
+from repro.runtime.ops import MEM_KINDS, SYNC_KINDS, Op, OpKind
+
+
+@pytest.fixture
+def loc():
+    return VarLoc(fresh_uid(), "x")
+
+
+@pytest.fixture
+def lock_id():
+    return LockId(fresh_uid(), "L")
+
+
+class TestConstructors:
+    def test_read(self, loc):
+        op = ops.read(loc, default=42)
+        assert op.kind is OpKind.READ
+        assert op.location == loc
+        assert op.default == 42
+        assert op.is_mem and not op.is_write and not op.is_sync
+
+    def test_write(self, loc):
+        op = ops.write(loc, "v")
+        assert op.kind is OpKind.WRITE
+        assert op.value == "v"
+        assert op.is_mem and op.is_write
+
+    def test_lock_unlock(self, lock_id):
+        assert ops.lock(lock_id).kind is OpKind.LOCK
+        assert ops.unlock(lock_id).kind is OpKind.UNLOCK
+        assert ops.lock(lock_id).is_sync
+        assert not ops.lock(lock_id).is_mem
+
+    def test_wait_notify(self, lock_id):
+        assert ops.wait(lock_id).kind is OpKind.WAIT
+        assert ops.notify(lock_id).kind is OpKind.NOTIFY
+        assert ops.notify_all(lock_id).kind is OpKind.NOTIFY_ALL
+
+    def test_spawn_carries_function_and_args(self):
+        def body(a, b):
+            yield ops.yield_point()
+
+        op = ops.spawn(body, 1, 2, name="worker")
+        assert op.kind is OpKind.SPAWN
+        assert op.func is body
+        assert op.args == (1, 2)
+        assert op.name == "worker"
+
+    def test_join_interrupt_targets(self):
+        assert ops.join(3).target == 3
+        assert ops.interrupt(5).target == 5
+
+    def test_sleep_duration(self):
+        assert ops.sleep(7).duration == 7
+
+    def test_check(self):
+        op = ops.check(False, "boom")
+        assert op.kind is OpKind.CHECK
+        assert op.condition is False
+        assert op.message == "boom"
+
+    def test_yield_point_and_interrupted(self):
+        assert ops.yield_point().kind is OpKind.YIELD
+        assert ops.interrupted().kind is OpKind.INTERRUPTED
+
+    def test_label_passthrough(self, loc):
+        assert ops.read(loc, label="7").label == "7"
+        assert ops.write(loc, 1, label="8").label == "8"
+
+
+class TestClassification:
+    def test_mem_and_sync_kinds_are_disjoint(self):
+        assert not (MEM_KINDS & SYNC_KINDS)
+
+    def test_every_kind_classified(self):
+        # CHECK and INTERRUPTED are neither mem nor sync (local effects).
+        unclassified = set(OpKind) - MEM_KINDS - SYNC_KINDS
+        assert unclassified == {OpKind.CHECK, OpKind.INTERRUPTED}
+
+    def test_reacquire_is_sync(self):
+        assert Op(OpKind.REACQUIRE).is_sync
+
+
+class TestDescribe:
+    def test_describe_variants(self, loc, lock_id):
+        assert "read" in ops.read(loc).describe()
+        assert "x" in ops.read(loc).describe()
+        assert "L" in ops.lock(lock_id).describe()
+        assert "sleep 3" == ops.sleep(3).describe()
+        assert "join" in ops.join(1).describe()
+        assert "check" in ops.check(True, "msg").describe()
+
+        def body():
+            yield ops.yield_point()
+
+        assert "spawn" in ops.spawn(body).describe()

@@ -1,0 +1,70 @@
+"""Program factory validation and thread-reference resolution."""
+
+import pytest
+
+from repro.runtime import EngineError, Program, ThreadHandle, program, resolve_tid
+from repro.runtime import ops
+
+
+class TestProgram:
+    def test_factory_must_be_callable(self):
+        with pytest.raises(EngineError):
+            Program("not callable")
+
+    def test_factory_must_return_generator(self):
+        def bad_factory():
+            return 42
+
+        prog = Program(bad_factory)
+        with pytest.raises(EngineError):
+            prog.instantiate()
+
+    def test_name_defaults_to_factory_name(self):
+        def my_factory():
+            def main():
+                yield ops.yield_point()
+
+            return main()
+
+        assert Program(my_factory).name == "my_factory"
+        assert Program(my_factory, name="explicit").name == "explicit"
+        assert "my_factory" in repr(Program(my_factory))
+
+    def test_decorator_form(self):
+        @program
+        def demo():
+            def main():
+                yield ops.yield_point()
+
+            return demo_main()
+
+        assert isinstance(demo, Program)
+        assert demo.name == "demo"
+
+    def test_each_instantiation_is_fresh(self):
+        def factory():
+            def main():
+                yield ops.yield_point()
+
+            return main()
+
+        prog = Program(factory)
+        assert prog.instantiate() is not prog.instantiate()
+
+
+def demo_main():
+    yield ops.yield_point()
+
+
+class TestResolveTid:
+    def test_accepts_int(self):
+        assert resolve_tid(3) == 3
+
+    def test_accepts_handle(self):
+        assert resolve_tid(ThreadHandle(7, "w")) == 7
+
+    def test_rejects_garbage(self):
+        with pytest.raises(EngineError):
+            resolve_tid("thread-1")
+        with pytest.raises(EngineError):
+            resolve_tid(None)

@@ -1,0 +1,202 @@
+"""``Object.wait(timeout)`` semantics."""
+
+import pytest
+
+from repro.core import RandomScheduler
+from repro.runtime import Execution, Lock, Program, SharedVar, ops, spawn_all, join_all
+from repro.runtime import InterruptedException
+
+
+class TestTimedWait:
+    def test_rejects_nonpositive_timeout(self):
+        lock = Lock("L")
+        with pytest.raises(ValueError):
+            ops.wait(lock.id, timeout=0)
+        with pytest.raises(ValueError):
+            lock.wait(timeout=-5)
+
+    def test_times_out_without_notify(self):
+        """A lone timed waiter must wake on its own — no deadlock."""
+
+        def make():
+            lock = Lock("L")
+
+            def main():
+                yield lock.acquire()
+                yield lock.wait(timeout=40)
+                yield lock.release()
+
+            return main()
+
+        result = Execution(Program(make), max_steps=10_000).run(RandomScheduler())
+        assert not result.deadlock
+        assert not result.truncated
+
+    def test_untimed_wait_still_deadlocks(self):
+        def make():
+            lock = Lock("L")
+
+            def main():
+                yield lock.acquire()
+                yield lock.wait()
+                yield lock.release()
+
+            return main()
+
+        result = Execution(Program(make)).run(RandomScheduler())
+        assert result.deadlock
+
+    def test_reacquires_the_monitor_after_timeout(self):
+        """wait(long) returns holding the monitor, like Java."""
+
+        def make():
+            lock = Lock("L")
+            witness = SharedVar("witness", 0)
+
+            def waiter():
+                yield lock.acquire()
+                yield lock.wait(timeout=20)
+                # If we do not own the monitor here, this release raises.
+                yield witness.write(1)
+                yield lock.release()
+
+            def main():
+                handle = yield ops.spawn(waiter)
+                yield ops.join(handle)
+                value = yield witness.read()
+                yield ops.check(value == 1, "waiter never returned")
+
+            return main()
+
+        for seed in range(10):
+            result = Execution(Program(make), seed=seed).run(RandomScheduler())
+            assert not result.crashes and not result.deadlock, f"seed {seed}"
+
+    def test_notify_before_deadline_wins(self):
+        order = []
+
+        def make():
+            lock = Lock("L")
+            flag = SharedVar("flag", 0)
+
+            def waiter():
+                yield lock.acquire()
+                while (yield flag.read()) == 0:
+                    yield lock.wait(timeout=10_000)
+                order.append("woken")
+                yield lock.release()
+
+            def notifier():
+                yield ops.sleep(5)
+                yield lock.acquire()
+                yield flag.write(1)
+                yield lock.notify()
+                yield lock.release()
+                order.append("notified")
+
+            def main():
+                handles = yield from spawn_all([waiter, notifier])
+                yield from join_all(handles)
+
+            return main()
+
+        for seed in range(10):
+            order.clear()
+            result = Execution(Program(make), seed=seed, max_steps=50_000).run(
+                RandomScheduler()
+            )
+            assert not result.deadlock and not result.truncated, f"seed {seed}"
+            assert "woken" in order
+            # The notify landed long before the 10k-tick deadline: the run's
+            # step count stays far below it.
+            assert result.steps < 5_000
+
+    def test_timeout_loop_rechecks_condition(self):
+        """The idiomatic guarded timed wait: loop re-evaluates the predicate
+        after every timeout until a producer delivers."""
+
+        def make():
+            lock = Lock("L")
+            ready = SharedVar("ready", 0)
+            attempts = SharedVar("attempts", 0)
+
+            def consumer():
+                yield lock.acquire()
+                while (yield ready.read()) == 0:
+                    count = yield attempts.read()
+                    yield attempts.write(count + 1)
+                    yield lock.wait(timeout=8)
+                yield lock.release()
+
+            def producer():
+                yield ops.sleep(60)
+                yield lock.acquire()
+                yield ready.write(1)
+                yield lock.notify()
+                yield lock.release()
+
+            def main():
+                handles = yield from spawn_all([consumer, producer])
+                yield from join_all(handles)
+                spins = yield attempts.read()
+                yield ops.check(spins >= 2, f"expected repeated timeouts, got {spins}")
+
+            return main()
+
+        for seed in range(5):
+            result = Execution(Program(make), seed=seed, max_steps=50_000).run(
+                RandomScheduler()
+            )
+            assert not result.crashes and not result.deadlock, f"seed {seed}"
+
+    def test_interrupt_beats_deadline(self):
+        outcome = []
+
+        def make():
+            lock = Lock("L")
+
+            def waiter():
+                yield lock.acquire()
+                try:
+                    yield lock.wait(timeout=10_000)
+                    outcome.append("timeout")
+                except InterruptedException:
+                    outcome.append("interrupted")
+                yield lock.release()
+
+            def main():
+                handle = yield ops.spawn(waiter)
+                yield ops.yield_point()
+                yield ops.yield_point()
+                yield ops.interrupt(handle)
+                yield ops.join(handle)
+
+            return main()
+
+        for seed in range(8):
+            outcome.clear()
+            result = Execution(Program(make), seed=seed, max_steps=50_000).run(
+                RandomScheduler()
+            )
+            assert not result.deadlock, f"seed {seed}"
+            assert outcome == ["interrupted"], f"seed {seed}: {outcome}"
+
+    def test_fast_forward_covers_timed_waiters(self):
+        """Only a timed waiter remains: the clock must jump to its deadline
+        instead of truncating the run."""
+
+        def make():
+            lock = Lock("L")
+
+            def main():
+                yield lock.acquire()
+                yield lock.wait(timeout=50_000)
+                yield lock.release()
+
+            return main()
+
+        execution = Execution(Program(make), max_steps=1_000)
+        result = execution.run(RandomScheduler())
+        assert not result.truncated
+        assert not result.deadlock
+        assert execution.step_count >= 50_000

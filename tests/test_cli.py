@@ -1,0 +1,100 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("moldyn", "raytracer", "figure1", "linkedlist"):
+            assert name in out
+        assert "paper:" in out
+
+
+class TestRun:
+    def test_clean_run_exits_zero(self, capsys):
+        code = main(["run", "sor", "--seed", "0"])
+        assert code == 0
+        assert "sor" in capsys.readouterr().out
+
+    def test_crashing_run_exits_nonzero(self, capsys):
+        # figure1 seed 3 under the random scheduler reaches ERROR1.
+        codes = {main(["run", "figure1", "--seed", str(s)]) for s in range(8)}
+        assert 1 in codes
+        capsys.readouterr()
+
+    @pytest.mark.parametrize("scheduler", ["random", "default", "rapos"])
+    def test_scheduler_choices(self, scheduler, capsys):
+        assert main(["run", "sor", "--scheduler", scheduler]) == 0
+        capsys.readouterr()
+
+
+class TestDetect:
+    def test_detect_prints_pairs(self, capsys):
+        assert main(["detect", "figure1", "--seeds", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "2 potential racing pair(s)" in out
+        assert "(5, 7)" in out
+
+    def test_detector_choice(self, capsys):
+        assert main(["detect", "figure1", "--detector", "lockset"]) == 0
+        assert "lockset" in capsys.readouterr().out
+
+
+class TestFuzz:
+    def test_fuzz_reports_verdicts(self, capsys):
+        assert main(["fuzz", "figure1", "--trials", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "1 real" in out
+        assert "harmful pairs" in out
+        assert "(5, 7)" in out
+
+
+class TestReplay:
+    def test_replay_renders_interleaving(self, capsys):
+        assert main(["replay", "figure1", "--pair", "1", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "step" in out
+        assert ">>" in out
+        assert "races created" in out
+
+    def test_bad_pair_index(self, capsys):
+        assert main(["replay", "figure1", "--pair", "99"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_find_crash_replays_an_error_revealing_seed(self, capsys):
+        assert main(["replay", "figure1", "--pair", "1", "--find-crash"]) == 0
+        out = capsys.readouterr().out
+        assert "AssertionViolation" in out
+        assert "ERROR1" in out
+
+    def test_find_crash_gives_up_on_crash_free_programs(self, capsys):
+        # sor never throws under any schedule (all its races are false).
+        assert main(["replay", "sor", "--pair", "0", "--find-crash", "5"]) == 1
+        assert "no crashing seed" in capsys.readouterr().err
+
+
+class TestHarnessDelegation:
+    def test_figure2_delegates(self, capsys):
+        assert main(["figure2", "--runs", "5", "--paddings", "0,2"]) == 0
+        out = capsys.readouterr().out
+        assert "RF P(race)" in out
+
+    def test_table1_delegates(self, capsys):
+        assert main(["table1", "--quick", "raytracer"]) == 0
+        out = capsys.readouterr().out
+        assert "raytracer" in out
+        assert "Hybrid#" in out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "not-a-workload"])

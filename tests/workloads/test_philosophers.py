@@ -1,0 +1,73 @@
+"""Dining philosophers: race-free, deadlock-prone, deadlock-directable."""
+
+from repro.core import (
+    DeadlockFuzzer,
+    RandomScheduler,
+    detect_lock_order_inversions,
+    detect_races,
+    race_directed_test,
+)
+from repro.runtime import Execution
+from repro.workloads import get
+from repro.workloads.philosophers import build
+
+
+class TestRaceFreedom:
+    def test_registered(self):
+        assert get("philosophers").kind == "example"
+
+    def test_no_potential_races(self):
+        report = detect_races(build(), seeds=range(5), max_steps=500_000)
+        assert len(report) == 0
+
+    def test_racefuzzer_has_nothing_to_confirm(self):
+        campaign = race_directed_test(
+            build(), trials=5, phase1_seeds=range(3), max_steps=500_000
+        )
+        assert campaign.potential_pairs == 0
+        assert campaign.real_pairs == []
+
+
+class TestDeadlockDirection:
+    def test_passive_runs_rarely_deadlock_with_thinking_time(self):
+        deadlocks = sum(
+            Execution(build(thinking=8), seed=seed, max_steps=500_000)
+            .run(RandomScheduler("every"))
+            .deadlock
+            for seed in range(20)
+        )
+        assert deadlocks < 20  # some clean runs exist to learn from
+
+    def test_lock_order_cycle_is_mined(self):
+        report = detect_lock_order_inversions(
+            build(thinking=8), seeds=range(6), max_steps=500_000
+        )
+        assert report.cycles()
+        assert report.target_statements()
+
+    def test_directed_fuzzing_starves_the_table(self):
+        targets = detect_lock_order_inversions(
+            build(thinking=8), seeds=range(6), max_steps=500_000
+        ).target_statements()
+        fuzzer = DeadlockFuzzer(targets, max_steps=500_000)
+        runs = 20
+        directed = sum(
+            fuzzer.run(build(thinking=8), seed=seed).deadlock
+            for seed in range(runs)
+        )
+        passive = sum(
+            Execution(build(thinking=8), seed=seed, max_steps=500_000)
+            .run(RandomScheduler("every"))
+            .deadlock
+            for seed in range(runs)
+        )
+        assert directed >= passive
+        assert directed >= runs * 0.7
+
+    def test_correct_runs_count_every_meal(self):
+        for seed in range(10):
+            result = Execution(build(), seed=seed, max_steps=500_000).run(
+                RandomScheduler("every")
+            )
+            if not result.deadlock:
+                assert not result.crashes, f"seed {seed}: {result.crashes}"

@@ -1,0 +1,65 @@
+"""Workload registry: completeness and structural validity of every spec."""
+
+import pytest
+
+from repro.runtime import Program
+from repro.workloads import all_workloads, get, table1_workloads
+from repro.workloads.base import GroundTruth, PaperRow, WorkloadSpec
+
+TABLE1_NAMES = {
+    "moldyn",
+    "raytracer",
+    "montecarlo",
+    "cache4j",
+    "sor",
+    "hedc",
+    "weblech",
+    "jspider",
+    "jigsaw",
+    "vector",
+    "linkedlist",
+    "arraylist",
+    "hashset",
+    "treeset",
+}
+
+
+class TestRegistry:
+    def test_every_table1_row_is_registered(self):
+        assert {spec.name for spec in table1_workloads()} == TABLE1_NAMES
+
+    def test_examples_registered(self):
+        names = {spec.name for spec in all_workloads()}
+        assert {"figure1", "figure2"} <= names
+
+    def test_get_by_name(self):
+        assert get("moldyn").name == "moldyn"
+        with pytest.raises(KeyError):
+            get("nonexistent")
+
+    def test_every_spec_has_truth_and_description(self):
+        for spec in all_workloads():
+            assert isinstance(spec, WorkloadSpec)
+            assert spec.description
+            assert isinstance(spec.truth, GroundTruth), spec.name
+            assert spec.truth.notes, spec.name
+
+    def test_table1_specs_carry_paper_rows(self):
+        for spec in table1_workloads():
+            assert isinstance(spec.paper, PaperRow), spec.name
+            assert spec.paper.sloc > 0
+            assert spec.paper.hybrid_races >= spec.paper.real_races
+
+    def test_builders_produce_fresh_programs(self):
+        for spec in all_workloads():
+            first, second = spec.build(), spec.build()
+            assert isinstance(first, Program), spec.name
+            assert first is not second
+
+    def test_ground_truth_is_consistent(self):
+        for spec in all_workloads():
+            assert 0 <= spec.truth.harmful_pairs <= spec.truth.real_pairs, spec.name
+
+    def test_kinds(self):
+        kinds = {spec.kind for spec in all_workloads()}
+        assert kinds == {"closed", "collection", "example"}

@@ -1,0 +1,43 @@
+"""Every workload terminates under every scheduler and never hits the
+engine (deadlocks and simulated exceptions are expected outcomes; engine
+errors and step-budget truncation are not)."""
+
+import pytest
+
+from repro.core import DefaultScheduler, RandomScheduler
+from repro.runtime import Execution
+from repro.workloads import all_workloads
+
+WORKLOADS = [spec for spec in all_workloads()]
+
+
+@pytest.mark.parametrize("spec", WORKLOADS, ids=lambda s: s.name)
+class TestTermination:
+    def test_random_scheduler_terminates(self, spec):
+        for seed in range(5):
+            result = Execution(spec.build(), seed=seed, max_steps=300_000).run(
+                RandomScheduler(preemption="every")
+            )
+            assert not result.truncated, f"{spec.name} seed {seed} truncated"
+
+    def test_sync_preemption_terminates(self, spec):
+        for seed in range(3):
+            result = Execution(spec.build(), seed=seed, max_steps=300_000).run(
+                RandomScheduler(preemption="sync")
+            )
+            assert not result.truncated, f"{spec.name} seed {seed} truncated"
+
+    def test_default_scheduler_terminates(self, spec):
+        result = Execution(spec.build(), seed=0, max_steps=300_000).run(
+            DefaultScheduler()
+        )
+        assert not result.truncated, f"{spec.name} truncated"
+
+    def test_replay_is_deterministic(self, spec):
+        def signature(seed):
+            result = Execution(spec.build(), seed=seed, max_steps=300_000).run(
+                RandomScheduler(preemption="every")
+            )
+            return (result.steps, tuple(result.exception_types), result.deadlock)
+
+        assert signature(3) == signature(3)
