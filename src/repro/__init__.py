@@ -30,6 +30,7 @@ from .core import (
     DefaultScheduler,
     FuzzResult,
     PairVerdict,
+    ParallelCampaign,
     RaceFuzzer,
     RandomScheduler,
     baseline_exceptions,
@@ -47,6 +48,7 @@ from .detectors import (
     HybridRaceDetector,
     RaceReport,
     VectorClock,
+    make_detector,
 )
 from .runtime import (
     AtomicCounter,
@@ -100,8 +102,10 @@ __all__ = [
     "EraserLocksetDetector",
     "RaceReport",
     "VectorClock",
+    "make_detector",
     # core
     "RaceFuzzer",
+    "ParallelCampaign",
     "fuzz_pair",
     "FuzzResult",
     "race_directed_test",

@@ -69,6 +69,7 @@ def _cmd_detect(args) -> int:
         detector=args.detector,
         seeds=range(args.seeds),
         max_steps=spec.max_steps,
+        jobs=args.jobs,
     )
     print(report)
     return 0
@@ -81,6 +82,9 @@ def _cmd_fuzz(args) -> int:
         trials=args.trials,
         phase1_seeds=spec.phase1_seeds,
         max_steps=spec.max_steps,
+        jobs=args.jobs,
+        chunk_size=args.chunk_size,
+        stop_on_confirm=args.stop_on_confirm,
     )
     print(campaign)
     if campaign.harmful_pairs:
@@ -175,11 +179,34 @@ def build_parser() -> argparse.ArgumentParser:
         default="hybrid",
     )
     detect_parser.add_argument("--seeds", type=int, default=3)
+    detect_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for seed runs (0 = one per core)",
+    )
     detect_parser.set_defaults(handler=_cmd_detect)
 
     fuzz_parser = commands.add_parser("fuzz", help="two-phase RaceFuzzer campaign")
     fuzz_parser.add_argument("workload")
     fuzz_parser.add_argument("--trials", type=int, default=100)
+    fuzz_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for both phases (0 = one per core)",
+    )
+    fuzz_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=25,
+        help="Phase-2 trials per worker task",
+    )
+    fuzz_parser.add_argument(
+        "--stop-on-confirm",
+        action="store_true",
+        help="abandon a pair's remaining trials once one confirms the race",
+    )
     fuzz_parser.set_defaults(handler=_cmd_fuzz)
 
     replay_parser = commands.add_parser(

@@ -14,6 +14,13 @@ from .coverage import CoverageReport, conflict_signature, measure_coverage
 from .atomicityfuzzer import AtomicityFuzzer, AtomicRegion
 from .deadlockfuzzer import DeadlockFuzzer, detect_lock_order_inversions
 from .driver import baseline_exceptions, detect_races, fuzz_races, race_directed_test
+from .parallel import (
+    DetectTask,
+    FuzzTask,
+    ParallelCampaign,
+    chunk_ranges,
+    pool_map,
+)
 from .postponing import FuzzResult, PostponingDriver, TargetHit
 from .racefuzzer import RaceFuzzer, fuzz_pair
 from .rapos import RaposDriver, rapos_exceptions
@@ -46,6 +53,11 @@ __all__ = [
     "AtomicRegion",
     "AtomicityCandidate",
     "detect_atomic_regions",
+    "ParallelCampaign",
+    "DetectTask",
+    "FuzzTask",
+    "chunk_ranges",
+    "pool_map",
     "RaposDriver",
     "rapos_exceptions",
     "CoverageReport",

@@ -9,6 +9,15 @@
                         columns for one benchmark program.
 ``baseline_exceptions``— the passive-scheduler control (columns 10 and,
                         for Figure 2, the probability comparison).
+
+Every entry point of the two-phase pipeline takes ``jobs=``: ``1``
+(default) runs the exact serial path in-process; ``N > 1`` (or ``None``
+for one worker per core) fans the independent executions out across a
+process pool via :class:`~repro.core.parallel.ParallelCampaign`.  Parallel
+campaigns rebuild the program in each worker from the workload registry,
+so the program must be a registered workload (``program.name`` resolvable
+via :func:`repro.workloads.get`); merged results are identical to the
+serial run for the same seed set.
 """
 
 from __future__ import annotations
@@ -16,14 +25,42 @@ from __future__ import annotations
 from collections import Counter
 from typing import Iterable, Sequence
 
-from repro.detectors import DETECTORS, RaceReport
+from repro.detectors import RaceReport, make_detector
 from repro.runtime.interpreter import Execution
 from repro.runtime.program import Program
 from repro.runtime.statement import StatementPair
 
+from .parallel import ParallelCampaign
 from .racefuzzer import RaceFuzzer
 from .results import CampaignReport, PairVerdict
 from .schedulers import DefaultScheduler, RandomScheduler, Scheduler
+
+
+def _registered_name(program: Program) -> str:
+    """Resolve a program to its workload-registry name (parallel mode).
+
+    Worker processes rebuild the program from the registry, so a parallel
+    campaign is only meaningful for programs whose registry entry builds
+    the same program the caller holds.
+    """
+    from repro import workloads  # deferred: core must import without workloads
+
+    try:
+        workloads.get(program.name)
+    except KeyError:
+        raise ValueError(
+            f"jobs>1 needs a registered workload so worker processes can "
+            f"rebuild the program, but {program.name!r} is not in "
+            f"repro.workloads; register it or use jobs=1"
+        ) from None
+    return program.name
+
+
+def _parallel(jobs: int | None) -> bool:
+    """Did the caller ask for a worker pool? (``None``/``0`` = auto.)"""
+    if jobs is not None and jobs < 0:
+        raise ValueError(f"jobs must be positive or None, got {jobs}")
+    return jobs is None or jobs == 0 or jobs > 1
 
 
 def detect_races(
@@ -33,21 +70,30 @@ def detect_races(
     seeds: Sequence[int] = (0, 1, 2),
     max_steps: int = 1_000_000,
     history_cap: int = 128,
+    jobs: int = 1,
 ) -> RaceReport:
     """Phase 1: collect potentially racing statement pairs.
 
     Runs the program once per seed under a fully preemptive random
     scheduler with the chosen detector observing every access, and unions
     the resulting reports (more Phase-1 executions -> more coverage, as
-    with any dynamic analysis).
+    with any dynamic analysis).  Seed runs are independent, so ``jobs=N``
+    distributes them across workers with identical merged output.
     """
-    detector_cls = DETECTORS[detector]
+    seed_list = list(seeds)
+    assert seed_list, "detect_races needs at least one seed"
+    if _parallel(jobs):
+        with ParallelCampaign(jobs=jobs) as engine:
+            return engine.detect(
+                _registered_name(program),
+                detector=detector,
+                seeds=seed_list,
+                max_steps=max_steps,
+                history_cap=history_cap,
+            )
     merged: RaceReport | None = None
-    for seed in seeds:
-        if detector == "lockset":
-            observer = detector_cls()
-        else:
-            observer = detector_cls(history_cap=history_cap)
+    for seed in seed_list:
+        observer = make_detector(detector, history_cap=history_cap)
         execution = Execution(
             program, seed=seed, observers=[observer], max_steps=max_steps
         )
@@ -56,7 +102,7 @@ def detect_races(
             merged = observer.report
         else:
             merged.merge(observer.report)
-    assert merged is not None, "detect_races needs at least one seed"
+    assert merged is not None
     return merged
 
 
@@ -69,10 +115,34 @@ def fuzz_races(
     preemption: str = "sync",
     patience: int = 400,
     max_steps: int = 1_000_000,
+    jobs: int = 1,
+    chunk_size: int = 25,
+    stop_on_confirm: bool = False,
 ) -> dict[StatementPair, PairVerdict]:
-    """Phase 2: fuzz every pair ``trials`` times; aggregate verdicts."""
+    """Phase 2: fuzz every pair ``trials`` times; aggregate verdicts.
+
+    ``jobs=N`` splits each pair's seed range into ``chunk_size``-sized
+    tasks across a worker pool; merged verdicts are identical to the
+    serial loop.  ``stop_on_confirm`` abandons a pair's remaining trials
+    once one trial confirms the race real — same classification, fewer
+    trials (and timing-dependent trial counts when ``jobs > 1``).
+    """
+    pair_list = list(pairs)
+    if _parallel(jobs):
+        with ParallelCampaign(
+            jobs=jobs, chunk_size=chunk_size, stop_on_confirm=stop_on_confirm
+        ) as engine:
+            return engine.fuzz(
+                _registered_name(program),
+                pair_list,
+                trials=trials,
+                base_seed=base_seed,
+                preemption=preemption,
+                patience=patience,
+                max_steps=max_steps,
+            )
     verdicts: dict[StatementPair, PairVerdict] = {}
-    for pair in pairs:
+    for pair in pair_list:
         fuzzer = RaceFuzzer(
             pair, preemption=preemption, patience=patience, max_steps=max_steps
         )
@@ -80,6 +150,8 @@ def fuzz_races(
         for trial in range(trials):
             outcome = fuzzer.run(program, seed=base_seed + trial)
             verdict.absorb(outcome)
+            if stop_on_confirm and verdict.times_created > 0:
+                break
         verdicts[pair] = verdict
     return verdicts
 
@@ -95,21 +167,28 @@ def race_directed_test(
     patience: int = 400,
     max_steps: int = 1_000_000,
     pairs: Iterable[StatementPair] | None = None,
+    jobs: int = 1,
+    chunk_size: int = 25,
+    stop_on_confirm: bool = False,
 ) -> CampaignReport:
     """The full RaceFuzzer pipeline over one program.
 
     ``pairs`` may be supplied directly (e.g. from a static tool, or the
-    worked examples); otherwise Phase 1 computes them.
+    worked examples); otherwise Phase 1 computes them.  ``jobs=N``
+    parallelizes both phases over a process pool.
     """
     if pairs is None:
         phase1 = detect_races(
-            program, detector=detector, seeds=phase1_seeds, max_steps=max_steps
+            program,
+            detector=detector,
+            seeds=phase1_seeds,
+            max_steps=max_steps,
+            jobs=jobs,
         )
         pair_list = phase1.pairs
     else:
         pair_list = list(pairs)
-        phase1 = RaceReport(program=program.name, detector="supplied")
-        phase1.evidence = {pair: None for pair in pair_list}  # type: ignore[assignment]
+        phase1 = RaceReport.from_pairs(pair_list, program=program.name)
     verdicts = fuzz_races(
         program,
         pair_list,
@@ -118,6 +197,9 @@ def race_directed_test(
         preemption=preemption,
         patience=patience,
         max_steps=max_steps,
+        jobs=jobs,
+        chunk_size=chunk_size,
+        stop_on_confirm=stop_on_confirm,
     )
     return CampaignReport(program=program.name, phase1=phase1, verdicts=verdicts)
 

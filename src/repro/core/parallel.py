@@ -1,0 +1,397 @@
+"""Parallel campaign engine: process-pool fan-out for both phases.
+
+The paper observes that RaceFuzzer is embarrassingly parallel: "since
+different invocations of RaceFuzzer are independent of each other,
+performance of RaceFuzzer can be increased linearly with the number of
+processors or cores" (Section 1).  A trial is a pure function of
+``(program, pair, seed)``, and a Phase-1 detection run is a pure function
+of ``(program, detector, seed)`` — so a campaign is a bag of independent
+tasks.  This module fans that bag out across a
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+Design constraints, and how they are met:
+
+* **Tasks must be picklable.**  A :class:`~repro.runtime.program.Program`
+  wraps an arbitrary factory closure, so programs never cross the process
+  boundary.  Instead a task spec (:class:`DetectTask` / :class:`FuzzTask`)
+  addresses the workload *by registry name*; the worker rebuilds the
+  program in the child via :func:`repro.workloads.get`.  Pairs travel as
+  :class:`~repro.runtime.statement.StatementPair` value objects (plain
+  frozen dataclasses of strings and ints), seeds as explicit
+  ``(start, count)`` ranges.
+* **Results must merge deterministically.**  Workers return compact
+  :class:`~repro.detectors.RaceReport` / :class:`.results.PairVerdict`
+  deltas (pure value objects).  The parent indexes every future by its
+  submission position and folds results in *submission* order — never
+  completion order — so the merged campaign is identical to the serial
+  run for the same seed set, regardless of worker scheduling.  (Location
+  uids inside Phase-1 evidence are per-process and only meaningful for
+  display; pair identity lives in statements, which are stable across
+  processes.)
+* **``jobs=1`` is exactly the serial path.**  The engine runs task bodies
+  inline, in submission order, with no pool — byte-for-byte the same
+  work the serial drivers do.
+
+``stop_on_confirm`` adds the one useful deviation from strict determinism:
+once any chunk confirms a pair real (``times_created > 0``), the pair's
+not-yet-started chunks are cancelled.  Verdict *classification* is
+unaffected (a confirmed pair stays confirmed) but trial counts then depend
+on worker timing, so equivalence tests must keep it off.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.detectors import RaceReport, make_detector
+from repro.runtime.interpreter import Execution
+from repro.runtime.statement import StatementPair
+
+from .results import CampaignReport, PairVerdict
+from .schedulers import RandomScheduler
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def pair_key(pair: StatementPair) -> tuple[str, str]:
+    """Stable cross-process identity for a pair (sorting / grouping key)."""
+    return (str(pair.first), str(pair.second))
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``jobs=`` argument: ``None``/``0`` means one per core."""
+    if not jobs:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be positive or None, got {jobs}")
+    return jobs
+
+
+# --------------------------------------------------------------------- #
+# Task specs: the picklable unit of work shipped to a worker process.
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class DetectTask:
+    """One Phase-1 detection run: (workload, detector, seed)."""
+
+    workload: str
+    detector: str = "hybrid"
+    seed: int = 0
+    max_steps: int = 1_000_000
+    history_cap: int = 128
+
+
+@dataclass(frozen=True)
+class FuzzTask:
+    """One Phase-2 chunk: ``count`` consecutive seeded trials of one pair."""
+
+    workload: str
+    pair: StatementPair
+    seed_start: int = 0
+    count: int = 1
+    preemption: str = "sync"
+    patience: int = 400
+    max_steps: int = 1_000_000
+
+
+def _build_workload(name: str):
+    """Rebuild the program in the worker from its registry name."""
+    from repro import workloads  # deferred: keep core importable alone
+
+    return workloads.get(name).build()
+
+
+def run_detect_task(task: DetectTask) -> RaceReport:
+    """Worker entrypoint: one detector run, returning its report delta."""
+    program = _build_workload(task.workload)
+    observer = make_detector(task.detector, history_cap=task.history_cap)
+    execution = Execution(
+        program, seed=task.seed, observers=[observer], max_steps=task.max_steps
+    )
+    execution.run(RandomScheduler(preemption="every"))
+    return observer.report
+
+
+def run_fuzz_task(task: FuzzTask) -> PairVerdict:
+    """Worker entrypoint: fuzz one pair over one seed range."""
+    from .racefuzzer import RaceFuzzer  # deferred: avoid import cycle
+
+    program = _build_workload(task.workload)
+    fuzzer = RaceFuzzer(
+        task.pair,
+        preemption=task.preemption,
+        patience=task.patience,
+        max_steps=task.max_steps,
+    )
+    verdict = PairVerdict(pair=task.pair)
+    for seed in range(task.seed_start, task.seed_start + task.count):
+        verdict.absorb(fuzzer.run(program, seed=seed))
+    return verdict
+
+
+def chunk_ranges(base_seed: int, trials: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Split ``trials`` consecutive seeds into ``(start, count)`` chunks."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [
+        (start, min(chunk_size, base_seed + trials - start))
+        for start in range(base_seed, base_seed + trials, chunk_size)
+    ]
+
+
+def pool_map(
+    fn: Callable[[T], R], items: Sequence[T], jobs: int | None = None
+) -> list[R]:
+    """Order-preserving process-pool map; ``jobs=1`` runs inline.
+
+    The harness modules (Table 1 rows, the Figure 2 sweep) use this for
+    coarse-grained fan-out where every task is one independent measurement
+    and results are consumed positionally.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
+# --------------------------------------------------------------------- #
+# The campaign engine.
+# --------------------------------------------------------------------- #
+
+
+class ParallelCampaign:
+    """Fan a two-phase campaign out across worker processes.
+
+    Parameters:
+        jobs: worker processes (``None``/``0`` = one per core; ``1`` =
+            run inline with no pool, the exact serial path).
+        chunk_size: Phase-2 seeds per task.  Small chunks parallelize
+            better; large chunks amortize per-task overhead.  Chunking
+            never changes merged aggregates (trials are independent and
+            the merge is associative).
+        stop_on_confirm: cancel a pair's remaining chunks once one chunk
+            confirms the race real.  Faster on campaigns with
+            high-probability races, but trial counts become
+            timing-dependent (classification does not).
+
+    Use as a context manager (or call :meth:`close`) to reclaim the pool;
+    the pool is created lazily on first parallel use.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        *,
+        chunk_size: int = 25,
+        stop_on_confirm: bool = False,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = chunk_size
+        self.stop_on_confirm = stop_on_confirm
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def _executor(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelCampaign":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- Phase 1 ------------------------------------------------------- #
+
+    def detect(
+        self,
+        workload: str,
+        *,
+        detector: str = "hybrid",
+        seeds: Sequence[int] = (0, 1, 2),
+        max_steps: int = 1_000_000,
+        history_cap: int = 128,
+    ) -> RaceReport:
+        """Run one detection per seed concurrently; union the reports.
+
+        Reports merge in seed order (not completion order), so the union
+        — pair set, per-pair counts, first-witness evidence — matches the
+        serial loop exactly.
+        """
+        seed_list = list(seeds)
+        assert seed_list, "detect needs at least one seed"
+        tasks = [
+            DetectTask(
+                workload=workload,
+                detector=detector,
+                seed=seed,
+                max_steps=max_steps,
+                history_cap=history_cap,
+            )
+            for seed in seed_list
+        ]
+        reports = self._map(run_detect_task, tasks)
+        merged = reports[0]
+        for report in reports[1:]:
+            merged.merge(report)
+        return merged
+
+    # -- Phase 2 ------------------------------------------------------- #
+
+    def fuzz(
+        self,
+        workload: str,
+        pairs: Iterable[StatementPair],
+        *,
+        trials: int = 100,
+        base_seed: int = 0,
+        preemption: str = "sync",
+        patience: int = 400,
+        max_steps: int = 1_000_000,
+    ) -> dict[StatementPair, PairVerdict]:
+        """Fuzz every pair over chunked seed ranges; merge chunk verdicts.
+
+        Chunk verdicts for one pair merge in seed order, so aggregates
+        are identical to the serial trial loop for the same seed set
+        (except wall-clock sums, which are measured, and trial counts
+        under ``stop_on_confirm``).
+        """
+        pair_list = list(pairs)
+        tasks: list[FuzzTask] = []
+        for pair in pair_list:
+            for start, count in chunk_ranges(base_seed, trials, self.chunk_size):
+                tasks.append(
+                    FuzzTask(
+                        workload=workload,
+                        pair=pair,
+                        seed_start=start,
+                        count=count,
+                        preemption=preemption,
+                        patience=patience,
+                        max_steps=max_steps,
+                    )
+                )
+        chunk_verdicts = self._run_fuzz_tasks(tasks)
+        verdicts: dict[StatementPair, PairVerdict] = {
+            pair: PairVerdict(pair=pair) for pair in pair_list
+        }
+        for task, verdict in zip(tasks, chunk_verdicts):  # submission order
+            if verdict is not None:
+                verdicts[task.pair].merge(verdict)
+        return verdicts
+
+    def run(
+        self,
+        workload: str,
+        *,
+        detector: str = "hybrid",
+        phase1_seeds: Sequence[int] = (0, 1, 2),
+        trials: int = 100,
+        base_seed: int = 0,
+        preemption: str = "sync",
+        patience: int = 400,
+        max_steps: int = 1_000_000,
+    ) -> CampaignReport:
+        """Both phases end to end, against one registered workload."""
+        phase1 = self.detect(
+            workload,
+            detector=detector,
+            seeds=phase1_seeds,
+            max_steps=max_steps,
+        )
+        verdicts = self.fuzz(
+            workload,
+            phase1.pairs,
+            trials=trials,
+            base_seed=base_seed,
+            preemption=preemption,
+            patience=patience,
+            max_steps=max_steps,
+        )
+        return CampaignReport(program=workload, phase1=phase1, verdicts=verdicts)
+
+    # -- internals ------------------------------------------------------ #
+
+    def _map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        """Order-preserving map over the pool (inline when jobs=1)."""
+        if self.jobs == 1 or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        return list(self._executor().map(fn, tasks))
+
+    def _run_fuzz_tasks(self, tasks: list[FuzzTask]) -> list[PairVerdict | None]:
+        """Run fuzz chunks; ``None`` marks chunks cancelled by early exit."""
+        if not self.stop_on_confirm:
+            return self._map(run_fuzz_task, tasks)
+        if self.jobs == 1 or len(tasks) <= 1:
+            return self._run_fuzz_serial_early_exit(tasks)
+        pool = self._executor()
+        futures = [pool.submit(run_fuzz_task, task) for task in tasks]
+        index_of = {future: index for index, future in enumerate(futures)}
+        confirmed: set[tuple[str, str]] = set()
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                if future.cancelled():
+                    continue
+                verdict = future.result()
+                key = pair_key(tasks[index_of[future]].pair)
+                if verdict.times_created > 0 and key not in confirmed:
+                    confirmed.add(key)
+                    for other_index, other in enumerate(futures):
+                        if (
+                            pair_key(tasks[other_index].pair) == key
+                            and not other.done()
+                        ):
+                            other.cancel()
+        return [
+            future.result() if future.done() and not future.cancelled() else None
+            for future in futures
+        ]
+
+    def _run_fuzz_serial_early_exit(
+        self, tasks: list[FuzzTask]
+    ) -> list[PairVerdict | None]:
+        """Inline early-exit: skip a pair's later chunks once confirmed."""
+        confirmed: set[tuple[str, str]] = set()
+        results: list[PairVerdict | None] = []
+        for task in tasks:
+            key = pair_key(task.pair)
+            if key in confirmed:
+                results.append(None)
+                continue
+            verdict = run_fuzz_task(task)
+            if verdict.times_created > 0:
+                confirmed.add(key)
+            results.append(verdict)
+        return results
+
+
+__all__ = [
+    "ParallelCampaign",
+    "DetectTask",
+    "FuzzTask",
+    "run_detect_task",
+    "run_fuzz_task",
+    "chunk_ranges",
+    "pool_map",
+    "pair_key",
+    "resolve_jobs",
+]

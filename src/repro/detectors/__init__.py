@@ -11,6 +11,8 @@ only needs "a set of statements whose simultaneous execution could lead to
 a concurrency problem" (Section 1).
 """
 
+import inspect
+
 from .base import AccessRecord, HistoryRaceDetector
 from .happensbefore import HappensBeforeDetector
 from .hybrid import HybridRaceDetector
@@ -24,6 +26,34 @@ DETECTORS = {
     "lockset": EraserLocksetDetector,
 }
 
+
+def make_detector(name: str, **options):
+    """Build a registered detector by name, keyword-tolerantly.
+
+    Detector classes accept different construction options (the
+    history-based ones take ``history_cap``, the lockset detector takes
+    nothing), so callers configuring "whichever detector was requested"
+    would otherwise have to special-case each class.  This factory passes
+    through only the options the chosen class actually accepts.
+
+    Raises ``KeyError`` for names not in :data:`DETECTORS`.
+    """
+    try:
+        cls = DETECTORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown detector {name!r}; registered: {sorted(DETECTORS)}"
+        ) from None
+    params = inspect.signature(cls.__init__).parameters
+    tolerant = any(p.kind is p.VAR_KEYWORD for p in params.values())
+    accepted = {
+        key: value
+        for key, value in options.items()
+        if tolerant or key in params
+    }
+    return cls(**accepted)
+
+
 __all__ = [
     "VectorClock",
     "AccessRecord",
@@ -34,4 +64,5 @@ __all__ = [
     "RaceReport",
     "PairEvidence",
     "DETECTORS",
+    "make_detector",
 ]

@@ -9,6 +9,7 @@ Table 1's column 6 is ``len(report.pairs)``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.runtime.location import Location
 from repro.runtime.statement import Statement, StatementPair
@@ -34,14 +35,39 @@ class PairEvidence:
 
 @dataclass
 class RaceReport:
-    """All distinct potentially racing statement pairs found by a detector."""
+    """All distinct potentially racing statement pairs found by a detector.
+
+    ``evidence`` values may be ``None`` for pairs that were *supplied*
+    rather than detected (a static tool, a hand-written list): the pair is
+    known, but no dynamic witness exists.  Use :meth:`from_pairs` to build
+    such a report.
+    """
 
     program: str
     detector: str
-    evidence: dict[StatementPair, PairEvidence] = field(default_factory=dict)
+    evidence: dict[StatementPair, PairEvidence | None] = field(default_factory=dict)
     #: locations whose access history overflowed the per-location cap; pairs
     #: involving only evicted accesses may have been missed.
     truncated_locations: int = 0
+
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: "Iterable[StatementPair]",
+        *,
+        program: str = "",
+        detector: str = "supplied",
+    ) -> "RaceReport":
+        """Build a report from an explicit pair list (no dynamic evidence).
+
+        This is how Phase 2 consumes racing pairs that did not come from a
+        dynamic detector — the paper notes any source of "a set of
+        statements whose simultaneous execution could lead to a concurrency
+        problem" will do.
+        """
+        report = cls(program=program, detector=detector)
+        report.evidence = {pair: None for pair in pairs}
+        return report
 
     @property
     def pairs(self) -> list[StatementPair]:
@@ -58,15 +84,17 @@ class RaceReport:
     ) -> bool:
         """Add one observation; returns True if the pair is new."""
         pair = StatementPair(s1, s2)
+        known = pair in self.evidence
         existing = self.evidence.get(pair)
         if existing is not None:
             existing.count += 1
             existing.both_write = existing.both_write or both_write
             return False
+        # New pair, or a supplied pair gaining its first dynamic witness.
         self.evidence[pair] = PairEvidence(
             pair=pair, location=location, tids=tids, both_write=both_write
         )
-        return True
+        return not known
 
     def merge(self, other: "RaceReport") -> None:
         """Union another report into this one (multi-run Phase 1)."""
@@ -74,7 +102,7 @@ class RaceReport:
             mine = self.evidence.get(pair)
             if mine is None:
                 self.evidence[pair] = info
-            else:
+            elif info is not None:
                 mine.count += info.count
                 mine.both_write = mine.both_write or info.both_write
         self.truncated_locations += other.truncated_locations

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core import RandomScheduler, fuzz_pair
+from repro.core import RandomScheduler, fuzz_pair, pool_map
 from repro.runtime import Execution, EventTrace, MemEvent
 from repro.workloads import figure2
 
@@ -78,8 +78,23 @@ def measure_point(padding: int, runs: int = 100) -> ProbabilityPoint:
     )
 
 
-def sweep(paddings=(0, 2, 5, 10, 20, 40), runs: int = 100) -> list[ProbabilityPoint]:
-    return [measure_point(padding, runs=runs) for padding in paddings]
+def _measure_point_task(payload: tuple[int, int]) -> ProbabilityPoint:
+    """Worker entrypoint: one padding value's full measurement."""
+    padding, runs = payload
+    return measure_point(padding, runs=runs)
+
+
+def sweep(
+    paddings=(0, 2, 5, 10, 20, 40), runs: int = 100, jobs: int = 1
+) -> list[ProbabilityPoint]:
+    """Measure every padding value; ``jobs=N`` sweeps points concurrently.
+
+    Points are independent (each builds its own program and seeds runs
+    identically), so the series matches the serial sweep exactly.
+    """
+    return pool_map(
+        _measure_point_task, [(padding, runs) for padding in paddings], jobs=jobs
+    )
 
 
 def render_sweep(points: list[ProbabilityPoint]) -> str:
@@ -109,9 +124,15 @@ def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--runs", type=int, default=100)
     parser.add_argument("--paddings", default="0,2,5,10,20,40")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="sweep padding points in N worker processes (0 = per core)",
+    )
     args = parser.parse_args(argv)
     paddings = tuple(int(p) for p in args.paddings.split(","))
-    print(render_sweep(sweep(paddings, runs=args.runs)))
+    print(render_sweep(sweep(paddings, runs=args.runs, jobs=args.jobs)))
 
 
 if __name__ == "__main__":

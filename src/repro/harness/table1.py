@@ -29,6 +29,7 @@ from repro.core import (
     baseline_exceptions,
     detect_races,
     fuzz_races,
+    pool_map,
 )
 from repro.core.results import CampaignReport
 from repro.detectors import HybridRaceDetector
@@ -130,11 +131,36 @@ def measure_row(
     )
 
 
+def _measure_row_task(payload: tuple) -> Table1Row:
+    """Worker entrypoint: measure one row, addressed by workload name.
+
+    The spec is dropped from the returned row because some registry specs
+    hold closure build functions that cannot cross the process boundary;
+    the parent reattaches its own copy.
+    """
+    from repro.workloads.base import get
+
+    name, kwargs = payload
+    row = measure_row(get(name), **kwargs)
+    row.spec = None
+    return row
+
+
 def build_table(
-    specs: list[WorkloadSpec] | None = None, **kwargs
+    specs: list[WorkloadSpec] | None = None, *, jobs: int = 1, **kwargs
 ) -> list[Table1Row]:
+    """Measure every row; ``jobs=N`` measures rows in worker processes.
+
+    Row-level parallelism keeps each row's protocol (and its seed
+    discipline) untouched, so the numbers match a serial run — apart from
+    the wall-clock columns, which measure a now-contended machine.
+    """
     specs = specs if specs is not None else table1_workloads()
-    return [measure_row(spec, **kwargs) for spec in specs]
+    payloads = [(spec.name, kwargs) for spec in specs]
+    rows = pool_map(_measure_row_task, payloads, jobs=jobs)
+    for spec, row in zip(specs, rows):
+        row.spec = spec
+    return rows
 
 
 def render_measured(rows: list[Table1Row]) -> str:
@@ -204,6 +230,12 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "--quick", action="store_true", help="20 trials, 20 baseline runs"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="measure benchmark rows in N worker processes (0 = per core)",
+    )
     args = parser.parse_args(argv)
 
     kwargs = {}
@@ -212,7 +244,7 @@ def main(argv: list[str] | None = None) -> None:
     if args.trials is not None:
         kwargs["trials"] = args.trials
     specs = [get(name) for name in args.names] if args.names else None
-    rows = build_table(specs, **kwargs)
+    rows = build_table(specs, jobs=args.jobs, **kwargs)
     print(render_measured(rows))
     print()
     print(render_comparison(rows))

@@ -1,0 +1,199 @@
+"""The parallel campaign engine: determinism, chunking, early exit.
+
+The contract under test is the ISSUE/paper claim: trials are independent
+seeded runs, so fanning a campaign out over a process pool must yield a
+``CampaignReport`` whose per-pair verdict aggregates are identical to the
+serial run for the same seed set — for any jobs count and any chunking.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import (
+    DetectTask,
+    FuzzTask,
+    ParallelCampaign,
+    chunk_ranges,
+    detect_races,
+    fuzz_races,
+    race_directed_test,
+)
+from repro.core.parallel import run_detect_task, run_fuzz_task
+from repro.runtime import Program
+from repro.workloads import figure1
+
+
+def _verdict_signature(verdict):
+    """Everything deterministic in a verdict (wall-clock is measured)."""
+    return (
+        verdict.trials,
+        verdict.times_created,
+        dict(verdict.exceptions),
+        dict(verdict.unattributed_exceptions),
+        verdict.deadlocks,
+        verdict.created_pairs,
+    )
+
+
+def _campaign_signature(campaign):
+    return (
+        campaign.program,
+        [str(p) for p in campaign.phase1.pairs],
+        {str(p): _verdict_signature(v) for p, v in campaign.verdicts.items()},
+    )
+
+
+class TestTaskSpecs:
+    def test_tasks_are_picklable(self):
+        for task in (
+            DetectTask(workload="figure1", seed=3),
+            FuzzTask(workload="figure1", pair=figure1.REAL_PAIR, seed_start=5, count=4),
+        ):
+            assert pickle.loads(pickle.dumps(task)) == task
+
+    def test_worker_results_are_picklable(self):
+        report = run_detect_task(DetectTask(workload="figure1"))
+        verdict = run_fuzz_task(
+            FuzzTask(workload="figure1", pair=figure1.REAL_PAIR, count=3)
+        )
+        assert pickle.loads(pickle.dumps(report)).pairs == report.pairs
+        assert _verdict_signature(pickle.loads(pickle.dumps(verdict))) == (
+            _verdict_signature(verdict)
+        )
+
+    def test_chunk_ranges_cover_exactly_once(self):
+        ranges = chunk_ranges(base_seed=7, trials=23, chunk_size=5)
+        seeds = [s for start, count in ranges for s in range(start, start + count)]
+        assert seeds == list(range(7, 30))
+
+    def test_chunk_ranges_reject_bad_size(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(0, 10, 0)
+
+
+class TestDetectEquivalence:
+    def test_parallel_detect_matches_serial(self):
+        serial = detect_races(figure1.build(), seeds=range(5))
+        parallel = detect_races(figure1.build(), seeds=range(5), jobs=4)
+        assert serial.pairs == parallel.pairs
+        assert {
+            str(p): (e.count, e.both_write) for p, e in serial.evidence.items()
+        } == {
+            str(p): (e.count, e.both_write) for p, e in parallel.evidence.items()
+        }
+        assert serial.truncated_locations == parallel.truncated_locations
+
+
+class TestFuzzEquivalence:
+    PAIRS = [figure1.REAL_PAIR, figure1.FALSE_PAIR]
+
+    def test_jobs_1_vs_jobs_4_identical_aggregates(self):
+        serial = fuzz_races(figure1.build(), self.PAIRS, trials=8)
+        parallel = fuzz_races(
+            figure1.build(), self.PAIRS, trials=8, jobs=4, chunk_size=3
+        )
+        assert set(serial) == set(parallel)
+        for pair in serial:
+            assert _verdict_signature(serial[pair]) == _verdict_signature(
+                parallel[pair]
+            )
+
+    def test_chunking_is_deterministic(self):
+        fine = fuzz_races(
+            figure1.build(), self.PAIRS, trials=10, jobs=2, chunk_size=1
+        )
+        coarse = fuzz_races(
+            figure1.build(), self.PAIRS, trials=10, jobs=2, chunk_size=10
+        )
+        for pair in fine:
+            assert _verdict_signature(fine[pair]) == _verdict_signature(
+                coarse[pair]
+            )
+
+    def test_base_seed_respected_in_parallel(self):
+        serial = fuzz_races(
+            figure1.build(), [figure1.REAL_PAIR], trials=6, base_seed=100
+        )
+        parallel = fuzz_races(
+            figure1.build(),
+            [figure1.REAL_PAIR],
+            trials=6,
+            base_seed=100,
+            jobs=2,
+            chunk_size=2,
+        )
+        assert _verdict_signature(serial[figure1.REAL_PAIR]) == (
+            _verdict_signature(parallel[figure1.REAL_PAIR])
+        )
+
+
+class TestCampaignEquivalence:
+    def test_full_campaign_matches_serial(self):
+        serial = race_directed_test(figure1.build(), trials=8)
+        parallel = race_directed_test(
+            figure1.build(), trials=8, jobs=4, chunk_size=3
+        )
+        assert _campaign_signature(serial) == _campaign_signature(parallel)
+
+    def test_unregistered_program_rejected_for_parallel(self):
+        def factory():
+            def main():
+                yield from ()
+
+            return main()
+
+        with pytest.raises(ValueError, match="not in"):
+            race_directed_test(Program(factory, name="anonymous"), jobs=2)
+
+
+class TestStopOnConfirm:
+    def test_serial_early_exit_stops_at_first_confirmation(self):
+        # figure1's real pair is created with probability 1, so the first
+        # trial confirms it and the remaining 49 are skipped.
+        verdicts = fuzz_races(
+            figure1.build(), [figure1.REAL_PAIR], trials=50, stop_on_confirm=True
+        )
+        assert verdicts[figure1.REAL_PAIR].is_real
+        assert verdicts[figure1.REAL_PAIR].trials == 1
+
+    def test_false_pair_still_gets_all_trials(self):
+        verdicts = fuzz_races(
+            figure1.build(), [figure1.FALSE_PAIR], trials=10, stop_on_confirm=True
+        )
+        assert not verdicts[figure1.FALSE_PAIR].is_real
+        assert verdicts[figure1.FALSE_PAIR].trials == 10
+
+    def test_parallel_early_exit_preserves_classification(self):
+        verdicts = fuzz_races(
+            figure1.build(),
+            [figure1.REAL_PAIR, figure1.FALSE_PAIR],
+            trials=20,
+            jobs=2,
+            chunk_size=5,
+            stop_on_confirm=True,
+        )
+        assert verdicts[figure1.REAL_PAIR].is_real
+        assert verdicts[figure1.REAL_PAIR].trials <= 20
+        assert not verdicts[figure1.FALSE_PAIR].is_real
+        assert verdicts[figure1.FALSE_PAIR].trials == 20
+
+
+class TestParallelCampaignObject:
+    def test_run_end_to_end_by_name(self):
+        with ParallelCampaign(jobs=2, chunk_size=4) as engine:
+            campaign = engine.run("figure1", trials=8)
+        assert campaign.program == "figure1"
+        assert figure1.REAL_PAIR in campaign.real_pairs
+        assert figure1.FALSE_PAIR not in campaign.real_pairs
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            ParallelCampaign(jobs=-1)
+        with pytest.raises(ValueError):
+            ParallelCampaign(chunk_size=0)
+
+    def test_close_is_idempotent(self):
+        engine = ParallelCampaign(jobs=2)
+        engine.close()
+        engine.close()

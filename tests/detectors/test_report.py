@@ -61,6 +61,41 @@ class TestMerge:
         assert first.truncated_locations == 2
 
 
+class TestFromPairs:
+    def test_supplied_pairs_have_no_evidence(self):
+        a, b, c = (Statement(label=l) for l in "abc")
+        pairs = [StatementPair(a, b), StatementPair(a, c)]
+        report = RaceReport.from_pairs(pairs, program="p")
+        assert report.detector == "supplied"
+        assert len(report) == 2
+        assert report.pairs == sorted(pairs, key=lambda p: (str(p.first), str(p.second)))
+        assert all(report.evidence[pair] is None for pair in pairs)
+
+    def test_str_skips_missing_evidence(self):
+        report = RaceReport.from_pairs(
+            [StatementPair(Statement(label="a"), Statement(label="b"))],
+            program="p",
+        )
+        assert "1 potential racing pair(s)" in str(report)
+
+    def test_record_upgrades_supplied_pair(self):
+        a, b = Statement(label="a"), Statement(label="b")
+        report = RaceReport.from_pairs([StatementPair(a, b)], program="p")
+        fresh = report.record(a, b, _loc(), (1, 2), True)
+        assert fresh is False  # the pair was already known
+        assert report.evidence[StatementPair(a, b)].both_write
+
+    def test_merge_tolerates_missing_evidence(self):
+        a, b = Statement(label="a"), Statement(label="b")
+        detected = RaceReport(program="p", detector="d")
+        detected.record(a, b, _loc(), (1, 2), False)
+        supplied = RaceReport.from_pairs([StatementPair(a, b)], program="p")
+        detected.merge(supplied)  # None evidence must not clobber a witness
+        assert detected.evidence[StatementPair(a, b)].count == 1
+        supplied.merge(detected)  # and a witness fills in for None
+        assert supplied.evidence[StatementPair(a, b)].count == 1
+
+
 class TestEvidence:
     def test_describe(self):
         evidence = PairEvidence(
