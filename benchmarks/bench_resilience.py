@@ -1,0 +1,134 @@
+"""Supervisor overhead: what does the failure story cost a clean campaign?
+
+The campaign supervisor wraps every task in a deadline/retry/quarantine
+envelope and (optionally) a checkpoint journal.  On a fault-free campaign
+all of that machinery is pure overhead, so this benchmark measures the
+same Phase-2 campaign three ways:
+
+* the bare serial loop (no supervision at all);
+* the supervised inline path (deadline + retry armed, no faults fire);
+* a supervised run with injected transient faults (one crash, one hang,
+  one malformed result), which pays real retry work.
+
+Two entry points:
+
+* under pytest (``pytest benchmarks/bench_resilience.py --benchmark-only``)
+  each configuration is a ``benchmark`` case;
+* as a script (``python benchmarks/bench_resilience.py``) it prints the
+  comparison and writes a ``BENCH_resilience.json`` overhead record for
+  the perf trajectory.
+"""
+
+import json
+import os
+import time
+
+from repro.core import fuzz_races
+from repro.core.faults import FaultPlan, FaultSpec
+from repro.workloads import figure1
+
+PAIRS = [figure1.REAL_PAIR, figure1.FALSE_PAIR]
+
+#: Transient faults only — every retry succeeds, nothing is quarantined,
+#: so the faulted campaign's verdicts still match the bare run.
+FAULTS = FaultPlan(
+    [
+        FaultSpec(kind="crash", index=0, attempts=1),
+        FaultSpec(kind="hang", index=2, attempts=1, delay=0.3),
+        FaultSpec(kind="malformed", index=4, attempts=1),
+    ]
+)
+
+
+def _bare(trials):
+    return fuzz_races(figure1.build(), PAIRS, trials=trials)
+
+
+def _supervised(trials, faults=None, chunk_size=5):
+    return fuzz_races(
+        figure1.build(),
+        PAIRS,
+        trials=trials,
+        chunk_size=chunk_size,
+        deadline=10.0,
+        retries=2,
+        faults=faults,
+    )
+
+
+def test_bare_campaign(benchmark, quick_trials):
+    verdicts = benchmark(lambda: _bare(quick_trials))
+    assert verdicts[figure1.REAL_PAIR].is_real
+
+
+def test_supervised_clean_campaign(benchmark, quick_trials):
+    verdicts = benchmark(lambda: _supervised(quick_trials))
+    assert verdicts[figure1.REAL_PAIR].is_real
+    assert not any(v.quarantined for v in verdicts.values())
+
+
+def test_supervised_faulted_campaign(benchmark, quick_trials):
+    verdicts = benchmark(lambda: _supervised(quick_trials, faults=FAULTS))
+    assert verdicts[figure1.REAL_PAIR].is_real
+    assert not any(v.quarantined for v in verdicts.values())
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=60)
+    parser.add_argument("--chunk-size", type=int, default=5)
+    parser.add_argument("--output", default="BENCH_resilience.json")
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    bare = _bare(args.trials)
+    bare_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    clean = _supervised(args.trials, chunk_size=args.chunk_size)
+    clean_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    faulted = _supervised(
+        args.trials, faults=FAULTS, chunk_size=args.chunk_size
+    )
+    faulted_s = time.perf_counter() - start
+
+    # Transient faults must be invisible in the aggregates.
+    for pair in bare:
+        for run in (clean, faulted):
+            assert run[pair].trials == bare[pair].trials
+            assert run[pair].times_created == bare[pair].times_created
+            assert run[pair].exceptions == bare[pair].exceptions
+            assert not run[pair].quarantined
+
+    record = {
+        "benchmark": "supervisor-resilience",
+        "workload": "figure1",
+        "pairs": len(PAIRS),
+        "trials_per_pair": args.trials,
+        "chunk_size": args.chunk_size,
+        "cpu_count": os.cpu_count(),
+        "bare_s": round(bare_s, 4),
+        "supervised_clean_s": round(clean_s, 4),
+        "supervised_faulted_s": round(faulted_s, 4),
+        "clean_overhead_ratio": round(clean_s / bare_s, 3) if bare_s else None,
+        "faulted_overhead_ratio": (
+            round(faulted_s / bare_s, 3) if bare_s else None
+        ),
+        "injected_faults": [
+            f"{s.phase}:{s.index}:{s.kind}" for s in FAULTS.specs
+        ],
+        "verdicts_identical": True,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,7 @@ from repro.core import (
     RandomScheduler,
     RaposDriver,
     detect_races,
+    parse_fault_plan,
     race_directed_test,
 )
 from repro.core.replay import replay_race
@@ -59,7 +60,7 @@ def _cmd_run(args) -> int:
             spec.build(), seed=args.seed, max_steps=spec.max_steps
         ).run(scheduler)
     print(result)
-    return 0 if not result.crashes else 1
+    return 0 if not result.crashes and not result.deadlock else 1
 
 
 def _cmd_detect(args) -> int:
@@ -77,6 +78,7 @@ def _cmd_detect(args) -> int:
 
 def _cmd_fuzz(args) -> int:
     spec = get(args.workload)
+    faults = parse_fault_plan(args.fault_plan) if args.fault_plan else None
     campaign = race_directed_test(
         spec.build(),
         trials=args.trials,
@@ -85,6 +87,10 @@ def _cmd_fuzz(args) -> int:
         jobs=args.jobs,
         chunk_size=args.chunk_size,
         stop_on_confirm=args.stop_on_confirm,
+        deadline=args.deadline,
+        retries=args.retries,
+        checkpoint=args.checkpoint,
+        faults=faults,
     )
     print(campaign)
     if campaign.harmful_pairs:
@@ -94,6 +100,13 @@ def _cmd_fuzz(args) -> int:
             verdict = campaign.verdict_for(pair)
             kinds = ", ".join(sorted(verdict.exceptions))
             print(f"  {pair}: {kinds}")
+    # CI-gate exit discipline: 1 = a real race was confirmed, 3 = no race
+    # confirmed but some task ended quarantined (verdicts incomplete),
+    # 0 = clean campaign with full coverage.
+    if campaign.real_pairs:
+        return 1
+    if campaign.quarantined:
+        return 3
     return 0
 
 
@@ -206,6 +219,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--stop-on-confirm",
         action="store_true",
         help="abandon a pair's remaining trials once one confirms the race",
+    )
+    fuzz_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock budget; a chunk that overruns is retried "
+        "and eventually quarantined (distinct from the abstract max_steps)",
+    )
+    fuzz_parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-attempts per failing task before quarantine (default 2)",
+    )
+    fuzz_parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="append-only JSONL journal; a killed campaign restarted with "
+        "the same path re-executes only its unfinished tasks",
+    )
+    fuzz_parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection for resilience testing: "
+        "comma-separated phase:index:kind[:attempts[:delay]] entries, "
+        "e.g. 'fuzz:3:crash,fuzz:7:hang:1:0.5'",
     )
     fuzz_parser.set_defaults(handler=_cmd_fuzz)
 

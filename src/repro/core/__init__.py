@@ -14,18 +14,27 @@ from .coverage import CoverageReport, conflict_signature, measure_coverage
 from .atomicityfuzzer import AtomicityFuzzer, AtomicRegion
 from .deadlockfuzzer import DeadlockFuzzer, detect_lock_order_inversions
 from .driver import baseline_exceptions, detect_races, fuzz_races, race_directed_test
+from .faults import FaultPlan, FaultSpec, InjectedCrash, parse_fault_plan
 from .parallel import (
     DetectTask,
     FuzzTask,
     ParallelCampaign,
     chunk_ranges,
+    fuzz_task_key,
     pool_map,
 )
 from .postponing import FuzzResult, PostponingDriver, TargetHit
 from .racefuzzer import RaceFuzzer, fuzz_pair
 from .rapos import RaposDriver, rapos_exceptions
 from .replay import ReplayedRun, replay_race, replays_identically
-from .results import CampaignReport, PairVerdict
+from .results import CampaignReport, PairVerdict, TaskFailure
+from .supervisor import (
+    CampaignSupervisor,
+    RetryPolicy,
+    SupervisorReport,
+    TaskDeadlineExceeded,
+    compute_backoff,
+)
 from .schedulers import SCHEDULERS, DefaultScheduler, RandomScheduler, Scheduler
 
 __all__ = [
@@ -57,7 +66,18 @@ __all__ = [
     "DetectTask",
     "FuzzTask",
     "chunk_ranges",
+    "fuzz_task_key",
     "pool_map",
+    "CampaignSupervisor",
+    "SupervisorReport",
+    "RetryPolicy",
+    "compute_backoff",
+    "TaskDeadlineExceeded",
+    "TaskFailure",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "parse_fault_plan",
     "RaposDriver",
     "rapos_exceptions",
     "CoverageReport",

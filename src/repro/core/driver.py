@@ -11,13 +11,20 @@
                         for Figure 2, the probability comparison).
 
 Every entry point of the two-phase pipeline takes ``jobs=``: ``1``
-(default) runs the exact serial path in-process; ``N > 1`` (or ``None``
-for one worker per core) fans the independent executions out across a
-process pool via :class:`~repro.core.parallel.ParallelCampaign`.  Parallel
-campaigns rebuild the program in each worker from the workload registry,
-so the program must be a registered workload (``program.name`` resolvable
-via :func:`repro.workloads.get`); merged results are identical to the
-serial run for the same seed set.
+(default) runs the exact serial path in-process; ``N > 1`` (or ``None``/
+``0`` for one worker per core) fans the independent executions out across
+a process pool via :class:`~repro.core.parallel.ParallelCampaign`.
+Parallel campaigns rebuild the program in each worker from the workload
+registry, so the program must be a registered workload (``program.name``
+resolvable via :func:`repro.workloads.get`); merged results are identical
+to the serial run for the same seed set.
+
+Supervised campaigns additionally take ``deadline=`` (per-task wall-clock
+budget), ``retries=`` (bounded retry with backoff), ``checkpoint=``
+(append-only JSONL journal for kill/resume) and ``faults=`` (a
+deterministic :class:`~repro.core.faults.FaultPlan`); any of these routes
+the pipeline through the supervisor even at ``jobs=1``.  See
+:mod:`repro.core.supervisor` for the failure semantics.
 """
 
 from __future__ import annotations
@@ -57,10 +64,30 @@ def _registered_name(program: Program) -> str:
 
 
 def _parallel(jobs: int | None) -> bool:
-    """Did the caller ask for a worker pool? (``None``/``0`` = auto.)"""
+    """Did the caller ask for a worker pool?
+
+    The ``jobs=`` contract, shared by every pipeline entry point:
+    ``None`` and ``0`` both mean "auto" (one worker per core), ``1``
+    means the exact serial in-process path, and ``N >= 2`` means a pool
+    of N workers.  Only negative values are rejected.
+    """
     if jobs is not None and jobs < 0:
-        raise ValueError(f"jobs must be positive or None, got {jobs}")
+        raise ValueError(
+            f"jobs must be None, 0 (one worker per core) or a positive "
+            f"int, got {jobs}"
+        )
     return jobs is None or jobs == 0 or jobs > 1
+
+
+def _supervised(*options) -> bool:
+    """Does any resilience option force the supervised engine path?
+
+    The plain serial loops below have no deadline/retry/checkpoint
+    machinery, so any of those options routes through
+    :class:`ParallelCampaign` even at ``jobs=1`` (whose inline path is
+    still byte-identical on the success side).
+    """
+    return any(option is not None for option in options)
 
 
 def detect_races(
@@ -71,6 +98,8 @@ def detect_races(
     max_steps: int = 1_000_000,
     history_cap: int = 128,
     jobs: int = 1,
+    deadline: float | None = None,
+    retries: int | None = None,
 ) -> RaceReport:
     """Phase 1: collect potentially racing statement pairs.
 
@@ -78,12 +107,16 @@ def detect_races(
     scheduler with the chosen detector observing every access, and unions
     the resulting reports (more Phase-1 executions -> more coverage, as
     with any dynamic analysis).  Seed runs are independent, so ``jobs=N``
-    distributes them across workers with identical merged output.
+    (``None``/``0`` = one worker per core, ``1`` = serial, negatives
+    rejected) distributes them across workers with identical merged
+    output.  ``deadline``/``retries`` enable the campaign supervisor: a
+    seed run that exceeds its wall-clock deadline or keeps crashing is
+    retried and eventually quarantined instead of aborting the phase.
     """
     seed_list = list(seeds)
     assert seed_list, "detect_races needs at least one seed"
-    if _parallel(jobs):
-        with ParallelCampaign(jobs=jobs) as engine:
+    if _parallel(jobs) or _supervised(deadline, retries):
+        with ParallelCampaign(jobs=jobs, deadline=deadline, retry=retries) as engine:
             return engine.detect(
                 _registered_name(program),
                 detector=detector,
@@ -118,19 +151,42 @@ def fuzz_races(
     jobs: int = 1,
     chunk_size: int = 25,
     stop_on_confirm: bool = False,
+    deadline: float | None = None,
+    retries: int | None = None,
+    checkpoint=None,
+    faults=None,
 ) -> dict[StatementPair, PairVerdict]:
     """Phase 2: fuzz every pair ``trials`` times; aggregate verdicts.
 
-    ``jobs=N`` splits each pair's seed range into ``chunk_size``-sized
-    tasks across a worker pool; merged verdicts are identical to the
-    serial loop.  ``stop_on_confirm`` abandons a pair's remaining trials
-    once one trial confirms the race real — same classification, fewer
-    trials (and timing-dependent trial counts when ``jobs > 1``).
+    ``jobs=N`` (``None``/``0`` = one worker per core, ``1`` = serial,
+    negatives rejected) splits each pair's seed range into
+    ``chunk_size``-sized tasks across a worker pool; merged verdicts are
+    identical to the serial loop.  ``stop_on_confirm`` abandons a pair's
+    remaining trials once one trial confirms the race real — same
+    classification, fewer trials (and timing-dependent trial counts when
+    ``jobs > 1``).
+
+    The resilience options route through the campaign supervisor (even at
+    ``jobs=1``): ``deadline`` bounds each chunk's wall-clock (distinct
+    from ``max_steps``), ``retries`` bounds re-attempts of failing
+    chunks, ``checkpoint`` journals completed chunks to an append-only
+    JSONL file so a killed campaign resumes where it left off, and
+    ``faults`` injects a deterministic
+    :class:`~repro.core.faults.FaultPlan`.  A chunk that fails every
+    attempt is quarantined onto its verdict's ``errors`` instead of
+    sinking the campaign.  These paths require a registered workload
+    (like ``jobs>1``) so the program can be rebuilt from its name.
     """
     pair_list = list(pairs)
-    if _parallel(jobs):
+    if _parallel(jobs) or _supervised(deadline, retries, checkpoint, faults):
         with ParallelCampaign(
-            jobs=jobs, chunk_size=chunk_size, stop_on_confirm=stop_on_confirm
+            jobs=jobs,
+            chunk_size=chunk_size,
+            stop_on_confirm=stop_on_confirm,
+            deadline=deadline,
+            retry=retries,
+            checkpoint=checkpoint,
+            faults=faults,
         ) as engine:
             return engine.fuzz(
                 _registered_name(program),
@@ -170,20 +226,70 @@ def race_directed_test(
     jobs: int = 1,
     chunk_size: int = 25,
     stop_on_confirm: bool = False,
+    deadline: float | None = None,
+    retries: int | None = None,
+    checkpoint=None,
+    faults=None,
 ) -> CampaignReport:
     """The full RaceFuzzer pipeline over one program.
 
     ``pairs`` may be supplied directly (e.g. from a static tool, or the
     worked examples); otherwise Phase 1 computes them.  ``jobs=N``
-    parallelizes both phases over a process pool.
+    (``None``/``0`` = one worker per core, ``1`` = serial, negatives
+    rejected) parallelizes both phases over one supervised process pool.
+    The resilience options (``deadline``, ``retries``, ``checkpoint``,
+    ``faults`` — see :func:`fuzz_races`) apply to both phases; tasks that
+    fail every retry end up on ``CampaignReport.failures`` instead of
+    aborting the campaign.
     """
+    if _parallel(jobs) or _supervised(deadline, retries, checkpoint, faults):
+        # One engine (and one worker pool) spans both phases, so that
+        # quarantine records from Phase 1 and Phase 2 land on the same
+        # campaign report.
+        with ParallelCampaign(
+            jobs=jobs,
+            chunk_size=chunk_size,
+            stop_on_confirm=stop_on_confirm,
+            deadline=deadline,
+            retry=retries,
+            checkpoint=checkpoint,
+            faults=faults,
+        ) as engine:
+            name = _registered_name(program)
+            if pairs is None:
+                return engine.run(
+                    name,
+                    detector=detector,
+                    phase1_seeds=phase1_seeds,
+                    trials=trials,
+                    base_seed=base_seed,
+                    preemption=preemption,
+                    patience=patience,
+                    max_steps=max_steps,
+                )
+            pair_list = list(pairs)
+            phase1 = RaceReport.from_pairs(pair_list, program=name)
+            verdicts = engine.fuzz(
+                name,
+                pair_list,
+                trials=trials,
+                base_seed=base_seed,
+                preemption=preemption,
+                patience=patience,
+                max_steps=max_steps,
+            )
+            return CampaignReport(
+                program=name,
+                phase1=phase1,
+                verdicts=verdicts,
+                failures=list(engine.failures),
+            )
     if pairs is None:
         phase1 = detect_races(
             program,
             detector=detector,
             seeds=phase1_seeds,
             max_steps=max_steps,
-            jobs=jobs,
         )
         pair_list = phase1.pairs
     else:
@@ -197,7 +303,6 @@ def race_directed_test(
         preemption=preemption,
         patience=patience,
         max_steps=max_steps,
-        jobs=jobs,
         chunk_size=chunk_size,
         stop_on_confirm=stop_on_confirm,
     )

@@ -1,0 +1,251 @@
+"""Deterministic fault injection for the campaign supervisor.
+
+A resilient campaign runner is only trustworthy if every failure path has
+a reproducible test.  Real worker crashes, livelocks and pool deaths are
+timing accidents; this module replaces them with a *plan*: a value object
+that names, per (phase, task index), exactly which fault to inject and on
+how many attempts it keeps firing.  The supervisor resolves the plan in
+the parent and ships the chosen :class:`FaultSpec` inside the task
+envelope, so workers never see the plan itself — only the one fault that
+is theirs to raise.
+
+Fault kinds (``FAULT_KINDS``):
+
+* ``crash``     — raise :class:`InjectedCrash` before the task body runs
+  (stands in for any unhandled worker exception).
+* ``hang``      — sleep ``delay`` seconds before the task body runs
+  (stands in for a livelocked / wedged worker; only detectable when the
+  supervisor has a wall-clock deadline).
+* ``malformed`` — run the task body normally but return
+  :data:`MALFORMED_SENTINEL` instead of the result (stands in for a
+  corrupted IPC payload; caught by the supervisor's result validation).
+* ``pool_kill`` — ``os._exit`` the worker process, which breaks the whole
+  :class:`~concurrent.futures.ProcessPoolExecutor` (stands in for the
+  OOM-killer / a segfault).  When the supervisor is executing inline
+  (serial path or serial fallback) the fault degrades to a raised
+  :class:`InjectedCrash` — exiting would take the campaign down, which is
+  exactly what the supervisor exists to prevent.
+
+Determinism contract: a :class:`FaultSpec` fires on attempts
+``0 .. attempts-1`` of its task and never again, so ``attempts=1`` models
+a transient failure (the retry succeeds) and a large ``attempts`` models
+a poisoned task (retries exhaust and the task is quarantined).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+CRASH = "crash"
+HANG = "hang"
+MALFORMED = "malformed"
+POOL_KILL = "pool_kill"
+
+FAULT_KINDS = (CRASH, HANG, MALFORMED, POOL_KILL)
+
+#: What a ``malformed`` fault returns in place of the real result.  Any
+#: value the supervisor's ``validate`` hook rejects would do; a string is
+#: convenient because no worker entrypoint legitimately returns one.
+MALFORMED_SENTINEL = "__repro_malformed_result__"
+
+
+class InjectedCrash(RuntimeError):
+    """The deterministic stand-in for an arbitrary worker failure."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: *which* task, *what* failure, *how persistent*.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        index: submission index of the targeted task within its phase.
+        phase: which dispatch batch the index refers to (``"fuzz"`` or
+            ``"detect"``).
+        attempts: the fault fires on the first ``attempts`` attempts of
+            the task and is then spent.  ``1`` = transient, large =
+            poisoned (quarantine).
+        delay: sleep duration, in seconds, for ``hang`` faults.
+    """
+
+    kind: str
+    index: int
+    phase: str = "fuzz"
+    attempts: int = 1
+    delay: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.index < 0:
+            raise ValueError(f"fault index must be >= 0, got {self.index}")
+        if self.attempts < 1:
+            raise ValueError(f"fault attempts must be >= 1, got {self.attempts}")
+        if self.delay < 0:
+            raise ValueError(f"fault delay must be >= 0, got {self.delay}")
+
+    def fires(self, attempt: int) -> bool:
+        """Does the fault fire on this (0-based) attempt of its task?"""
+        return attempt < self.attempts
+
+
+class FaultPlan:
+    """An immutable map from (phase, task index) to the fault to inject.
+
+    At most one fault per task: a task that crashes *and* hangs is not a
+    reproducible scenario.  Plans are value objects — equality and
+    iteration are over the sorted spec list — so tests can assert on them
+    directly.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = ()) -> None:
+        by_key: dict[tuple[str, int], FaultSpec] = {}
+        for spec in specs:
+            key = (spec.phase, spec.index)
+            if key in by_key:
+                raise ValueError(
+                    f"duplicate fault for {spec.phase}[{spec.index}]: "
+                    f"{by_key[key].kind} vs {spec.kind}"
+                )
+            by_key[key] = spec
+        self._by_key = by_key
+
+    def at(self, phase: str, index: int) -> FaultSpec | None:
+        """The fault planned for this task, or None."""
+        return self._by_key.get((phase, index))
+
+    @property
+    def specs(self) -> list[FaultSpec]:
+        return sorted(self._by_key.values(), key=lambda s: (s.phase, s.index))
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self._by_key == other._by_key
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.specs!r})"
+
+    @classmethod
+    def sample(
+        cls,
+        seed: int,
+        n_tasks: int,
+        *,
+        phase: str = "fuzz",
+        crash_rate: float = 0.0,
+        hang_rate: float = 0.0,
+        malformed_rate: float = 0.0,
+        pool_kill_rate: float = 0.0,
+        attempts: int = 1,
+        delay: float = 30.0,
+    ) -> "FaultPlan":
+        """Draw a reproducible plan: same seed and rates, same plan.
+
+        Each task index independently receives at most one fault; the
+        rates are cumulative probabilities and must sum to <= 1.
+        """
+        total = crash_rate + hang_rate + malformed_rate + pool_kill_rate
+        if total > 1.0:
+            raise ValueError(f"fault rates sum to {total}, must be <= 1")
+        rng = random.Random(seed)
+        thresholds = (
+            (crash_rate, CRASH),
+            (crash_rate + hang_rate, HANG),
+            (crash_rate + hang_rate + malformed_rate, MALFORMED),
+            (total, POOL_KILL),
+        )
+        specs = []
+        for index in range(n_tasks):
+            roll = rng.random()
+            for cutoff, kind in thresholds:
+                if roll < cutoff:
+                    specs.append(
+                        FaultSpec(
+                            kind=kind,
+                            index=index,
+                            phase=phase,
+                            attempts=attempts,
+                            delay=delay,
+                        )
+                    )
+                    break
+        return cls(specs)
+
+
+def apply_fault(spec: FaultSpec, *, in_worker: bool = True) -> None:
+    """Execute the pre-task side of a fault, in the executing process.
+
+    ``malformed`` is a no-op here — it corrupts the *result*, which the
+    task envelope handles after the body runs.  ``pool_kill`` only exits
+    the process when running in a disposable worker; inline it degrades
+    to a crash so fault plans stay runnable on the serial path.
+    """
+    if spec.kind == CRASH:
+        raise InjectedCrash(f"injected crash at {spec.phase}[{spec.index}]")
+    if spec.kind == HANG:
+        time.sleep(spec.delay)
+        return
+    if spec.kind == POOL_KILL:
+        if in_worker:
+            os._exit(13)
+        raise InjectedCrash(
+            f"injected pool kill at {spec.phase}[{spec.index}] "
+            f"(inline execution: raised instead of exiting)"
+        )
+    # MALFORMED: nothing to do before the task body.
+
+
+def parse_fault_plan(text: str) -> FaultPlan:
+    """Parse the CLI fault-plan syntax into a :class:`FaultPlan`.
+
+    Comma-separated specs of the form ``phase:index:kind[:attempts[:delay]]``,
+    e.g. ``fuzz:0:crash,fuzz:7:hang:1:5.0,fuzz:11:pool_kill``.
+    """
+    specs = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        if len(parts) < 3 or len(parts) > 5:
+            raise ValueError(
+                f"bad fault spec {chunk!r}: expected "
+                f"phase:index:kind[:attempts[:delay]]"
+            )
+        phase, index, kind = parts[0], int(parts[1]), parts[2]
+        attempts = int(parts[3]) if len(parts) > 3 else 1
+        delay = float(parts[4]) if len(parts) > 4 else 30.0
+        specs.append(
+            FaultSpec(
+                kind=kind, index=index, phase=phase, attempts=attempts, delay=delay
+            )
+        )
+    return FaultPlan(specs)
+
+
+__all__ = [
+    "CRASH",
+    "HANG",
+    "MALFORMED",
+    "POOL_KILL",
+    "FAULT_KINDS",
+    "MALFORMED_SENTINEL",
+    "InjectedCrash",
+    "FaultSpec",
+    "FaultPlan",
+    "apply_fault",
+    "parse_fault_plan",
+]

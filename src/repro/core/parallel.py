@@ -37,12 +37,18 @@ once any chunk confirms a pair real (``times_created > 0``), the pair's
 not-yet-started chunks are cancelled.  Verdict *classification* is
 unaffected (a confirmed pair stays confirmed) but trial counts then depend
 on worker timing, so equivalence tests must keep it off.
+
+Every dispatch goes through the :mod:`~repro.core.supervisor` layer, which
+adds the failure story: per-task wall-clock deadlines, retry with backoff,
+broken-pool recovery, quarantine, and checkpoint/resume.  See that module
+for the semantics; this one stays about *what* a task is and *how* results
+merge.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import json
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -50,8 +56,10 @@ from repro.detectors import RaceReport, make_detector
 from repro.runtime.interpreter import Execution
 from repro.runtime.statement import StatementPair
 
+from .faults import FaultPlan
 from .results import CampaignReport, PairVerdict
 from .schedulers import RandomScheduler
+from .supervisor import CampaignSupervisor, RetryPolicy, resolve_jobs
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -62,13 +70,11 @@ def pair_key(pair: StatementPair) -> tuple[str, str]:
     return (str(pair.first), str(pair.second))
 
 
-def resolve_jobs(jobs: int | None) -> int:
-    """Normalize a ``jobs=`` argument: ``None``/``0`` means one per core."""
-    if not jobs:
-        return os.cpu_count() or 1
-    if jobs < 0:
-        raise ValueError(f"jobs must be positive or None, got {jobs}")
-    return jobs
+def _validate_chunk_size(chunk_size: int) -> int:
+    """Shared guard for every chunking entry point."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return chunk_size
 
 
 # --------------------------------------------------------------------- #
@@ -135,10 +141,35 @@ def run_fuzz_task(task: FuzzTask) -> PairVerdict:
     return verdict
 
 
+def fuzz_task_key(task: FuzzTask) -> str:
+    """Stable checkpoint-journal key for one Phase-2 chunk.
+
+    Covers every field that affects the chunk's verdict, so a journaled
+    result is only reused by a campaign running the *same* protocol; any
+    parameter change misses the cache and re-executes.
+    """
+    first, second = task.pair.first, task.pair.second
+    return json.dumps(
+        {
+            "workload": task.workload,
+            "pair": [
+                [first.file, first.line, first.label],
+                [second.file, second.line, second.label],
+            ],
+            "seed_start": task.seed_start,
+            "count": task.count,
+            "preemption": task.preemption,
+            "patience": task.patience,
+            "max_steps": task.max_steps,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
 def chunk_ranges(base_seed: int, trials: int, chunk_size: int) -> list[tuple[int, int]]:
     """Split ``trials`` consecutive seeds into ``(start, count)`` chunks."""
-    if chunk_size < 1:
-        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    _validate_chunk_size(chunk_size)
     return [
         (start, min(chunk_size, base_seed + trials - start))
         for start in range(base_seed, base_seed + trials, chunk_size)
@@ -167,7 +198,14 @@ def pool_map(
 
 
 class ParallelCampaign:
-    """Fan a two-phase campaign out across worker processes.
+    """Fan a two-phase campaign out across supervised worker processes.
+
+    Every task — Phase-1 detection runs and Phase-2 fuzz chunks alike —
+    is dispatched through a :class:`~repro.core.supervisor.CampaignSupervisor`,
+    which adds per-task wall-clock deadlines, bounded retry with backoff,
+    broken-pool recovery (with graceful degradation to inline serial
+    execution), quarantine of persistently failing tasks, and
+    checkpoint/resume for Phase-2 chunks.
 
     Parameters:
         jobs: worker processes (``None``/``0`` = one per core; ``1`` =
@@ -180,9 +218,23 @@ class ParallelCampaign:
             confirms the race real.  Faster on campaigns with
             high-probability races, but trial counts become
             timing-dependent (classification does not).
+        deadline: per-task wall-clock budget in seconds (distinct from
+            the abstract ``max_steps`` budget; ``None`` = unlimited).
+        retry: a :class:`~repro.core.supervisor.RetryPolicy`, or an int
+            meaning ``RetryPolicy(max_retries=N)``, or ``None`` for the
+            default (2 retries, exponential backoff with seeded jitter).
+        checkpoint: path to an append-only JSONL journal of completed
+            Phase-2 chunks; a restarted campaign skips journaled chunks.
+        faults: a :class:`~repro.core.faults.FaultPlan` for deterministic
+            failure injection.
+        pool_death_limit: rebuild a broken worker pool at most this many
+            times before degrading to inline serial execution.
 
-    Use as a context manager (or call :meth:`close`) to reclaim the pool;
-    the pool is created lazily on first parallel use.
+    Quarantined tasks accumulate on :attr:`failures` (and, for fuzz
+    chunks, on the owning verdict's ``errors``); :attr:`last_report`
+    holds the :class:`~repro.core.supervisor.SupervisorReport` of the
+    most recent batch.  Use as a context manager (or call :meth:`close`)
+    to reclaim the pool.
     """
 
     def __init__(
@@ -191,26 +243,31 @@ class ParallelCampaign:
         *,
         chunk_size: int = 25,
         stop_on_confirm: bool = False,
+        deadline: float | None = None,
+        retry: RetryPolicy | int | None = None,
+        checkpoint=None,
+        faults: FaultPlan | None = None,
+        pool_death_limit: int = 2,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
-        if chunk_size < 1:
-            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-        self.chunk_size = chunk_size
+        self.chunk_size = _validate_chunk_size(chunk_size)
         self.stop_on_confirm = stop_on_confirm
-        self._pool: ProcessPoolExecutor | None = None
+        self.supervisor = CampaignSupervisor(
+            jobs=self.jobs,
+            deadline=deadline,
+            retry=retry,
+            pool_death_limit=pool_death_limit,
+            checkpoint=checkpoint,
+            faults=faults,
+        )
+        self.failures = []
+        self.last_report = None
 
     # -- lifecycle ----------------------------------------------------- #
 
-    def _executor(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-        return self._pool
-
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        self.supervisor.close()
 
     def __enter__(self) -> "ParallelCampaign":
         return self
@@ -247,10 +304,21 @@ class ParallelCampaign:
             )
             for seed in seed_list
         ]
-        reports = self._map(run_detect_task, tasks)
+        report = self.supervisor.supervise(
+            "detect",
+            tasks,
+            validate=lambda task, r: isinstance(r, RaceReport),
+        )
+        self.last_report = report
+        self.failures.extend(report.failures)
+        # Quarantined seeds lose their coverage contribution (recorded on
+        # `failures`) but never abort the phase.
+        reports = [r for r in report.results if r is not None]
+        if not reports:
+            return RaceReport(program=workload, detector=detector)
         merged = reports[0]
-        for report in reports[1:]:
-            merged.merge(report)
+        for other in reports[1:]:
+            merged.merge(other)
         return merged
 
     # -- Phase 2 ------------------------------------------------------- #
@@ -288,13 +356,44 @@ class ParallelCampaign:
                         max_steps=max_steps,
                     )
                 )
-        chunk_verdicts = self._run_fuzz_tasks(tasks)
+        on_result = None
+        if self.stop_on_confirm:
+            confirmed: set[tuple[str, str]] = set()
+
+            def on_result(index: int, verdict) -> list[int]:
+                if not isinstance(verdict, PairVerdict):
+                    return []
+                key = pair_key(tasks[index].pair)
+                if verdict.times_created > 0 and key not in confirmed:
+                    confirmed.add(key)
+                    return [
+                        other
+                        for other, task in enumerate(tasks)
+                        if other != index and pair_key(task.pair) == key
+                    ]
+                return []
+
+        report = self.supervisor.supervise(
+            "fuzz",
+            tasks,
+            validate=lambda task, r: (
+                isinstance(r, PairVerdict) and r.pair == task.pair
+            ),
+            key_fn=fuzz_task_key,
+            encode=lambda verdict: verdict.to_jsonable(),
+            decode=PairVerdict.from_jsonable,
+            on_result=on_result,
+        )
+        self.last_report = report
+        self.failures.extend(report.failures)
         verdicts: dict[StatementPair, PairVerdict] = {
             pair: PairVerdict(pair=pair) for pair in pair_list
         }
-        for task, verdict in zip(tasks, chunk_verdicts):  # submission order
+        for task, verdict in zip(tasks, report.results):  # submission order
             if verdict is not None:
                 verdicts[task.pair].merge(verdict)
+        for failure in report.failures:
+            verdicts[tasks[failure.index].pair].errors.append(failure)
         return verdicts
 
     def run(
@@ -325,63 +424,12 @@ class ParallelCampaign:
             patience=patience,
             max_steps=max_steps,
         )
-        return CampaignReport(program=workload, phase1=phase1, verdicts=verdicts)
-
-    # -- internals ------------------------------------------------------ #
-
-    def _map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
-        """Order-preserving map over the pool (inline when jobs=1)."""
-        if self.jobs == 1 or len(tasks) <= 1:
-            return [fn(task) for task in tasks]
-        return list(self._executor().map(fn, tasks))
-
-    def _run_fuzz_tasks(self, tasks: list[FuzzTask]) -> list[PairVerdict | None]:
-        """Run fuzz chunks; ``None`` marks chunks cancelled by early exit."""
-        if not self.stop_on_confirm:
-            return self._map(run_fuzz_task, tasks)
-        if self.jobs == 1 or len(tasks) <= 1:
-            return self._run_fuzz_serial_early_exit(tasks)
-        pool = self._executor()
-        futures = [pool.submit(run_fuzz_task, task) for task in tasks]
-        index_of = {future: index for index, future in enumerate(futures)}
-        confirmed: set[tuple[str, str]] = set()
-        pending = set(futures)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                if future.cancelled():
-                    continue
-                verdict = future.result()
-                key = pair_key(tasks[index_of[future]].pair)
-                if verdict.times_created > 0 and key not in confirmed:
-                    confirmed.add(key)
-                    for other_index, other in enumerate(futures):
-                        if (
-                            pair_key(tasks[other_index].pair) == key
-                            and not other.done()
-                        ):
-                            other.cancel()
-        return [
-            future.result() if future.done() and not future.cancelled() else None
-            for future in futures
-        ]
-
-    def _run_fuzz_serial_early_exit(
-        self, tasks: list[FuzzTask]
-    ) -> list[PairVerdict | None]:
-        """Inline early-exit: skip a pair's later chunks once confirmed."""
-        confirmed: set[tuple[str, str]] = set()
-        results: list[PairVerdict | None] = []
-        for task in tasks:
-            key = pair_key(task.pair)
-            if key in confirmed:
-                results.append(None)
-                continue
-            verdict = run_fuzz_task(task)
-            if verdict.times_created > 0:
-                confirmed.add(key)
-            results.append(verdict)
-        return results
+        return CampaignReport(
+            program=workload,
+            phase1=phase1,
+            verdicts=verdicts,
+            failures=list(self.failures),
+        )
 
 
 __all__ = [
@@ -391,6 +439,7 @@ __all__ = [
     "run_detect_task",
     "run_fuzz_task",
     "chunk_ranges",
+    "fuzz_task_key",
     "pool_map",
     "pair_key",
     "resolve_jobs",

@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.runtime.errors import ExecutionLimitExceeded
 from repro.runtime.interpreter import Execution, ExecutionResult
 from repro.runtime.observer import ExecutionObserver
 from repro.runtime.program import Program
@@ -142,33 +143,40 @@ class PostponingDriver:
         exempt: set[int] = set()
         rng = execution.rng
 
-        while True:
-            enabled = execution.schedulable()
-            if not enabled:
-                break
-            self._run_watchdog(execution, postponed, exempt, fuzz)
-            enabled_set = set(enabled)
-            for tid in list(postponed):
-                if tid not in enabled_set:  # died or became blocked: drop it
-                    del postponed[tid]
-            choosable = [tid for tid in enabled if tid not in postponed]
-            if not choosable:
-                # Lines 26-28: everyone is postponed; release one at random.
-                victim = sorted(postponed)[rng.randrange(len(postponed))]
-                del postponed[victim]
-                exempt.add(victim)
-                fuzz.forced_releases += 1
-                continue
-            tid = choosable[rng.randrange(len(choosable))]
-            if self.is_target(execution, tid) and tid not in exempt:
-                rivals = self.conflicting(execution, tid, sorted(postponed))
-                if rivals:
-                    self._resolve(execution, tid, rivals, postponed, fuzz)
+        try:
+            while True:
+                enabled = execution.schedulable()
+                if not enabled:
+                    break
+                self._run_watchdog(execution, postponed, exempt, fuzz)
+                enabled_set = set(enabled)
+                for tid in list(postponed):
+                    if tid not in enabled_set:  # died or became blocked: drop it
+                        del postponed[tid]
+                choosable = [tid for tid in enabled if tid not in postponed]
+                if not choosable:
+                    # Lines 26-28: everyone is postponed; release one at random.
+                    victim = sorted(postponed)[rng.randrange(len(postponed))]
+                    del postponed[victim]
+                    exempt.add(victim)
+                    fuzz.forced_releases += 1
+                    continue
+                tid = choosable[rng.randrange(len(choosable))]
+                if self.is_target(execution, tid) and tid not in exempt:
+                    rivals = self.conflicting(execution, tid, sorted(postponed))
+                    if rivals:
+                        self._resolve(execution, tid, rivals, postponed, fuzz)
+                    else:
+                        postponed[tid] = execution.step_count  # line 21
                 else:
-                    postponed[tid] = execution.step_count  # line 21
-            else:
-                exempt.discard(tid)
-                self._execute_run(execution, tid, postponed, exempt, fuzz)
+                    exempt.discard(tid)
+                    self._execute_run(execution, tid, postponed, exempt, fuzz)
+        except ExecutionLimitExceeded:
+            # The budget check in `schedulable()` catches most exhaustion,
+            # but race resolution (lines 12/15-18) steps threads directly
+            # and can hit the limit mid-burst.  A livelocked trial is a
+            # *truncated* data point, never a campaign abort.
+            execution.result.truncated = True
 
         execution.finish()
         return fuzz

@@ -14,9 +14,75 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.detectors.report import RaceReport
-from repro.runtime.statement import StatementPair
+from repro.runtime.statement import Statement, StatementPair
 
 from .postponing import FuzzResult
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A quarantined campaign task: it failed every allowed attempt.
+
+    The supervisor records one of these — instead of aborting the campaign
+    — when a task exhausts its retry budget.  ``kind`` is the *final*
+    failure mode (``crash`` / ``deadline`` / ``malformed`` / ``pool`` /
+    ``stall``); ``history`` keeps one ``"kind: message"`` entry per failed
+    attempt so a flaky-then-poisoned task is distinguishable from a
+    consistently poisoned one.
+    """
+
+    phase: str
+    index: int
+    key: str
+    kind: str
+    attempts: int
+    message: str
+    history: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        return (
+            f"{self.phase}[{self.index}] quarantined after "
+            f"{self.attempts} attempt(s): {self.kind} — {self.message}"
+        )
+
+    def to_jsonable(self) -> dict:
+        return {
+            "phase": self.phase,
+            "index": self.index,
+            "key": self.key,
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "message": self.message,
+            "history": list(self.history),
+        }
+
+
+def _statement_to_jsonable(stmt: Statement) -> dict:
+    return {
+        "file": stmt.file,
+        "line": stmt.line,
+        "func": stmt.func,
+        "label": stmt.label,
+    }
+
+
+def _statement_from_jsonable(data: dict) -> Statement:
+    return Statement(
+        file=data.get("file", ""),
+        line=data.get("line", 0),
+        func=data.get("func", ""),
+        label=data.get("label"),
+    )
+
+
+def _pair_to_jsonable(pair: StatementPair) -> list[dict]:
+    return [_statement_to_jsonable(pair.first), _statement_to_jsonable(pair.second)]
+
+
+def _pair_from_jsonable(data: list) -> StatementPair:
+    return StatementPair(
+        _statement_from_jsonable(data[0]), _statement_from_jsonable(data[1])
+    )
 
 
 @dataclass
@@ -32,11 +98,17 @@ class PairVerdict:
     #: these cannot be attributed to the pair.
     unattributed_exceptions: Counter = field(default_factory=Counter)
     deadlocks: int = 0
+    #: trials whose execution hit the abstract ``max_steps`` budget (a
+    #: possible livelock); counted, never aborted on.
+    truncated: int = 0
     #: distinct statement pairs actually created while fuzzing this pair
     #: (normally {pair} or a subset; may include same-statement races).
     created_pairs: set[StatementPair] = field(default_factory=set)
     #: summed wall-clock of all trials (for the Table 1 runtime column).
     total_wall: float = 0.0
+    #: quarantined seed chunks for this pair: tasks whose every retry
+    #: failed, so ``trials`` is short of the requested count.
+    errors: list[TaskFailure] = field(default_factory=list)
 
     @property
     def is_real(self) -> bool:
@@ -78,6 +150,8 @@ class PairVerdict:
                 self.unattributed_exceptions[crash.error_type] += 1
         if outcome.deadlock:
             self.deadlocks += 1
+        if outcome.result.truncated:
+            self.truncated += 1
         self.total_wall += outcome.result.wall_time
 
     def merge(self, other: "PairVerdict") -> None:
@@ -95,8 +169,15 @@ class PairVerdict:
         self.exceptions.update(other.exceptions)
         self.unattributed_exceptions.update(other.unattributed_exceptions)
         self.deadlocks += other.deadlocks
+        self.truncated += other.truncated
         self.created_pairs |= other.created_pairs
         self.total_wall += other.total_wall
+        self.errors.extend(other.errors)
+
+    @property
+    def quarantined(self) -> bool:
+        """Did any of this pair's seed chunks exhaust its retries?"""
+        return bool(self.errors)
 
     def describe(self) -> str:
         verdict = "REAL" if self.is_real else "not created"
@@ -107,7 +188,46 @@ class PairVerdict:
             )
         if self.deadlocks:
             bits.append(f"deadlocks={self.deadlocks}")
+        if self.truncated:
+            bits.append(f"truncated={self.truncated}")
+        if self.errors:
+            bits.append(f"QUARANTINED chunks={len(self.errors)}")
         return "  ".join(bits)
+
+    def to_jsonable(self) -> dict:
+        """The checkpoint-journal form: everything deterministic plus wall.
+
+        ``errors`` is deliberately excluded — only *successful* chunk
+        verdicts are journaled, and quarantine records belong to the run
+        that observed the failures, not the resumed one.
+        """
+        return {
+            "pair": _pair_to_jsonable(self.pair),
+            "trials": self.trials,
+            "times_created": self.times_created,
+            "exceptions": dict(self.exceptions),
+            "unattributed_exceptions": dict(self.unattributed_exceptions),
+            "deadlocks": self.deadlocks,
+            "truncated": self.truncated,
+            "created_pairs": [_pair_to_jsonable(p) for p in sorted(self.created_pairs, key=str)],
+            "total_wall": self.total_wall,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "PairVerdict":
+        return cls(
+            pair=_pair_from_jsonable(data["pair"]),
+            trials=data["trials"],
+            times_created=data["times_created"],
+            exceptions=Counter(data.get("exceptions", {})),
+            unattributed_exceptions=Counter(data.get("unattributed_exceptions", {})),
+            deadlocks=data.get("deadlocks", 0),
+            truncated=data.get("truncated", 0),
+            created_pairs={
+                _pair_from_jsonable(p) for p in data.get("created_pairs", [])
+            },
+            total_wall=data.get("total_wall", 0.0),
+        )
 
 
 @dataclass
@@ -117,6 +237,18 @@ class CampaignReport:
     program: str
     phase1: RaceReport
     verdicts: dict[StatementPair, PairVerdict] = field(default_factory=dict)
+    #: every quarantined task of the campaign, both phases — a Phase-1
+    #: seed whose detection run kept failing, or a Phase-2 (pair, chunk)
+    #: whose trials could not be completed.  A non-empty list means the
+    #: campaign *finished* but its coverage is incomplete.
+    failures: list[TaskFailure] = field(default_factory=list)
+
+    @property
+    def quarantined(self) -> bool:
+        """Did any task of this campaign end quarantined?"""
+        return bool(self.failures) or any(
+            v.quarantined for v in self.verdicts.values()
+        )
 
     @property
     def potential_pairs(self) -> int:
@@ -164,6 +296,8 @@ class CampaignReport:
             f"RaceFuzzer campaign on {self.program}: "
             f"{self.potential_pairs} potential, {len(self.real_pairs)} real, "
             f"{len(self.harmful_pairs)} harmful"
+            + (f", {len(self.failures)} quarantined task(s)" if self.failures else "")
         ]
         lines.extend(f"  {v.describe()}" for v in self.verdicts.values())
+        lines.extend(f"  {failure.describe()}" for failure in self.failures)
         return "\n".join(lines)

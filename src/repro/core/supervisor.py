@@ -1,0 +1,683 @@
+"""Resilient campaign supervision: deadlines, retry, quarantine, resume.
+
+Phase 2 of RaceFuzzer re-executes the program once per racing pair, so a
+campaign is thousands of independent trials; its value rests on *every*
+pair getting a verdict even when individual executions wedge or die.  The
+parallel engine (:mod:`repro.core.parallel`) gives the campaign speed;
+this module gives it a failure story.  Every task the engine dispatches is
+wrapped in a :class:`TaskEnvelope` and driven by a
+:class:`CampaignSupervisor` that provides, in order of escalation:
+
+1. **Wall-clock deadlines** — distinct from the abstract ``max_steps``
+   budget.  ``max_steps`` bounds *simulated* work; a deadline bounds
+   *real* time, catching interpreter-level wedges the step budget cannot
+   see.  Enforced inside the executing process by a ``SIGALRM`` timer
+   (:func:`wall_deadline`), with a parent-side stall backstop that
+   terminates the pool if no task completes for several deadline windows
+   (covering workers whose alarm cannot fire).
+2. **Bounded retry with exponential backoff + jitter** — transient
+   failures (a crash, a missed deadline, a malformed result) are retried
+   up to :attr:`RetryPolicy.max_retries` times.  Backoff jitter is drawn
+   from a seeded RNG so retry schedules are reproducible.
+3. **Pool-death recovery** — a worker dying (OOM, segfault) breaks the
+   whole ``ProcessPoolExecutor``.  The supervisor rebuilds the pool and
+   re-queues every unfinished task, charging each one a failed attempt;
+   after ``pool_death_limit`` deaths it degrades gracefully to inline
+   serial execution, where a poisoned task can only hurt itself.
+4. **Quarantine** — a task that fails every allowed attempt is recorded
+   as a structured :class:`~repro.core.results.TaskFailure` and the
+   campaign moves on.  One poisoned (pair, seed-chunk) can never sink the
+   other pairs' verdicts.
+5. **Checkpoint/resume** — completed task results are journaled to an
+   append-only JSONL file (:class:`CheckpointJournal`).  A restarted
+   campaign skips already-journaled task keys and merges their cached
+   results, preserving the deterministic seed-order merge.
+
+Results are always folded in submission order — never completion order —
+so a supervised campaign's aggregates are identical to the fault-free
+serial run for every task that completed, whatever failed in between.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Callable, Iterable, Sequence
+
+from .faults import MALFORMED_SENTINEL, FaultPlan, FaultSpec, apply_fault
+from .results import TaskFailure
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``jobs=`` argument.
+
+    The contract: ``None`` and ``0`` both mean "auto" (one worker per
+    core), ``1`` means the exact serial in-process path, ``N >= 2`` means
+    a pool of N workers.  Only negative values are rejected.
+    """
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(
+            f"jobs must be None, 0 (one worker per core) or a positive "
+            f"int, got {jobs}"
+        )
+    return jobs
+
+
+class TaskDeadlineExceeded(Exception):
+    """A supervised task ran past its wall-clock deadline."""
+
+
+@contextmanager
+def wall_deadline(seconds: float | None):
+    """Bound a block by wall-clock time via a ``SIGALRM`` timer.
+
+    Raises :class:`TaskDeadlineExceeded` from inside the block when the
+    timer fires — which interrupts pure-Python work and interruptible
+    sleeps, the realistic wedge modes of this interpreter.  Degrades to a
+    no-op when no deadline is set, on platforms without ``SIGALRM``, or
+    off the main thread (signal handlers are main-thread-only); the
+    supervisor's parent-side stall backstop covers those cases.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TaskDeadlineExceeded(
+            f"task exceeded its {seconds:.3f}s wall-clock deadline"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and seeded jitter.
+
+    A task is attempted at most ``max_retries + 1`` times; the delay
+    before retry ``k`` (0-based failed-attempt count) is::
+
+        min(backoff_max, backoff_base * backoff_factor ** k) * (1 + jitter * u)
+
+    where ``u`` is drawn from ``Random(f"{seed}:{index}:{k}")`` — fully
+    deterministic per (policy, task, attempt), so tests can assert the
+    exact schedule.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+
+def compute_backoff(policy: RetryPolicy, index: int, attempt: int) -> float:
+    """The deterministic delay before re-attempting task ``index``."""
+    raw = min(
+        policy.backoff_max,
+        policy.backoff_base * policy.backoff_factor**attempt,
+    )
+    if not policy.jitter:
+        return raw
+    # String seeding is hash-randomization-proof, so the jitter — like
+    # every other source of nondeterminism in this codebase — is a pure
+    # function of explicit seeds.
+    u = Random(f"{policy.seed}:{index}:{attempt}").random()
+    return raw * (1.0 + policy.jitter * u)
+
+
+@dataclass(frozen=True)
+class TaskEnvelope:
+    """The picklable unit the supervisor ships to an executing process.
+
+    Carries the task spec plus everything the worker-side harness needs:
+    which entrypoint to run, the wall-clock deadline, and the (already
+    resolved) fault to inject, if the attempt is planned to fail.
+    """
+
+    fn: str
+    task: Any
+    index: int
+    attempt: int
+    deadline: float | None = None
+    fault: FaultSpec | None = None
+
+
+def _worker_fn(name: str) -> Callable[[Any], Any]:
+    # Deferred import: parallel.py imports this module, so the registry
+    # must resolve lazily to avoid a cycle.
+    from . import parallel
+
+    table = {"detect": parallel.run_detect_task, "fuzz": parallel.run_fuzz_task}
+    return table[name]
+
+
+def run_envelope(envelope: TaskEnvelope, in_worker: bool = True) -> Any:
+    """Execute one supervised attempt (worker entrypoint; also inline).
+
+    Order matters: the fault is applied *inside* the deadline window so
+    an injected hang is caught exactly like a real one.
+    """
+    fn = _worker_fn(envelope.fn)
+    with wall_deadline(envelope.deadline):
+        if envelope.fault is not None:
+            apply_fault(envelope.fault, in_worker=in_worker)
+        result = fn(envelope.task)
+    if envelope.fault is not None and envelope.fault.kind == "malformed":
+        return MALFORMED_SENTINEL
+    return result
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed task results.
+
+    Each line is ``{"key": <task key>, "result": <encoded result>}``.
+    Records are written with a single ``os.write`` on an ``O_APPEND`` fd,
+    so concurrent appenders (e.g. Table-1 rows in worker processes
+    sharing one journal) cannot interleave a record, and a campaign
+    killed mid-write leaves at most one torn *trailing* line — which
+    :meth:`load` skips, sacrificing that one task, not the journal.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        self._fd: int | None = None
+
+    def load(self) -> dict[str, Any]:
+        """All well-formed journaled records, keyed by task key."""
+        records: dict[str, Any] = {}
+        try:
+            fh = open(self.path, encoding="utf-8")
+        except FileNotFoundError:
+            return records
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from a killed run
+                if isinstance(record, dict) and "key" in record:
+                    records[record["key"]] = record.get("result")
+        return records
+
+    def append(self, key: str, result: Any) -> None:
+        if self._fd is None:
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        line = json.dumps({"key": key, "result": result}, separators=(",", ":"))
+        os.write(self._fd, line.encode("utf-8") + b"\n")
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+
+@dataclass
+class SupervisorReport:
+    """What happened while supervising one task batch.
+
+    ``results`` is indexed by submission position; an entry is ``None``
+    for quarantined or cancelled tasks.  Campaign-level aggregates fold
+    ``results`` in index order, which is what keeps supervised output
+    byte-identical to the fault-free serial run.
+    """
+
+    results: list[Any]
+    failures: list[TaskFailure] = field(default_factory=list)
+    cached: int = 0
+    retried: int = 0
+    pool_deaths: int = 0
+    serial_fallback: bool = False
+    cancelled: int = 0
+
+
+_UNSET = object()
+_CANCELLED = object()
+
+
+class CampaignSupervisor:
+    """Drive a batch of independent tasks to a verdict, no matter what.
+
+    Parameters:
+        jobs: worker processes (``None``/``0`` = one per core, ``1`` =
+            inline execution with no pool).
+        deadline: per-task wall-clock budget in seconds (``None`` = no
+            wall-clock limit; the abstract ``max_steps`` budget still
+            applies inside each task).
+        retry: a :class:`RetryPolicy`, or an int meaning
+            ``RetryPolicy(max_retries=N)``, or ``None`` for the default.
+        pool_death_limit: rebuild a broken pool at most this many times,
+            then fall back to inline serial execution for the remainder
+            of the campaign.
+        checkpoint: path to an append-only JSONL journal; completed tasks
+            are journaled and a restarted campaign skips them.  Only
+            batches that provide a ``key_fn`` participate.
+        faults: a :class:`~repro.core.faults.FaultPlan` for deterministic
+            failure injection (testing / drills).
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int | None = 1,
+        deadline: float | None = None,
+        retry: RetryPolicy | int | None = None,
+        pool_death_limit: int = 2,
+        checkpoint=None,
+        faults: FaultPlan | None = None,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive or None, got {deadline}")
+        self.deadline = deadline
+        if retry is None:
+            retry = RetryPolicy()
+        elif isinstance(retry, int):
+            retry = RetryPolicy(max_retries=retry)
+        self.retry = retry
+        if pool_death_limit < 0:
+            raise ValueError(
+                f"pool_death_limit must be >= 0, got {pool_death_limit}"
+            )
+        self.pool_death_limit = pool_death_limit
+        self.checkpoint = checkpoint
+        self.faults = faults
+        self.pool_deaths = 0
+        self.serial_fallback = False
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def _executor(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def _destroy_pool(self, *, terminate: bool) -> None:
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if terminate:
+            # Reach into the executor to kill wedged workers; a hung
+            # worker never drains the call queue, so a plain shutdown
+            # would block forever.
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "CampaignSupervisor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the supervised batch loop ------------------------------------- #
+
+    def supervise(
+        self,
+        fn: str,
+        tasks: Sequence[Any],
+        *,
+        validate: Callable[[Any, Any], bool] | None = None,
+        key_fn: Callable[[Any], str] | None = None,
+        encode: Callable[[Any], Any] | None = None,
+        decode: Callable[[Any], Any] | None = None,
+        on_result: Callable[[int, Any], Iterable[int]] | None = None,
+    ) -> SupervisorReport:
+        """Run every task to success, quarantine, or cancellation.
+
+        ``fn`` names the worker entrypoint (``"detect"`` / ``"fuzz"``)
+        and doubles as the fault-plan phase.  ``validate(task, result)``
+        rejects malformed results (rejections are retried like crashes).
+        ``on_result(index, result)`` fires on every success and returns
+        indices to cancel — the hook behind ``stop_on_confirm``.
+        """
+        n = len(tasks)
+        results: list[Any] = [_UNSET] * n
+        attempts = [0] * n  # failed attempts so far, per task
+        history: list[list[str]] = [[] for _ in range(n)]
+        failures: list[TaskFailure] = []
+        cancelled: set[int] = set()
+        report = SupervisorReport(results=results)
+        keys = [key_fn(task) if key_fn is not None else None for task in tasks]
+
+        journal = (
+            CheckpointJournal(self.checkpoint)
+            if (self.checkpoint is not None and key_fn is not None)
+            else None
+        )
+
+        def request_cancels(indices: Iterable[int], future_of: dict[int, Future]):
+            for j in indices:
+                if results[j] is _UNSET and j not in cancelled:
+                    cancelled.add(j)
+                    future = future_of.get(j)
+                    if future is not None:
+                        # Only dequeues not-yet-started work; a running
+                        # chunk finishes and its result is kept, matching
+                        # the pre-supervisor stop_on_confirm semantics.
+                        future.cancel()
+
+        def settle_success(index: int, result: Any, future_of: dict[int, Future]) -> bool:
+            """Accept a validated result; returns False if malformed."""
+            if validate is not None and not validate(tasks[index], result):
+                return False
+            results[index] = result
+            if journal is not None and keys[index] is not None:
+                journal.append(
+                    keys[index], encode(result) if encode is not None else result
+                )
+            if on_result is not None:
+                request_cancels(on_result(index, result), future_of)
+            return True
+
+        def record_failure(index: int, kind: str, message: str) -> float | None:
+            """Charge a failed attempt; quarantine or schedule a retry.
+
+            Returns the monotonic time before which the task must not be
+            re-attempted, or None if it was quarantined.
+            """
+            attempts[index] += 1
+            history[index].append(f"{kind}: {message}")
+            if attempts[index] > self.retry.max_retries:
+                failures.append(
+                    TaskFailure(
+                        phase=fn,
+                        index=index,
+                        key=keys[index] or f"{fn}[{index}]",
+                        kind=kind,
+                        attempts=attempts[index],
+                        message=message,
+                        history=tuple(history[index]),
+                    )
+                )
+                results[index] = None
+                return None
+            report.retried += 1
+            delay = compute_backoff(self.retry, index, attempts[index] - 1)
+            return time.monotonic() + delay
+
+        def envelope_for(index: int) -> TaskEnvelope:
+            fault = None
+            if self.faults is not None:
+                spec = self.faults.at(fn, index)
+                if spec is not None and spec.fires(attempts[index]):
+                    fault = spec
+            return TaskEnvelope(
+                fn=fn,
+                task=tasks[index],
+                index=index,
+                attempt=attempts[index],
+                deadline=self.deadline,
+                fault=fault,
+            )
+
+        try:
+            # Resume: satisfy journaled tasks from the checkpoint first.
+            if journal is not None:
+                cache = journal.load()
+                for index, key in enumerate(keys):
+                    if key in cache:
+                        try:
+                            payload = cache[key]
+                            results[index] = (
+                                decode(payload) if decode is not None else payload
+                            )
+                        except Exception:
+                            results[index] = _UNSET  # corrupt record: re-run
+                            continue
+                        report.cached += 1
+                        if on_result is not None:
+                            request_cancels(on_result(index, results[index]), {})
+
+            pending: list[tuple[float, int]] = [
+                (0.0, index) for index in range(n) if results[index] is _UNSET
+            ]
+            if self.jobs > 1 and not self.serial_fallback:
+                pending = self._drain_pool(
+                    pending, envelope_for, settle_success, record_failure,
+                    cancelled, results, report,
+                )
+            # Inline path: jobs=1 from the start, serial fallback after
+            # repeated pool deaths, or the tail of a degraded pool run.
+            self._drain_inline(
+                pending, envelope_for, settle_success, record_failure,
+                cancelled, results,
+            )
+        finally:
+            if journal is not None:
+                journal.close()
+
+        for index in range(n):
+            if results[index] is _CANCELLED or results[index] is _UNSET:
+                results[index] = None
+        report.failures = failures
+        report.pool_deaths = self.pool_deaths
+        report.serial_fallback = self.serial_fallback
+        report.cancelled = len(cancelled)
+        return report
+
+    # -- inline (serial) execution -------------------------------------- #
+
+    def _drain_inline(
+        self, pending, envelope_for, settle_success, record_failure,
+        cancelled, results,
+    ) -> None:
+        while pending:
+            pending.sort()
+            ready_at, index = pending.pop(0)
+            if index in cancelled:
+                results[index] = _CANCELLED
+                continue
+            delay = ready_at - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                result = run_envelope(envelope_for(index), in_worker=False)
+            except TaskDeadlineExceeded as exc:
+                verdict = record_failure(index, "deadline", str(exc))
+            except Exception as exc:
+                verdict = record_failure(
+                    index, "crash", f"{type(exc).__name__}: {exc}"
+                )
+            else:
+                if settle_success(index, result, {}):
+                    continue
+                verdict = record_failure(
+                    index, "malformed",
+                    f"validation rejected a {type(result).__name__} result",
+                )
+            if verdict is not None:
+                pending.append((verdict, index))
+
+    # -- pooled execution ------------------------------------------------ #
+
+    def _drain_pool(
+        self, pending, envelope_for, settle_success, record_failure,
+        cancelled, results, report,
+    ) -> list[tuple[float, int]]:
+        """Run the batch on the pool; returns tasks left for inline mode.
+
+        The parent-side stall backstop fires when *no* task completes for
+        several deadline windows — only possible when every worker is
+        wedged in a way its own alarm cannot interrupt — and treats the
+        pool like it died.
+        """
+        in_flight: dict[Future, int] = {}
+        future_of: dict[int, Future] = {}
+        stall_window = (
+            max(3.0 * self.deadline, self.deadline + 1.0)
+            if self.deadline is not None
+            else None
+        )
+        last_completion = time.monotonic()
+
+        def fail_in_flight(kind: str, message: str) -> None:
+            self.pool_deaths += 1
+            report.pool_deaths = self.pool_deaths
+            self._destroy_pool(terminate=True)
+            for index in list(in_flight.values()):
+                if results[index] is not _UNSET or index in cancelled:
+                    continue
+                ready_at = record_failure(index, kind, message)
+                if ready_at is not None:
+                    pending.append((ready_at, index))
+            in_flight.clear()
+            future_of.clear()
+            if self.pool_deaths > self.pool_death_limit:
+                self.serial_fallback = True
+
+        while pending or in_flight:
+            if self.serial_fallback:
+                break
+            now = time.monotonic()
+            # Submit everything whose backoff has elapsed.
+            pending.sort()
+            still_waiting: list[tuple[float, int]] = []
+            submit_error: str | None = None
+            for ready_at, index in pending:
+                if index in cancelled:
+                    results[index] = _CANCELLED
+                    continue
+                if ready_at > now or submit_error is not None:
+                    still_waiting.append((ready_at, index))
+                    continue
+                try:
+                    future = self._executor().submit(
+                        run_envelope, envelope_for(index)
+                    )
+                except (BrokenProcessPool, RuntimeError) as exc:
+                    still_waiting.append((now, index))
+                    submit_error = f"pool rejected submission: {exc}"
+                    continue
+                in_flight[future] = index
+                future_of[index] = future
+            pending = still_waiting
+            if submit_error is not None:
+                fail_in_flight("pool", submit_error)
+                continue
+
+            if not in_flight:
+                if not pending:
+                    break
+                # Nothing running; sleep until the earliest retry is due.
+                wake = min(ready_at for ready_at, _ in pending)
+                time.sleep(max(0.0, wake - time.monotonic()))
+                continue
+
+            timeout = None
+            if pending:
+                next_ready = min(ready_at for ready_at, _ in pending)
+                timeout = max(0.0, next_ready - time.monotonic())
+            if stall_window is not None:
+                remaining = stall_window - (time.monotonic() - last_completion)
+                timeout = remaining if timeout is None else min(timeout, remaining)
+                if timeout <= 0:
+                    fail_in_flight(
+                        "stall",
+                        f"no task completed within {stall_window:.1f}s; "
+                        f"terminated the worker pool",
+                    )
+                    continue
+
+            done, _ = wait(set(in_flight), timeout=timeout, return_when=FIRST_COMPLETED)
+            if not done:
+                continue
+            last_completion = time.monotonic()
+            pool_broken = False
+            for future in done:
+                index = in_flight.pop(future)
+                future_of.pop(index, None)
+                if future.cancelled():
+                    results[index] = _CANCELLED
+                    continue
+                exc = future.exception()
+                if exc is None:
+                    result = future.result()
+                    if settle_success(index, result, future_of):
+                        continue
+                    ready_at = record_failure(
+                        index, "malformed",
+                        f"validation rejected a {type(result).__name__} result",
+                    )
+                elif isinstance(exc, BrokenProcessPool):
+                    # The pool died under this future; every other
+                    # in-flight task is doomed too — handle them as one
+                    # pool-death event after this drain loop.
+                    pool_broken = True
+                    ready_at = record_failure(
+                        index, "pool", f"worker pool died: {exc}"
+                    )
+                elif isinstance(exc, TaskDeadlineExceeded):
+                    ready_at = record_failure(index, "deadline", str(exc))
+                else:
+                    ready_at = record_failure(
+                        index, "crash", f"{type(exc).__name__}: {exc}"
+                    )
+                if ready_at is not None:
+                    pending.append((ready_at, index))
+            if pool_broken:
+                fail_in_flight("pool", "worker pool died")
+
+        return pending
+
+
+__all__ = [
+    "CampaignSupervisor",
+    "SupervisorReport",
+    "RetryPolicy",
+    "compute_backoff",
+    "TaskEnvelope",
+    "TaskDeadlineExceeded",
+    "CheckpointJournal",
+    "run_envelope",
+    "wall_deadline",
+    "resolve_jobs",
+]

@@ -96,14 +96,25 @@ def measure_row(
     trials: int | None = None,
     timing_runs: int = 5,
     baseline_runs: int = 100,
+    checkpoint: str | None = None,
 ) -> Table1Row:
-    """Run the full two-phase protocol for one benchmark."""
+    """Run the full two-phase protocol for one benchmark.
+
+    ``checkpoint`` journals completed Phase-2 chunks to an append-only
+    JSONL file (chunk keys embed the workload name, so all rows can
+    share one journal); a killed table run restarted with the same path
+    skips the fuzzing work it already finished.
+    """
     trials = trials if trials is not None else spec.trials
     phase1 = detect_races(
         spec.build(), seeds=spec.phase1_seeds, max_steps=spec.max_steps
     )
     verdicts = fuzz_races(
-        spec.build(), phase1.pairs, trials=trials, max_steps=spec.max_steps
+        spec.build(),
+        phase1.pairs,
+        trials=trials,
+        max_steps=spec.max_steps,
+        checkpoint=checkpoint,
     )
     campaign = CampaignReport(
         program=spec.name, phase1=phase1, verdicts=verdicts
@@ -236,6 +247,13 @@ def main(argv: list[str] | None = None) -> None:
         default=1,
         help="measure benchmark rows in N worker processes (0 = per core)",
     )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="JSONL journal of completed fuzzing chunks; restart with the "
+        "same path to resume a killed table run",
+    )
     args = parser.parse_args(argv)
 
     kwargs = {}
@@ -243,6 +261,8 @@ def main(argv: list[str] | None = None) -> None:
         kwargs = {"trials": 20, "baseline_runs": 20, "timing_runs": 2}
     if args.trials is not None:
         kwargs["trials"] = args.trials
+    if args.checkpoint is not None:
+        kwargs["checkpoint"] = args.checkpoint
     specs = [get(name) for name in args.names] if args.names else None
     rows = build_table(specs, jobs=args.jobs, **kwargs)
     print(render_measured(rows))

@@ -1,0 +1,132 @@
+"""The deterministic fault-injection layer behind the supervisor tests."""
+
+import pickle
+
+import pytest
+
+from repro.core.faults import (
+    CRASH,
+    FAULT_KINDS,
+    HANG,
+    MALFORMED,
+    MALFORMED_SENTINEL,
+    POOL_KILL,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    apply_fault,
+    parse_fault_plan,
+)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meteor", index=0)
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError, match="index"):
+            FaultSpec(kind=CRASH, index=-1)
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError, match="attempts"):
+            FaultSpec(kind=CRASH, index=0, attempts=0)
+
+    def test_fires_on_first_attempts_only(self):
+        transient = FaultSpec(kind=CRASH, index=0, attempts=1)
+        assert transient.fires(0)
+        assert not transient.fires(1)
+        poisoned = FaultSpec(kind=CRASH, index=0, attempts=99)
+        assert all(poisoned.fires(k) for k in range(10))
+
+    def test_specs_are_picklable(self):
+        # Specs travel inside TaskEnvelopes to worker processes.
+        for kind in FAULT_KINDS:
+            spec = FaultSpec(kind=kind, index=3, attempts=2, delay=0.5)
+            assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestFaultPlan:
+    def test_at_resolves_by_phase_and_index(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(kind=CRASH, index=2, phase="fuzz"),
+                FaultSpec(kind=HANG, index=2, phase="detect"),
+            ]
+        )
+        assert plan.at("fuzz", 2).kind == CRASH
+        assert plan.at("detect", 2).kind == HANG
+        assert plan.at("fuzz", 3) is None
+
+    def test_duplicate_target_rejected(self):
+        with pytest.raises(ValueError, match="duplicate fault"):
+            FaultPlan(
+                [
+                    FaultSpec(kind=CRASH, index=1),
+                    FaultSpec(kind=HANG, index=1),
+                ]
+            )
+
+    def test_plans_are_value_objects(self):
+        specs = [FaultSpec(kind=CRASH, index=0), FaultSpec(kind=HANG, index=4)]
+        assert FaultPlan(specs) == FaultPlan(list(reversed(specs)))
+        assert list(FaultPlan(specs)) == sorted(
+            specs, key=lambda s: (s.phase, s.index)
+        )
+
+    def test_sample_is_reproducible(self):
+        kwargs = dict(crash_rate=0.2, hang_rate=0.1, pool_kill_rate=0.05)
+        one = FaultPlan.sample(7, 100, **kwargs)
+        two = FaultPlan.sample(7, 100, **kwargs)
+        assert one == two
+        assert len(one) > 0
+        assert FaultPlan.sample(8, 100, **kwargs) != one
+
+    def test_sample_rejects_rates_over_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            FaultPlan.sample(0, 10, crash_rate=0.7, hang_rate=0.5)
+
+
+class TestApplyFault:
+    def test_crash_raises_injected_crash(self):
+        with pytest.raises(InjectedCrash):
+            apply_fault(FaultSpec(kind=CRASH, index=0), in_worker=False)
+
+    def test_malformed_is_a_pre_task_noop(self):
+        apply_fault(FaultSpec(kind=MALFORMED, index=0), in_worker=False)
+
+    def test_pool_kill_degrades_to_crash_inline(self):
+        # In-worker it would os._exit; inline (serial path / fallback) it
+        # must raise instead of taking the campaign down.
+        with pytest.raises(InjectedCrash, match="inline"):
+            apply_fault(FaultSpec(kind=POOL_KILL, index=0), in_worker=False)
+
+    def test_hang_sleeps_for_delay(self):
+        import time
+
+        start = time.perf_counter()
+        apply_fault(FaultSpec(kind=HANG, index=0, delay=0.05), in_worker=False)
+        assert time.perf_counter() - start >= 0.05
+
+
+class TestParseFaultPlan:
+    def test_parses_full_and_short_forms(self):
+        plan = parse_fault_plan("fuzz:0:crash,fuzz:7:hang:2:5.0,detect:1:pool_kill")
+        assert plan.at("fuzz", 0) == FaultSpec(kind=CRASH, index=0)
+        assert plan.at("fuzz", 7) == FaultSpec(
+            kind=HANG, index=7, attempts=2, delay=5.0
+        )
+        assert plan.at("detect", 1).kind == POOL_KILL
+
+    def test_rejects_malformed_specs(self):
+        with pytest.raises(ValueError, match="bad fault spec"):
+            parse_fault_plan("fuzz:0")
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            parse_fault_plan("fuzz:0:nope")
+
+    def test_blank_chunks_ignored(self):
+        assert len(parse_fault_plan("fuzz:0:crash, ,")) == 1
+
+    def test_sentinel_is_not_a_legitimate_result(self):
+        # The supervisor's validate hooks reject it by type; keep it a str.
+        assert isinstance(MALFORMED_SENTINEL, str)

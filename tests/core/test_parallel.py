@@ -32,6 +32,7 @@ def _verdict_signature(verdict):
         dict(verdict.exceptions),
         dict(verdict.unattributed_exceptions),
         verdict.deadlocks,
+        verdict.truncated,
         verdict.created_pairs,
     )
 

@@ -45,12 +45,42 @@ class TestDetect:
 
 
 class TestFuzz:
-    def test_fuzz_reports_verdicts(self, capsys):
-        assert main(["fuzz", "figure1", "--trials", "15"]) == 0
+    def test_confirmed_race_exits_one(self, capsys):
+        # figure1 has a real race, and confirmed races gate CI: exit 1.
+        assert main(["fuzz", "figure1", "--trials", "15"]) == 1
         out = capsys.readouterr().out
         assert "1 real" in out
         assert "harmful pairs" in out
         assert "(5, 7)" in out
+
+    def test_clean_campaign_exits_zero(self, capsys):
+        # All of sor's potential races are false alarms.
+        assert main(["fuzz", "sor", "--trials", "2"]) == 0
+        assert "0 real" in capsys.readouterr().out
+
+    def test_quarantine_exits_three(self, capsys):
+        # A poisoned chunk (no confirmed race) must surface in the exit
+        # code even though the campaign itself completes.
+        code = main(
+            [
+                "fuzz", "sor", "--trials", "2",
+                "--fault-plan", "fuzz:0:crash:99",
+                "--retries", "0",
+            ]
+        )
+        assert code == 3
+        assert "quarantined" in capsys.readouterr().out
+
+    def test_checkpoint_restart_reuses_the_journal(self, tmp_path, capsys):
+        path = str(tmp_path / "journal.jsonl")
+        args = ["fuzz", "figure1", "--trials", "4", "--checkpoint", path]
+        assert main(args) == 1
+        first = capsys.readouterr().out
+        journal_size = len(open(path).read().splitlines())
+        assert journal_size > 0
+        assert main(args) == 1  # resumed run: same verdicts, same exit
+        assert capsys.readouterr().out == first
+        assert len(open(path).read().splitlines()) == journal_size
 
 
 class TestReplay:
