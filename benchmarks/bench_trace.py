@@ -1,0 +1,161 @@
+"""Record-once / analyze-many: what does the trace layer actually buy?
+
+The trace layer's thesis is that executions are the expensive half of
+Phase 1 and detector passes over the event stream are the cheap half.
+This benchmark measures that claim three ways on real workloads:
+
+* **cold vs warm cache** — ``detect_races(trace_dir=...)`` timed twice
+  against the same store: the first call records every seed, the second
+  replays with zero program executions;
+* **one-execution-many-detectors vs N executions** — all three detectors
+  over the classic path (one execution per (seed, detector) when run
+  separately) vs one recorded execution per seed analyzed three times;
+* **trace sizes** — bytes per recorded execution, plain and gzip.
+
+Two entry points:
+
+* under pytest (``pytest benchmarks/bench_trace.py --benchmark-only``)
+  the cold/warm pair are ``benchmark`` cases;
+* as a script (``python benchmarks/bench_trace.py``) it prints the
+  comparison and writes a ``BENCH_trace.json`` record for the perf
+  trajectory.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from repro.core import detect_races
+from repro.trace import TraceStore, analyze_trace, detect_key
+from repro.workloads import get
+
+DETECTORS = ("hybrid", "happens-before", "lockset")
+
+
+def _detect(workload, trace_dir=None, detector="hybrid", seeds=(0, 1, 2), cap=20_000):
+    spec = get(workload)
+    return detect_races(
+        spec.build(),
+        detector=detector,
+        seeds=seeds,
+        max_steps=min(spec.max_steps, cap),
+        trace_dir=trace_dir,
+    )
+
+
+def test_cold_cache_detect(benchmark):
+    def cold():
+        with tempfile.TemporaryDirectory() as d:
+            return _detect("figure1", trace_dir=d)
+
+    assert len(benchmark(cold)) == 1
+
+
+def test_warm_cache_detect(benchmark, tmp_path):
+    _detect("figure1", trace_dir=tmp_path)  # prime
+    report = benchmark(lambda: _detect("figure1", trace_dir=tmp_path))
+    assert len(report) == 1
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workloads", default="figure1,philosophers,moldyn")
+    parser.add_argument("--seeds", type=int, default=3)
+    parser.add_argument("--step-cap", type=int, default=20_000)
+    parser.add_argument("--output", default="BENCH_trace.json")
+    args = parser.parse_args(argv)
+
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    seeds = tuple(range(args.seeds))
+    rows = []
+    for workload in workloads:
+        spec = get(workload)
+        cap = min(spec.max_steps, args.step_cap)
+        trace_dir = tempfile.mkdtemp(prefix=f"bench-trace-{workload}-")
+        try:
+            # -- cold vs warm ------------------------------------------- #
+            cold_report, cold_s = _timed(
+                lambda: _detect(workload, trace_dir, seeds=seeds, cap=cap)
+            )
+            warm_report, warm_s = _timed(
+                lambda: _detect(workload, trace_dir, seeds=seeds, cap=cap)
+            )
+            assert warm_report == cold_report, "warm cache changed the report"
+            store = TraceStore(trace_dir)
+            assert store.stats.executions == 0  # measured claim: zero warm runs
+
+            # -- one-execution-many-detectors vs N executions ----------- #
+            _, classic_s = _timed(
+                lambda: [
+                    _detect(workload, None, detector=d, seeds=seeds, cap=cap)
+                    for d in DETECTORS
+                ]
+            )
+            _, shared_s = _timed(
+                lambda: _detect(
+                    workload, trace_dir, detector=DETECTORS, seeds=seeds, cap=cap
+                )
+            )
+
+            # -- trace sizes -------------------------------------------- #
+            plain_bytes = sum(p.stat().st_size for p in store.entries())
+            gz_dir = tempfile.mkdtemp(prefix=f"bench-trace-gz-{workload}-")
+            try:
+                gz_store = TraceStore(gz_dir, compress=True)
+                for seed in seeds:
+                    gz_store.ensure(
+                        detect_key(workload, seed, max_steps=cap), spec.build()
+                    )
+                gz_bytes = sum(p.stat().st_size for p in gz_store.entries())
+            finally:
+                shutil.rmtree(gz_dir, ignore_errors=True)
+
+            rows.append(
+                {
+                    "workload": workload,
+                    "seeds": len(seeds),
+                    "max_steps": cap,
+                    "cold_s": round(cold_s, 4),
+                    "warm_s": round(warm_s, 4),
+                    "warm_speedup": round(cold_s / warm_s, 2) if warm_s else None,
+                    "classic_3_detectors_s": round(classic_s, 4),
+                    "traced_3_detectors_s": round(shared_s, 4),
+                    "record_once_speedup": (
+                        round(classic_s / shared_s, 2) if shared_s else None
+                    ),
+                    "trace_bytes": plain_bytes,
+                    "trace_bytes_gz": gz_bytes,
+                    "gz_ratio": round(gz_bytes / plain_bytes, 3)
+                    if plain_bytes
+                    else None,
+                }
+            )
+        finally:
+            shutil.rmtree(trace_dir, ignore_errors=True)
+
+    record = {
+        "benchmark": "trace-record-once-analyze-many",
+        "detectors": list(DETECTORS),
+        "cpu_count": os.cpu_count(),
+        "warm_cache_executions": 0,
+        "rows": rows,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,7 +4,10 @@ Commands:
 
 * ``list``     — registered benchmark workloads, with their paper rows;
 * ``run``      — one execution of a workload under a passive scheduler;
-* ``detect``   — Phase 1: report potentially racing statement pairs;
+* ``detect``   — Phase 1: report potentially racing statement pairs
+  (``--trace-dir`` caches each seed's execution as a replayable trace);
+* ``record``   — fill a trace store: one recorded execution per seed;
+* ``analyze``  — run detectors offline over recorded trace files;
 * ``fuzz``     — the full two-phase RaceFuzzer campaign;
 * ``replay``   — re-run one (pair, seed) with a rendered interleaving;
 * ``table1``   — regenerate Table 1 (delegates to repro.harness.table1);
@@ -71,8 +74,64 @@ def _cmd_detect(args) -> int:
         seeds=range(args.seeds),
         max_steps=spec.max_steps,
         jobs=args.jobs,
+        trace_dir=args.trace_dir,
     )
     print(report)
+    return 0
+
+
+def _cmd_record(args) -> int:
+    from repro.core import ParallelCampaign
+    from repro.trace import TraceStore, detect_key
+
+    spec = get(args.workload)
+    store = TraceStore(args.trace_dir, compress=args.compress)
+    seeds = list(range(args.seeds))
+    keys = {
+        seed: detect_key(spec.name, seed, max_steps=spec.max_steps)
+        for seed in seeds
+    }
+    missing = [seed for seed in seeds if store.get(keys[seed]) is None]
+    if missing and args.jobs != 1:
+        with ParallelCampaign(jobs=args.jobs) as engine:
+            engine.record(
+                spec.name,
+                seeds=missing,
+                max_steps=spec.max_steps,
+                trace_dir=str(store.root),
+                compress=args.compress,
+            )
+    for seed in seeds:
+        path = store.get(keys[seed]) or store.ensure(keys[seed], spec.build())
+        print(path)
+    print(
+        f"{len(missing)} recorded, {len(seeds) - len(missing)} already "
+        f"cached -> {store.root}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from pathlib import Path
+
+    from repro.core.traceview import format_trace_file
+    from repro.trace import TraceStore, analyze_trace
+
+    target = Path(args.path)
+    paths = TraceStore(target).entries() if target.is_dir() else [target]
+    if not paths:
+        print(f"no traces under {target}", file=sys.stderr)
+        return 2
+    detectors = [name.strip() for name in args.detectors.split(",") if name.strip()]
+    for path in paths:
+        reports = analyze_trace(path, detectors)
+        print(f"== {path}")
+        for name in detectors:
+            print(reports[name])
+        if args.show_trace:
+            print()
+            print(format_trace_file(path, max_events=args.max_events))
     return 0
 
 
@@ -142,8 +201,14 @@ def _cmd_replay(args) -> int:
             )
             return 1
     replayed = replay_race(
-        spec.build(), pair, seed=seed, max_steps=spec.max_steps
+        spec.build(),
+        pair,
+        seed=seed,
+        max_steps=spec.max_steps,
+        trace_path=args.save_trace,
     )
+    if args.save_trace:
+        print(f"trace saved to {args.save_trace}", file=sys.stderr)
     print(f"replaying {spec.name}, pair {pair}, seed {seed}:")
     print()
     print(format_replay(replayed, pair=pair, max_events=args.max_events))
@@ -198,7 +263,55 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for seed runs (0 = one per core)",
     )
+    detect_parser.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="record-once trace cache: each seed executes at most once "
+        "ever (across invocations); reports come from replaying the "
+        "stored traces",
+    )
     detect_parser.set_defaults(handler=_cmd_detect)
+
+    record_parser = commands.add_parser(
+        "record", help="record executions into a trace store"
+    )
+    record_parser.add_argument("workload")
+    record_parser.add_argument("--seeds", type=int, default=3)
+    record_parser.add_argument(
+        "--trace-dir", required=True, metavar="DIR", help="store directory"
+    )
+    record_parser.add_argument(
+        "--compress", action="store_true", help="gzip trace files"
+    )
+    record_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for recording (0 = one per core)",
+    )
+    record_parser.set_defaults(handler=_cmd_record)
+
+    analyze_parser = commands.add_parser(
+        "analyze", help="run detectors offline over recorded traces"
+    )
+    analyze_parser.add_argument(
+        "path", help="one trace file, or a trace-store directory"
+    )
+    analyze_parser.add_argument(
+        "--detectors",
+        default="hybrid",
+        metavar="NAMES",
+        help="comma-separated detector names (hybrid, happens-before, "
+        "lockset); all analyses share one streamed pass per trace",
+    )
+    analyze_parser.add_argument(
+        "--show-trace",
+        action="store_true",
+        help="also render each trace's interleaving diagram",
+    )
+    analyze_parser.add_argument("--max-events", type=int, default=200)
+    analyze_parser.set_defaults(handler=_cmd_analyze)
 
     fuzz_parser = commands.add_parser("fuzz", help="two-phase RaceFuzzer campaign")
     fuzz_parser.add_argument("workload")
@@ -259,6 +372,13 @@ def build_parser() -> argparse.ArgumentParser:
     replay_parser.add_argument("--pair", type=int, default=0, help="pair index")
     replay_parser.add_argument("--seed", type=int, default=0)
     replay_parser.add_argument("--max-events", type=int, default=200)
+    replay_parser.add_argument(
+        "--save-trace",
+        default=None,
+        metavar="PATH",
+        help="also record the replayed execution to a trace file "
+        "(re-render later with `analyze --show-trace`)",
+    )
     replay_parser.add_argument(
         "--find-crash",
         type=int,

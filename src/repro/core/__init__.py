@@ -16,9 +16,11 @@ from .deadlockfuzzer import DeadlockFuzzer, detect_lock_order_inversions
 from .driver import baseline_exceptions, detect_races, fuzz_races, race_directed_test
 from .faults import FaultPlan, FaultSpec, InjectedCrash, parse_fault_plan
 from .parallel import (
+    BaselineTask,
     DetectTask,
     FuzzTask,
     ParallelCampaign,
+    RecordTask,
     chunk_ranges,
     fuzz_task_key,
     pool_map,
@@ -26,7 +28,13 @@ from .parallel import (
 from .postponing import FuzzResult, PostponingDriver, TargetHit
 from .racefuzzer import RaceFuzzer, fuzz_pair
 from .rapos import RaposDriver, rapos_exceptions
-from .replay import ReplayedRun, replay_race, replays_identically
+from .replay import (
+    ReplayedRun,
+    replay_race,
+    replays_identically,
+    schedule_signature,
+    signature_from_trace,
+)
 from .results import CampaignReport, PairVerdict, TaskFailure
 from .supervisor import (
     CampaignSupervisor,
@@ -35,7 +43,13 @@ from .supervisor import (
     TaskDeadlineExceeded,
     compute_backoff,
 )
-from .schedulers import SCHEDULERS, DefaultScheduler, RandomScheduler, Scheduler
+from .schedulers import (
+    SCHEDULERS,
+    DefaultScheduler,
+    RandomScheduler,
+    Scheduler,
+    baseline_scheduler,
+)
 
 __all__ = [
     "RaceFuzzer",
@@ -55,6 +69,7 @@ __all__ = [
     "Scheduler",
     "RandomScheduler",
     "DefaultScheduler",
+    "baseline_scheduler",
     "SCHEDULERS",
     "DeadlockFuzzer",
     "detect_lock_order_inversions",
@@ -65,6 +80,10 @@ __all__ = [
     "ParallelCampaign",
     "DetectTask",
     "FuzzTask",
+    "RecordTask",
+    "BaselineTask",
+    "schedule_signature",
+    "signature_from_trace",
     "chunk_ranges",
     "fuzz_task_key",
     "pool_map",

@@ -40,7 +40,7 @@ from repro.runtime.statement import StatementPair
 from .parallel import ParallelCampaign
 from .racefuzzer import RaceFuzzer
 from .results import CampaignReport, PairVerdict
-from .schedulers import DefaultScheduler, RandomScheduler, Scheduler
+from .schedulers import RandomScheduler, baseline_scheduler
 
 
 def _registered_name(program: Program) -> str:
@@ -90,17 +90,70 @@ def _supervised(*options) -> bool:
     return any(option is not None for option in options)
 
 
+def _detect_from_traces(
+    program: Program,
+    detectors: Sequence[str],
+    seed_list: Sequence[int],
+    *,
+    max_steps: int,
+    history_cap: int,
+    trace_dir,
+    jobs: int,
+    deadline: float | None,
+    retries: int | None,
+) -> dict[str, RaceReport]:
+    """Record-once / analyze-many Phase 1 backed by a :class:`TraceStore`.
+
+    Reports are *always* produced by replaying the stored trace — on cold
+    and warm caches alike — so the result is bit-identical regardless of
+    cache state, and a warm store performs zero program executions.  In
+    parallel mode the workers only record (publishing via the store's
+    atomic rename); the cheap detector passes run in the parent.
+    """
+    from repro.trace import TraceStore, analyze_trace, detect_key
+
+    store = TraceStore(trace_dir)
+    keys = {
+        seed: detect_key(program.name, seed, max_steps=max_steps)
+        for seed in seed_list
+    }
+    missing = [seed for seed in seed_list if store.get(keys[seed]) is None]
+    if missing and (_parallel(jobs) or _supervised(deadline, retries)):
+        with ParallelCampaign(jobs=jobs, deadline=deadline, retry=retries) as engine:
+            engine.record(
+                _registered_name(program),
+                seeds=missing,
+                max_steps=max_steps,
+                trace_dir=str(store.root),
+            )
+    merged: dict[str, RaceReport] = {}
+    for seed in seed_list:
+        path = store.get(keys[seed])
+        if path is None:
+            # Serial fill — and the fallback for a quarantined record task,
+            # so every seed still contributes coverage.
+            path = store.ensure(keys[seed], program)
+        reports = analyze_trace(path, detectors, history_cap=history_cap)
+        for name in detectors:
+            if name in merged:
+                merged[name].merge(reports[name])
+            else:
+                merged[name] = reports[name]
+    return merged
+
+
 def detect_races(
     program: Program,
     *,
-    detector: str = "hybrid",
+    detector: str | Sequence[str] = "hybrid",
     seeds: Sequence[int] = (0, 1, 2),
     max_steps: int = 1_000_000,
     history_cap: int = 128,
     jobs: int = 1,
     deadline: float | None = None,
     retries: int | None = None,
-) -> RaceReport:
+    trace_dir=None,
+) -> RaceReport | dict[str, RaceReport]:
     """Phase 1: collect potentially racing statement pairs.
 
     Runs the program once per seed under a fully preemptive random
@@ -112,31 +165,72 @@ def detect_races(
     output.  ``deadline``/``retries`` enable the campaign supervisor: a
     seed run that exceeds its wall-clock deadline or keeps crashing is
     retried and eventually quarantined instead of aborting the phase.
+
+    ``detector`` may be one name (returns that :class:`RaceReport`,
+    unchanged API) or a sequence of names (returns ``{name: report}``);
+    either way each seed executes the program once, with every requested
+    detector observing the same event stream.
+
+    ``trace_dir`` enables record-once / analyze-many semantics: each
+    seed's execution is recorded into a :class:`~repro.trace.TraceStore`
+    under that directory (workers record for the parent in parallel
+    mode), and every report comes from replaying the stored trace.  A
+    warm store therefore answers a repeated call with *zero* program
+    executions, and adding detectors to a later call costs only detector
+    passes — the ROADMAP's caching lever.
     """
     seed_list = list(seeds)
     assert seed_list, "detect_races needs at least one seed"
-    if _parallel(jobs) or _supervised(deadline, retries):
-        with ParallelCampaign(jobs=jobs, deadline=deadline, retry=retries) as engine:
-            return engine.detect(
-                _registered_name(program),
-                detector=detector,
-                seeds=seed_list,
-                max_steps=max_steps,
-                history_cap=history_cap,
-            )
-    merged: RaceReport | None = None
-    for seed in seed_list:
-        observer = make_detector(detector, history_cap=history_cap)
-        execution = Execution(
-            program, seed=seed, observers=[observer], max_steps=max_steps
+    single = isinstance(detector, str)
+    detectors = [detector] if single else list(detector)
+    assert detectors, "detect_races needs at least one detector"
+
+    merged: dict[str, RaceReport]
+    if trace_dir is not None:
+        merged = _detect_from_traces(
+            program,
+            detectors,
+            seed_list,
+            max_steps=max_steps,
+            history_cap=history_cap,
+            trace_dir=trace_dir,
+            jobs=jobs,
+            deadline=deadline,
+            retries=retries,
         )
-        execution.run(RandomScheduler(preemption="every"))
-        if merged is None:
-            merged = observer.report
-        else:
-            merged.merge(observer.report)
-    assert merged is not None
-    return merged
+    elif _parallel(jobs) or _supervised(deadline, retries):
+        with ParallelCampaign(jobs=jobs, deadline=deadline, retry=retries) as engine:
+            name = _registered_name(program)
+            merged = {
+                det: engine.detect(
+                    name,
+                    detector=det,
+                    seeds=seed_list,
+                    max_steps=max_steps,
+                    history_cap=history_cap,
+                )
+                for det in detectors
+            }
+    else:
+        merged = {}
+        for seed in seed_list:
+            observers = {
+                det: make_detector(det, history_cap=history_cap)
+                for det in detectors
+            }
+            execution = Execution(
+                program,
+                seed=seed,
+                observers=list(observers.values()),
+                max_steps=max_steps,
+            )
+            execution.run(RandomScheduler(preemption="every"))
+            for det, observer in observers.items():
+                if det in merged:
+                    merged[det].merge(observer.report)
+                else:
+                    merged[det] = observer.report
+    return merged[detector] if single else merged
 
 
 def fuzz_races(
@@ -316,21 +410,38 @@ def baseline_exceptions(
     scheduler: str = "default",
     base_seed: int = 0,
     max_steps: int = 1_000_000,
+    jobs: int = 1,
+    chunk_size: int = 25,
+    deadline: float | None = None,
+    retries: int | None = None,
 ) -> Counter:
-    """Count exception types over passive-scheduler runs (Table 1, col 10)."""
+    """Count exception types over passive-scheduler runs (Table 1, col 10).
+
+    Baseline runs are independent seeded executions, so ``jobs=N``
+    (``None``/``0`` = one worker per core, ``1`` = serial, negatives
+    rejected) fans ``chunk_size``-run chunks out across workers; Counter
+    addition is commutative, so the merged tally matches the serial loop.
+    ``deadline``/``retries`` route through the campaign supervisor like
+    every other pipeline entry point; a chunk that fails every attempt
+    drops its runs (quarantined on the campaign's failure list) instead
+    of aborting the control experiment.
+    """
+    baseline_scheduler(scheduler)  # reject unknown specs before any run
+    if _parallel(jobs) or _supervised(deadline, retries):
+        with ParallelCampaign(
+            jobs=jobs, chunk_size=chunk_size, deadline=deadline, retry=retries
+        ) as engine:
+            return engine.baseline(
+                _registered_name(program),
+                runs=runs,
+                scheduler=scheduler,
+                base_seed=base_seed,
+                max_steps=max_steps,
+            )
     crashes: Counter = Counter()
     for run in range(runs):
-        sched: Scheduler
-        if scheduler == "default":
-            sched = DefaultScheduler()
-        elif scheduler == "random":
-            sched = RandomScheduler(preemption="every")
-        elif scheduler == "random-sync":
-            sched = RandomScheduler(preemption="sync")
-        else:
-            raise ValueError(f"unknown scheduler: {scheduler!r}")
         execution = Execution(program, seed=base_seed + run, max_steps=max_steps)
-        result = execution.run(sched)
+        result = execution.run(baseline_scheduler(scheduler))
         for crash in result.crashes:
             crashes[crash.error_type] += 1
         if result.deadlock:

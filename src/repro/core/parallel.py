@@ -48,6 +48,7 @@ merge.
 from __future__ import annotations
 
 import json
+from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -94,6 +95,34 @@ class DetectTask:
 
 
 @dataclass(frozen=True)
+class RecordTask:
+    """One trace-recording run: fill a shared :class:`TraceStore` entry.
+
+    Workers record into the store directory via its atomic temp-name +
+    rename publish, so concurrent recorders of one key race benignly and
+    the parent can replay any published trace the moment the task
+    completes.  The worker returns the trace path as a string.
+    """
+
+    workload: str
+    seed: int = 0
+    max_steps: int = 1_000_000
+    trace_dir: str = ""
+    compress: bool = False
+
+
+@dataclass(frozen=True)
+class BaselineTask:
+    """One passive-scheduler baseline chunk: ``count`` consecutive runs."""
+
+    workload: str
+    scheduler: str = "default"
+    seed_start: int = 0
+    count: int = 1
+    max_steps: int = 1_000_000
+
+
+@dataclass(frozen=True)
 class FuzzTask:
     """One Phase-2 chunk: ``count`` consecutive seeded trials of one pair."""
 
@@ -122,6 +151,34 @@ def run_detect_task(task: DetectTask) -> RaceReport:
     )
     execution.run(RandomScheduler(preemption="every"))
     return observer.report
+
+
+def run_record_task(task: RecordTask) -> str:
+    """Worker entrypoint: ensure one trace exists in the shared store."""
+    from repro.trace import TraceStore, detect_key  # deferred: avoid cycle
+
+    program = _build_workload(task.workload)
+    store = TraceStore(task.trace_dir, compress=task.compress)
+    path = store.ensure(
+        detect_key(task.workload, task.seed, max_steps=task.max_steps), program
+    )
+    return str(path)
+
+
+def run_baseline_task(task: BaselineTask) -> Counter:
+    """Worker entrypoint: count crash kinds over one baseline seed range."""
+    from .schedulers import baseline_scheduler  # deferred: avoid cycle
+
+    program = _build_workload(task.workload)
+    crashes: Counter = Counter()
+    for seed in range(task.seed_start, task.seed_start + task.count):
+        execution = Execution(program, seed=seed, max_steps=task.max_steps)
+        result = execution.run(baseline_scheduler(task.scheduler))
+        for crash in result.crashes:
+            crashes[crash.error_type] += 1
+        if result.deadlock:
+            crashes["Deadlock"] += 1
+    return crashes
 
 
 def run_fuzz_task(task: FuzzTask) -> PairVerdict:
@@ -321,6 +378,82 @@ class ParallelCampaign:
             merged.merge(other)
         return merged
 
+    def record(
+        self,
+        workload: str,
+        *,
+        seeds: Sequence[int],
+        max_steps: int = 1_000_000,
+        trace_dir: str = "",
+        compress: bool = False,
+    ) -> list[str | None]:
+        """Record one trace per seed into a shared store directory.
+
+        Workers publish through the store's atomic rename, so the parent
+        may replay every returned path immediately.  A quarantined seed
+        yields ``None`` in its slot (and a failure record); callers that
+        need the trace anyway can fall back to recording it inline.
+        """
+        tasks = [
+            RecordTask(
+                workload=workload,
+                seed=seed,
+                max_steps=max_steps,
+                trace_dir=str(trace_dir),
+                compress=compress,
+            )
+            for seed in seeds
+        ]
+        report = self.supervisor.supervise(
+            "record",
+            tasks,
+            validate=lambda task, r: isinstance(r, str),
+        )
+        self.last_report = report
+        self.failures.extend(report.failures)
+        return list(report.results)
+
+    # -- baseline (passive-scheduler control) -------------------------- #
+
+    def baseline(
+        self,
+        workload: str,
+        *,
+        runs: int = 100,
+        scheduler: str = "default",
+        base_seed: int = 0,
+        max_steps: int = 1_000_000,
+    ) -> Counter:
+        """Chunked passive-scheduler control runs; summed crash counter.
+
+        Counter addition is commutative, so the merged tally is identical
+        to the serial loop for whatever chunks completed; quarantined
+        chunks drop their runs (recorded on :attr:`failures`) instead of
+        sinking the control experiment.
+        """
+        tasks = [
+            BaselineTask(
+                workload=workload,
+                scheduler=scheduler,
+                seed_start=start,
+                count=count,
+                max_steps=max_steps,
+            )
+            for start, count in chunk_ranges(base_seed, runs, self.chunk_size)
+        ]
+        report = self.supervisor.supervise(
+            "baseline",
+            tasks,
+            validate=lambda task, r: isinstance(r, Counter),
+        )
+        self.last_report = report
+        self.failures.extend(report.failures)
+        crashes: Counter = Counter()
+        for result in report.results:
+            if result is not None:
+                crashes.update(result)
+        return crashes
+
     # -- Phase 2 ------------------------------------------------------- #
 
     def fuzz(
@@ -436,8 +569,12 @@ __all__ = [
     "ParallelCampaign",
     "DetectTask",
     "FuzzTask",
+    "RecordTask",
+    "BaselineTask",
     "run_detect_task",
     "run_fuzz_task",
+    "run_record_task",
+    "run_baseline_task",
     "chunk_ranges",
     "fuzz_task_key",
     "pool_map",

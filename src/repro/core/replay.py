@@ -22,6 +22,19 @@ from .postponing import FuzzResult
 from .racefuzzer import RaceFuzzer
 
 
+def schedule_signature(events) -> tuple:
+    """A structural fingerprint of a schedule: (event type, tid, step).
+
+    Two runs are the same execution iff their signatures match — the
+    cheap way for tests (and users) to validate replay.  Works on any
+    event sequence: a live :class:`~repro.runtime.observer.EventTrace`,
+    a :class:`ReplayedRun`, or a :class:`~repro.trace.TraceReader`.
+    """
+    return tuple(
+        (type(event).__name__, event.tid, event.step) for event in events
+    )
+
+
 @dataclass
 class ReplayedRun:
     """A fuzzing run plus its full event trace, for debugging races."""
@@ -30,20 +43,15 @@ class ReplayedRun:
     events: list[Event]
 
     def schedule_signature(self) -> tuple:
-        """A structural fingerprint of the schedule: (event type, tid, step).
-
-        Two runs are the same execution iff their signatures match — the
-        cheap way for tests (and users) to validate replay.
-        """
-        return tuple(
-            (type(event).__name__, event.tid, event.step) for event in self.events
-        )
+        return schedule_signature(self.events)
 
 
 def replay_race(
     program: Program,
     pair: StatementPair,
     seed: int,
+    *,
+    trace_path=None,
     **fuzzer_kwargs,
 ) -> ReplayedRun:
     """Re-run a race-revealing execution with full tracing attached.
@@ -51,12 +59,32 @@ def replay_race(
     The trace observer changes nothing about scheduling (all randomness is
     drawn from the execution's seeded RNG), so the replay is the original
     execution — the paper's "lightweight replay mechanism".
+
+    ``trace_path`` additionally records the replay to a trace file (gzip
+    when the path ends in ``.gz``), so the interleaving can be re-rendered
+    or re-analyzed later without re-running anything — see
+    :func:`repro.core.traceview.format_trace_file`.
     """
     trace = EventTrace()
     observers = tuple(fuzzer_kwargs.pop("observers", ())) + (trace,)
+    if trace_path is not None:
+        from repro.trace import TraceRecorder  # deferred: keep core light
+
+        preemption = fuzzer_kwargs.get("preemption", "sync")
+        observers += (
+            TraceRecorder(trace_path, scheduler=f"racefuzzer:{preemption}"),
+        )
     fuzzer = RaceFuzzer(pair, observers=observers, **fuzzer_kwargs)
     outcome = fuzzer.run(program, seed=seed)
     return ReplayedRun(outcome=outcome, events=trace.events)
+
+
+def signature_from_trace(path) -> tuple:
+    """The :func:`schedule_signature` of a recorded trace file."""
+    from repro.trace import TraceReader
+
+    with TraceReader(path) as reader:
+        return schedule_signature(reader)
 
 
 def replays_identically(

@@ -108,3 +108,20 @@ SCHEDULERS = {
     "random": RandomScheduler,
     "default": DefaultScheduler,
 }
+
+
+def baseline_scheduler(spec: str) -> Scheduler:
+    """Build a fresh scheduler for one baseline run.
+
+    The baseline spec names (``default`` / ``random`` / ``random-sync``)
+    predate the trace layer's ``random:every``-style specs and are kept
+    for CLI/harness compatibility.  A new instance per run matters:
+    schedulers carry per-execution state (queues, slice budgets).
+    """
+    if spec == "default":
+        return DefaultScheduler()
+    if spec == "random":
+        return RandomScheduler(preemption="every")
+    if spec == "random-sync":
+        return RandomScheduler(preemption="sync")
+    raise ValueError(f"unknown scheduler: {spec!r}")

@@ -177,7 +177,12 @@ def _worker_fn(name: str) -> Callable[[Any], Any]:
     # must resolve lazily to avoid a cycle.
     from . import parallel
 
-    table = {"detect": parallel.run_detect_task, "fuzz": parallel.run_fuzz_task}
+    table = {
+        "detect": parallel.run_detect_task,
+        "fuzz": parallel.run_fuzz_task,
+        "record": parallel.run_record_task,
+        "baseline": parallel.run_baseline_task,
+    }
     return table[name]
 
 

@@ -39,11 +39,11 @@ def _describe(event: Event) -> str:
     if isinstance(event, ThreadStartEvent):
         return f"start {event.name}#{event.child}"
     if isinstance(event, ThreadEndEvent):
-        suffix = f" ({type(event.error).__name__})" if event.error else ""
+        suffix = f" ({event.error.type})" if event.error else ""
         return f"end{suffix}"
     if isinstance(event, ErrorEvent):
         where = f" at {event.stmt.site}" if event.stmt else ""
-        return f"!! {type(event.error).__name__}: {event.error}{where}"
+        return f"!! {event.error.type}: {event.error.message}{where}"
     if isinstance(event, SndEvent):
         return f"snd m{event.msg_id}"
     if isinstance(event, RcvEvent):
@@ -73,13 +73,18 @@ def format_trace(
     width = 34
     header = "step  " + "".join(f"T{tid}".ljust(width) for tid in tids)
     lines = [header, "-" * len(header)]
-    shown = 0
-    for event in events:
-        if not show_messages and isinstance(event, (SndEvent, RcvEvent)):
-            continue
-        if max_events is not None and shown >= max_events:
-            lines.append(f"... {len(events)} events total (truncated)")
-            break
+    # Filter first so the truncation note can account honestly: the
+    # hidden count must cover only displayable rows that were cut, not
+    # SND/RCV rows that would never have been shown (nor rows already
+    # printed above the note).
+    rows = [
+        event
+        for event in events
+        if show_messages or not isinstance(event, (SndEvent, RcvEvent))
+    ]
+    filtered = len(events) - len(rows)
+    shown = len(rows) if max_events is None else min(max_events, len(rows))
+    for event in rows[:shown]:
         text = _describe(event)
         marker = "  "
         if (
@@ -90,11 +95,52 @@ def format_trace(
             marker = ">>"
         if event.tid < 0:  # engine-level events (deadlock)
             lines.append(f"{event.step:>4}  {text}")
-            shown += 1
             continue
         indent = column_of[event.tid] * width
         lines.append(f"{event.step:>4}  " + " " * indent + f"{marker}{text}")
-        shown += 1
+    if shown < len(rows):
+        note = (
+            f"... truncated: showing {shown} of {len(rows)} events, "
+            f"{len(rows) - shown} hidden"
+        )
+        if filtered:
+            note += f" ({filtered} SND/RCV rows filtered)"
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def format_trace_file(path, **kwargs) -> str:
+    """Render a recorded trace file as an interleaving listing.
+
+    Built on :class:`~repro.trace.TraceReader`, so the diagram renders
+    from any trace the ``record`` command (or a :class:`TraceStore`)
+    produced — no re-execution, no live ``Execution`` required.  Keyword
+    arguments pass through to :func:`format_trace`.
+    """
+    from repro.trace import TraceReader  # deferred: trace imports runtime only
+
+    with TraceReader(path) as reader:
+        header = reader.header
+        events = reader.read_events()
+        footer = reader.footer
+    lines = [
+        f"trace: {header.program} seed={header.seed} "
+        f"scheduler={header.scheduler or '?'}",
+        "",
+        format_trace(events, **kwargs),
+    ]
+    if footer is not None:
+        summary = f"steps={footer.steps} events={footer.events}"
+        if footer.crashes:
+            kinds = ", ".join(
+                sorted((c.get("e") or {}).get("t", "?") for c in footer.crashes)
+            )
+            summary += f" crashes=[{kinds}]"
+        if footer.deadlock:
+            summary += f" DEADLOCK {list(footer.deadlocked_tids)}"
+        if footer.truncated:
+            summary += " (truncated by max_steps)"
+        lines += ["", f"result: {summary}"]
     return "\n".join(lines)
 
 

@@ -60,6 +60,7 @@ from repro.runtime.errors import (
 from repro.runtime.events import (
     Access,
     AcquireEvent,
+    ErrorInfo,
     MemEvent,
     RcvEvent,
     ReleaseEvent,
@@ -398,7 +399,15 @@ class NativeRuntime:
             self._term_msg[me.tid] = self._snd(me.tid)
             if self._observing:
                 self.observer.on_event(
-                    ThreadEndEvent(step=self._ops, tid=me.tid, error=me.error)
+                    ThreadEndEvent(
+                        step=self._ops,
+                        tid=me.tid,
+                        error=(
+                            ErrorInfo.from_exception(me.error)
+                            if me.error is not None
+                            else None
+                        ),
+                    )
                 )
             self._current = None
             if not self._torn_down:

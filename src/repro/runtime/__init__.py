@@ -30,6 +30,7 @@ from .events import (
     AcquireEvent,
     DeadlockEvent,
     ErrorEvent,
+    ErrorInfo,
     Event,
     MemEvent,
     RcvEvent,
@@ -39,7 +40,15 @@ from .events import (
     ThreadStartEvent,
 )
 from .interpreter import Execution, ExecutionResult, ThreadCrash
-from .location import ElemLoc, FieldLoc, Location, LockId, VarLoc, fresh_uid
+from .location import (
+    ElemLoc,
+    FieldLoc,
+    Location,
+    LockId,
+    VarLoc,
+    fresh_uid,
+    location_from_token,
+)
 from .observer import EventTrace, ExecutionObserver, ObserverChain
 from .ops import Op, OpKind
 from .program import Program, program, resolve_tid
@@ -79,6 +88,7 @@ __all__ = [
     "ElemLoc",
     "LockId",
     "fresh_uid",
+    "location_from_token",
     "ThreadHandle",
     "ThreadState",
     "ThreadStatus",
@@ -87,6 +97,7 @@ __all__ = [
     "EventTrace",
     "Event",
     "Access",
+    "ErrorInfo",
     "MemEvent",
     "SndEvent",
     "RcvEvent",

@@ -8,6 +8,14 @@ thread-lifecycle events, which the detectors and the harness use.
 
 Every event carries ``step``, the global step index at which it occurred,
 so observers can reconstruct the total order of the execution.
+
+Events are pure value objects: every payload (statements, locations, lock
+ids, errors) is a frozen dataclass of primitives, so a whole event stream
+pickles and round-trips through the :mod:`repro.trace` codec losslessly.
+In particular, uncaught simulated exceptions are carried as structured
+:class:`ErrorInfo` records — never as live ``BaseException`` objects, which
+cannot leave the process reliably (tracebacks don't pickle, and custom
+exception constructors break naive re-raising).
 """
 
 from __future__ import annotations
@@ -24,6 +32,36 @@ class Access(enum.Enum):
 
     READ = "read"
     WRITE = "write"
+
+
+@dataclass(frozen=True)
+class ErrorInfo:
+    """Structured, picklable description of an uncaught simulated exception.
+
+    Attributes:
+        type: the exception class name (``AssertionViolation``, ...).
+        message: ``str(exception)``.
+        module: the defining module of the exception class, so analyses can
+            distinguish simulated errors from engine or stdlib ones.
+    """
+
+    type: str
+    message: str = ""
+    module: str = ""
+
+    @classmethod
+    def from_exception(cls, error: BaseException) -> "ErrorInfo":
+        return cls(
+            type=type(error).__name__,
+            message=str(error),
+            module=type(error).__module__,
+        )
+
+    def describe(self) -> str:
+        return f"{self.type}({self.message})" if self.message else self.type
+
+    def __str__(self) -> str:
+        return self.describe()
 
 
 @dataclass(frozen=True)
@@ -89,9 +127,10 @@ class ThreadStartEvent(Event):
 
 @dataclass(frozen=True)
 class ThreadEndEvent(Event):
-    """Thread ``tid`` terminated; ``error`` is its uncaught exception, if any."""
+    """Thread ``tid`` terminated; ``error`` describes its uncaught
+    exception, if any."""
 
-    error: BaseException | None
+    error: ErrorInfo | None
 
 
 @dataclass(frozen=True)
@@ -99,7 +138,7 @@ class ErrorEvent(Event):
     """An uncaught simulated exception escaped thread ``tid`` at ``stmt``."""
 
     stmt: Statement | None
-    error: BaseException
+    error: ErrorInfo
 
 
 @dataclass(frozen=True)
@@ -111,6 +150,7 @@ class DeadlockEvent(Event):
 
 __all__ = [
     "Access",
+    "ErrorInfo",
     "Event",
     "MemEvent",
     "SndEvent",

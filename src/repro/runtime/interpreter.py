@@ -42,6 +42,7 @@ from .events import (
     AcquireEvent,
     DeadlockEvent,
     ErrorEvent,
+    ErrorInfo,
     MemEvent,
     RcvEvent,
     ReleaseEvent,
@@ -566,6 +567,9 @@ class Execution:
         ts.status = ThreadStatus.TERMINATED
         stmt = ts.pending_stmt
         ts.pending = None
+        # Events carry the picklable ErrorInfo form; the live exception
+        # stays on ThreadState/ThreadCrash for in-process consumers.
+        info = ErrorInfo.from_exception(error) if error is not None else None
         if error is not None:
             ts.error = error
             ts.error_stmt = stmt
@@ -576,13 +580,13 @@ class Execution:
             self.result.crashes.append(crash)
             if self._observing:
                 self.observer.on_event(
-                    ErrorEvent(step=self.step_count, tid=ts.tid, stmt=stmt, error=error)
+                    ErrorEvent(step=self.step_count, tid=ts.tid, stmt=stmt, error=info)
                 )
         # Termination message: join edges receive from this.
         self._term_msg[ts.tid] = self._snd(ts.tid)
         if self._observing:
             self.observer.on_event(
-                ThreadEndEvent(step=self.step_count, tid=ts.tid, error=error)
+                ThreadEndEvent(step=self.step_count, tid=ts.tid, error=info)
             )
 
 

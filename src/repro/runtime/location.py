@@ -9,12 +9,18 @@ Locations are value objects keyed by a per-process unique id (``uid``) that
 the owning shared structure allocates at construction time.  Uids are only
 ever compared *within* one execution, so the global counter is safe across
 replays; statements (not locations) are what cross executions.
+
+Every location kind has a stable token encoding (:meth:`Location.to_token`
+/ :func:`location_from_token`) that preserves the concrete subclass, so a
+serialized event stream replays with location identity — and therefore
+per-location access histories — intact.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 _uids = itertools.count(1)
 
@@ -31,16 +37,28 @@ class Location:
     uid: int
     name: str = field(default="", compare=False)
 
+    #: token tag identifying the concrete subclass across processes.
+    kind: ClassVar[str] = "loc"
+
     def describe(self) -> str:
         return self.name or f"loc#{self.uid}"
 
     def __str__(self) -> str:
         return self.describe()
 
+    def to_token(self) -> dict:
+        """Stable JSON-safe encoding preserving the concrete subclass."""
+        token: dict = {"k": self.kind, "u": self.uid}
+        if self.name:
+            token["n"] = self.name
+        return token
+
 
 @dataclass(frozen=True)
 class VarLoc(Location):
     """A shared scalar variable."""
+
+    kind: ClassVar[str] = "var"
 
     def describe(self) -> str:
         return self.name or f"var#{self.uid}"
@@ -51,10 +69,16 @@ class FieldLoc(Location):
     """A named field of a shared object."""
 
     fieldname: str = ""
+    kind: ClassVar[str] = "field"
 
     def describe(self) -> str:
         base = self.name or f"obj#{self.uid}"
         return f"{base}.{self.fieldname}"
+
+    def to_token(self) -> dict:
+        token = super().to_token()
+        token["fld"] = self.fieldname
+        return token
 
 
 @dataclass(frozen=True)
@@ -62,10 +86,30 @@ class ElemLoc(Location):
     """An element of a shared array."""
 
     index: int = 0
+    kind: ClassVar[str] = "elem"
 
     def describe(self) -> str:
         base = self.name or f"arr#{self.uid}"
         return f"{base}[{self.index}]"
+
+    def to_token(self) -> dict:
+        token = super().to_token()
+        token["i"] = self.index
+        return token
+
+
+def location_from_token(token: dict) -> Location:
+    """Rebuild the concrete :class:`Location` a token was taken from."""
+    kind = token.get("k", "loc")
+    uid = token["u"]
+    name = token.get("n", "")
+    if kind == "var":
+        return VarLoc(uid=uid, name=name)
+    if kind == "field":
+        return FieldLoc(uid=uid, name=name, fieldname=token.get("fld", ""))
+    if kind == "elem":
+        return ElemLoc(uid=uid, name=name, index=token.get("i", 0))
+    return Location(uid=uid, name=name)
 
 
 @dataclass(frozen=True)
@@ -80,3 +124,13 @@ class LockId:
 
     def __str__(self) -> str:
         return self.describe()
+
+    def to_token(self) -> dict:
+        token: dict = {"u": self.uid}
+        if self.name:
+            token["n"] = self.name
+        return token
+
+    @classmethod
+    def from_token(cls, token: dict) -> "LockId":
+        return cls(uid=token["u"], name=token.get("n", ""))

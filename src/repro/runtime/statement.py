@@ -55,6 +55,32 @@ class Statement:
             return f"{short}:{self.line}({self.func})"
         return f"{short}:{self.line}"
 
+    def to_token(self) -> dict:
+        """Stable JSON-safe encoding; round-trips via :meth:`from_token`.
+
+        Keys with default values are omitted, keeping serialized traces
+        compact (MEM events dominate a trace and each carries a statement).
+        """
+        token: dict = {}
+        if self.file:
+            token["f"] = self.file
+        if self.line:
+            token["l"] = self.line
+        if self.func:
+            token["fn"] = self.func
+        if self.label is not None:
+            token["lb"] = self.label
+        return token
+
+    @classmethod
+    def from_token(cls, token: dict) -> "Statement":
+        return cls(
+            file=token.get("f", ""),
+            line=token.get("l", 0),
+            func=token.get("fn", ""),
+            label=token.get("lb"),
+        )
+
     def __str__(self) -> str:
         return self.site
 

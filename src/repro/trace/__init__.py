@@ -1,0 +1,61 @@
+"""First-class execution traces: record once, analyze many.
+
+This package makes the event stream of one execution a serializable,
+cacheable artifact, decoupling the expensive half of Phase 1 (running the
+program) from the cheap half (detector passes over the events):
+
+* :mod:`~repro.trace.schema` — the versioned JSONL wire format;
+* :mod:`~repro.trace.io` — :class:`TraceWriter` / :class:`TraceReader` /
+  :class:`TraceRecorder` streaming I/O (gzip via a ``.gz`` suffix);
+* :mod:`~repro.trace.store` — the :class:`TraceStore` cache keyed by
+  (workload, seed, scheduler spec, max_steps, schema version);
+* :mod:`~repro.trace.replay` — :func:`replay_events`, which drives any
+  :class:`~repro.runtime.observer.ExecutionObserver` over a recorded
+  stream, and :func:`analyze_trace` for named detectors.
+
+``detect_races(..., trace_dir=...)`` builds the record-once /
+analyze-many pipeline on these pieces; the CLI exposes them as the
+``record`` and ``analyze`` subcommands.
+"""
+
+from .io import TraceReader, TraceRecorder, TraceWriter, load_trace, record_execution
+from .replay import ReplaySource, analyze_trace, replay_events
+from .schema import (
+    SCHEMA_VERSION,
+    TraceFooter,
+    TraceHeader,
+    TraceSchemaError,
+    decode_event,
+    encode_event,
+)
+from .store import (
+    PHASE1_SCHEDULER,
+    StoreStats,
+    TraceKey,
+    TraceStore,
+    detect_key,
+    scheduler_from_spec,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TraceSchemaError",
+    "TraceHeader",
+    "TraceFooter",
+    "encode_event",
+    "decode_event",
+    "TraceWriter",
+    "TraceReader",
+    "TraceRecorder",
+    "record_execution",
+    "load_trace",
+    "TraceKey",
+    "TraceStore",
+    "StoreStats",
+    "detect_key",
+    "PHASE1_SCHEDULER",
+    "scheduler_from_spec",
+    "ReplaySource",
+    "replay_events",
+    "analyze_trace",
+]

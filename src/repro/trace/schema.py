@@ -1,0 +1,281 @@
+"""Versioned wire schema for serialized execution traces.
+
+One trace file is a JSONL stream: a header object, one object per runtime
+event in execution order, and a footer object summarizing the
+:class:`~repro.runtime.interpreter.ExecutionResult`.  Every payload type
+(statements, locations, lock ids, errors) round-trips through the stable
+token encodings the runtime value objects define, so ``decode_event``
+rebuilds events that compare equal to the originals — which is what makes
+"analyze a recorded trace" produce reports identical to the live run.
+
+Versioning discipline: ``SCHEMA_VERSION`` bumps on any change to the
+encoding of existing event kinds or tokens.  The version is part of both
+the header (checked on read) and the :class:`~repro.trace.store.TraceKey`
+cache key (so a schema bump invalidates every cached trace rather than
+misdecoding it).  Adding a *new* event kind is also a bump: old readers
+must fail loudly instead of silently dropping events an analysis needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.events import (
+    Access,
+    AcquireEvent,
+    DeadlockEvent,
+    ErrorEvent,
+    ErrorInfo,
+    Event,
+    MemEvent,
+    RcvEvent,
+    ReleaseEvent,
+    SndEvent,
+    ThreadEndEvent,
+    ThreadStartEvent,
+)
+from repro.runtime.interpreter import ExecutionResult
+from repro.runtime.location import location_from_token
+from repro.runtime.statement import Statement
+
+#: bump on ANY change to event/token encodings (see module docstring).
+SCHEMA_VERSION = 1
+
+
+class TraceSchemaError(ValueError):
+    """A trace file does not conform to the schema this reader speaks."""
+
+
+# --------------------------------------------------------------------- #
+# header / footer
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """First line of a trace: provenance of the recorded execution."""
+
+    program: str
+    seed: int
+    scheduler: str
+    max_steps: int
+    schema: int = SCHEMA_VERSION
+
+    def to_jsonable(self) -> dict:
+        return {
+            "kind": "header",
+            "schema": self.schema,
+            "program": self.program,
+            "seed": self.seed,
+            "scheduler": self.scheduler,
+            "max_steps": self.max_steps,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "TraceHeader":
+        if data.get("kind") != "header":
+            raise TraceSchemaError("trace does not start with a header line")
+        schema = data.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise TraceSchemaError(
+                f"trace schema v{schema} is not the supported v{SCHEMA_VERSION}"
+            )
+        return cls(
+            program=data["program"],
+            seed=data["seed"],
+            scheduler=data.get("scheduler", ""),
+            max_steps=data.get("max_steps", 0),
+            schema=schema,
+        )
+
+
+@dataclass(frozen=True)
+class TraceFooter:
+    """Last line of a trace: the execution's outcome summary."""
+
+    steps: int = 0
+    events: int = 0
+    crashes: tuple[dict, ...] = ()
+    deadlock: bool = False
+    deadlocked_tids: tuple[int, ...] = ()
+    truncated: bool = False
+
+    @classmethod
+    def from_result(cls, result: ExecutionResult, events: int) -> "TraceFooter":
+        return cls(
+            steps=result.steps,
+            events=events,
+            crashes=tuple(
+                {
+                    "tid": crash.tid,
+                    "name": crash.name,
+                    "e": _encode_error(ErrorInfo.from_exception(crash.error)),
+                    "st": crash.stmt.to_token() if crash.stmt else None,
+                    "step": crash.step,
+                }
+                for crash in result.crashes
+            ),
+            deadlock=result.deadlock,
+            deadlocked_tids=tuple(result.deadlocked_tids),
+            truncated=result.truncated,
+        )
+
+    def to_jsonable(self) -> dict:
+        return {
+            "kind": "footer",
+            "steps": self.steps,
+            "events": self.events,
+            "crashes": list(self.crashes),
+            "deadlock": self.deadlock,
+            "deadlocked_tids": list(self.deadlocked_tids),
+            "truncated": self.truncated,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "TraceFooter":
+        return cls(
+            steps=data.get("steps", 0),
+            events=data.get("events", 0),
+            crashes=tuple(data.get("crashes", ())),
+            deadlock=data.get("deadlock", False),
+            deadlocked_tids=tuple(data.get("deadlocked_tids", ())),
+            truncated=data.get("truncated", False),
+        )
+
+
+# --------------------------------------------------------------------- #
+# event codec
+# --------------------------------------------------------------------- #
+
+
+def _encode_error(info: ErrorInfo | None) -> dict | None:
+    if info is None:
+        return None
+    token: dict = {"t": info.type}
+    if info.message:
+        token["m"] = info.message
+    if info.module:
+        token["mod"] = info.module
+    return token
+
+
+def _decode_error(token: dict | None) -> ErrorInfo | None:
+    if token is None:
+        return None
+    return ErrorInfo(
+        type=token["t"], message=token.get("m", ""), module=token.get("mod", "")
+    )
+
+
+def _encode_stmt(stmt: Statement | None) -> dict | None:
+    return None if stmt is None else stmt.to_token()
+
+
+def _decode_stmt(token: dict | None) -> Statement | None:
+    return None if token is None else Statement.from_token(token)
+
+
+def encode_event(event: Event) -> dict:
+    """One event -> one JSON-safe dict (the trace line payload)."""
+    obj: dict = {"s": event.step, "t": event.tid}
+    if isinstance(event, MemEvent):
+        obj["k"] = "MEM"
+        obj["st"] = event.stmt.to_token()
+        obj["loc"] = event.location.to_token()
+        obj["a"] = "w" if event.access is Access.WRITE else "r"
+        obj["L"] = [
+            lock.to_token()
+            for lock in sorted(event.locks_held, key=lambda l: l.uid)
+        ]
+    elif isinstance(event, SndEvent):
+        obj["k"] = "SND"
+        obj["g"] = event.msg_id
+    elif isinstance(event, RcvEvent):
+        obj["k"] = "RCV"
+        obj["g"] = event.msg_id
+    elif isinstance(event, AcquireEvent):
+        obj["k"] = "ACQ"
+        obj["l"] = event.lock.to_token()
+        obj["st"] = _encode_stmt(event.stmt)
+    elif isinstance(event, ReleaseEvent):
+        obj["k"] = "REL"
+        obj["l"] = event.lock.to_token()
+        obj["st"] = _encode_stmt(event.stmt)
+    elif isinstance(event, ThreadStartEvent):
+        obj["k"] = "TS"
+        obj["c"] = event.child
+        obj["n"] = event.name
+    elif isinstance(event, ThreadEndEvent):
+        obj["k"] = "TE"
+        obj["e"] = _encode_error(event.error)
+    elif isinstance(event, ErrorEvent):
+        obj["k"] = "ERR"
+        obj["st"] = _encode_stmt(event.stmt)
+        obj["e"] = _encode_error(event.error)
+    elif isinstance(event, DeadlockEvent):
+        obj["k"] = "DL"
+        obj["b"] = list(event.blocked)
+    else:
+        raise TraceSchemaError(
+            f"cannot encode unknown event type {type(event).__name__}"
+        )
+    return obj
+
+
+def decode_event(obj: dict) -> Event:
+    """One trace line payload -> the event it encoded (value-equal)."""
+    from repro.runtime.location import LockId  # local alias for brevity
+
+    kind = obj.get("k")
+    step, tid = obj["s"], obj["t"]
+    if kind == "MEM":
+        return MemEvent(
+            step=step,
+            tid=tid,
+            stmt=Statement.from_token(obj["st"]),
+            location=location_from_token(obj["loc"]),
+            access=Access.WRITE if obj["a"] == "w" else Access.READ,
+            locks_held=frozenset(LockId.from_token(t) for t in obj["L"]),
+        )
+    if kind == "SND":
+        return SndEvent(step=step, tid=tid, msg_id=obj["g"])
+    if kind == "RCV":
+        return RcvEvent(step=step, tid=tid, msg_id=obj["g"])
+    if kind == "ACQ":
+        return AcquireEvent(
+            step=step,
+            tid=tid,
+            lock=LockId.from_token(obj["l"]),
+            stmt=_decode_stmt(obj.get("st")),
+        )
+    if kind == "REL":
+        return ReleaseEvent(
+            step=step,
+            tid=tid,
+            lock=LockId.from_token(obj["l"]),
+            stmt=_decode_stmt(obj.get("st")),
+        )
+    if kind == "TS":
+        return ThreadStartEvent(step=step, tid=tid, child=obj["c"], name=obj["n"])
+    if kind == "TE":
+        return ThreadEndEvent(step=step, tid=tid, error=_decode_error(obj.get("e")))
+    if kind == "ERR":
+        return ErrorEvent(
+            step=step,
+            tid=tid,
+            stmt=_decode_stmt(obj.get("st")),
+            error=_decode_error(obj["e"]),
+        )
+    if kind == "DL":
+        return DeadlockEvent(step=step, tid=tid, blocked=tuple(obj["b"]))
+    raise TraceSchemaError(f"unknown event kind {kind!r} in trace")
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TraceSchemaError",
+    "TraceHeader",
+    "TraceFooter",
+    "encode_event",
+    "decode_event",
+]

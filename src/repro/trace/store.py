@@ -1,0 +1,207 @@
+"""Content-addressed cache of recorded execution traces.
+
+Executions are the expensive half of Phase 1 — a detector pass over an
+event stream is cheap by comparison.  The :class:`TraceStore` makes the
+execution a cacheable artifact: traces are keyed by everything that
+determines the event stream —
+
+    (workload, seed, scheduler spec, max_steps, schema version)
+
+— and *nothing* that doesn't (detector choice, history caps: those are
+analysis parameters, which is the whole point of record-once /
+analyze-many).  A warm store answers ``detect_races`` campaigns with zero
+program executions; a schema bump or any execution-parameter change
+misses cleanly and re-records.
+
+Concurrency: workers recording into a shared store write to a unique temp
+name and ``os.replace`` into the final path, so concurrent recorders of
+the same key race benignly (identical deterministic content; last rename
+wins) and readers never observe a partial file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.runtime.program import Program
+
+from .io import TraceReader, record_execution, remove_partial
+from .schema import SCHEMA_VERSION
+
+#: scheduler spec used by every Phase-1 detection run.
+PHASE1_SCHEDULER = "random:every"
+
+
+def scheduler_from_spec(spec: str):
+    """Build the scheduler a spec string names.
+
+    Specs are the serializable identity of a scheduling policy:
+    ``random:every``, ``random:sync``, or ``default``.  (Imported lazily:
+    schedulers live in :mod:`repro.core`, which itself imports this
+    package at module load.)
+    """
+    from repro.core.schedulers import DefaultScheduler, RandomScheduler
+
+    if spec == "default":
+        return DefaultScheduler()
+    if spec.startswith("random:"):
+        return RandomScheduler(preemption=spec.split(":", 1)[1])
+    raise ValueError(f"unknown scheduler spec {spec!r}")
+
+
+@dataclass(frozen=True)
+class TraceKey:
+    """Everything that determines a recorded event stream, and only that."""
+
+    workload: str
+    seed: int
+    scheduler: str = PHASE1_SCHEDULER
+    max_steps: int = 1_000_000
+    schema: int = SCHEMA_VERSION
+
+    def canonical(self) -> str:
+        return json.dumps(
+            {
+                "workload": self.workload,
+                "seed": self.seed,
+                "scheduler": self.scheduler,
+                "max_steps": self.max_steps,
+                "schema": self.schema,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def digest(self) -> str:
+        return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class StoreStats:
+    """Cache behaviour of one store instance (asserted in tests/benches)."""
+
+    hits: int = 0
+    misses: int = 0
+    #: program executions this store performed to fill misses — the number
+    #: a warm cache drives to zero.
+    executions: int = 0
+
+
+class TraceStore:
+    """Filesystem cache mapping :class:`TraceKey` -> trace file."""
+
+    def __init__(self, root, *, compress: bool = False) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.compress = compress
+        self.stats = StoreStats()
+
+    # -- addressing ---------------------------------------------------- #
+
+    def path_for(self, key: TraceKey) -> Path:
+        suffix = ".jsonl.gz" if self.compress else ".jsonl"
+        return self.root / f"{key.workload}-s{key.seed}-{key.digest()}{suffix}"
+
+    def get(self, key: TraceKey) -> Path | None:
+        """The cached trace for ``key``, in either compression flavor."""
+        for suffix in (".jsonl", ".jsonl.gz"):
+            path = self.root / f"{key.workload}-s{key.seed}-{key.digest()}{suffix}"
+            if path.exists():
+                return path
+        return None
+
+    # -- record-or-load ------------------------------------------------- #
+
+    def ensure(
+        self,
+        key: TraceKey,
+        program: Program,
+        *,
+        observers: Iterable = (),
+    ) -> Path:
+        """Return a trace for ``key``, executing the program only on miss.
+
+        ``observers`` (live detectors, usually) are attached to the
+        recording execution on a miss and see nothing on a hit — callers
+        doing record-once/analyze-many should replay the returned trace
+        rather than rely on them.
+        """
+        cached = self.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        final = self.path_for(key)
+        # Keep the gz suffix decision on the temp name so the writer picks
+        # the right codec, then publish atomically.
+        tmp = final.parent / f"{final.stem}.{os.getpid()}.tmp.jsonl"
+        if self.compress:
+            tmp = tmp.with_name(tmp.name + ".gz")
+        try:
+            self.stats.executions += 1
+            record_execution(
+                program,
+                scheduler_from_spec(key.scheduler),
+                path=tmp,
+                seed=key.seed,
+                max_steps=key.max_steps,
+                scheduler_spec=key.scheduler,
+                observers=observers,
+            )
+            os.replace(tmp, final)
+        except BaseException:
+            remove_partial(tmp)
+            raise
+        return final
+
+    def open(self, key: TraceKey) -> TraceReader | None:
+        path = self.get(key)
+        return None if path is None else TraceReader(path)
+
+    # -- maintenance ---------------------------------------------------- #
+
+    def entries(self) -> list[Path]:
+        """All trace files currently in the store, sorted by name."""
+        return sorted(
+            p
+            for p in self.root.iterdir()
+            if p.name.endswith((".jsonl", ".jsonl.gz")) and ".tmp" not in p.name
+        )
+
+    def clear(self) -> int:
+        """Delete every cached trace; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def detect_key(
+    workload: str, seed: int, *, max_steps: int = 1_000_000
+) -> TraceKey:
+    """The cache key of one Phase-1 detection execution."""
+    return TraceKey(
+        workload=workload,
+        seed=seed,
+        scheduler=PHASE1_SCHEDULER,
+        max_steps=max_steps,
+    )
+
+
+__all__ = [
+    "PHASE1_SCHEDULER",
+    "scheduler_from_spec",
+    "TraceKey",
+    "TraceStore",
+    "StoreStats",
+    "detect_key",
+]

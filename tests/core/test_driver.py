@@ -130,6 +130,51 @@ class TestBaselineExceptions:
             baseline_exceptions(Program(factory), runs=1, scheduler="magic")
 
 
+class TestBaselineExceptionsParallel:
+    """The satellite fix: baseline_exceptions takes jobs/deadline/retries."""
+
+    def test_parallel_matches_serial(self):
+        serial = baseline_exceptions(
+            figure1.build(), runs=24, scheduler="random", max_steps=20_000
+        )
+        parallel = baseline_exceptions(
+            figure1.build(),
+            runs=24,
+            scheduler="random",
+            max_steps=20_000,
+            jobs=2,
+            chunk_size=7,
+        )
+        assert serial == parallel
+
+    def test_supervised_path_at_jobs_1(self):
+        supervised = baseline_exceptions(
+            figure1.build(),
+            runs=12,
+            scheduler="random",
+            max_steps=20_000,
+            retries=0,
+        )
+        plain = baseline_exceptions(
+            figure1.build(), runs=12, scheduler="random", max_steps=20_000
+        )
+        assert supervised == plain
+
+    def test_parallel_requires_registered_workload(self):
+        def factory():
+            def main():
+                yield ops.yield_point()
+
+            return main()
+
+        with pytest.raises(ValueError, match="registered workload"):
+            baseline_exceptions(Program(factory), runs=1, jobs=2)
+
+    def test_unknown_scheduler_rejected_before_dispatch(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            baseline_exceptions(figure1.build(), runs=1, scheduler="magic", jobs=2)
+
+
 class TestPipelineOnLostUpdateProgram:
     """A miniature end-to-end: racy counter -> detect -> fuzz -> classify."""
 

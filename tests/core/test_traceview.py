@@ -47,6 +47,24 @@ class TestFormatTrace:
         text = format_trace(events, max_events=2)
         assert "truncated" in text
 
+    def test_truncation_accounting_is_accurate(self):
+        """The note must count displayable rows only: filtered SND/RCV
+        bookkeeping rows are reported separately, never as 'hidden'."""
+        from repro.runtime.events import RcvEvent, SndEvent
+
+        events = _traced_run()
+        rows = [e for e in events if not isinstance(e, (SndEvent, RcvEvent))]
+        filtered = len(events) - len(rows)
+        text = format_trace(events, max_events=2)
+        assert f"showing 2 of {len(rows)} events" in text
+        assert f"{len(rows) - 2} hidden" in text
+        if filtered:
+            assert f"({filtered} SND/RCV rows filtered)" in text
+
+    def test_no_truncation_note_when_everything_shown(self):
+        events = _traced_run()
+        assert "truncated" not in format_trace(events, max_events=len(events))
+
     def test_columns_per_thread(self):
         run = replay_race(figure1.build(), figure1.REAL_PAIR, seed=2)
         text = format_trace(run.events)
@@ -70,3 +88,33 @@ class TestFormatReplay:
                 assert "AssertionViolation" in text
                 return
         raise AssertionError("no crashing seed found in 20")
+
+
+class TestFormatTraceFile:
+    def test_renders_from_recorded_trace(self, tmp_path):
+        from repro.core.traceview import format_trace_file
+        from repro.trace import TraceStore, detect_key
+
+        path = TraceStore(tmp_path).ensure(
+            detect_key("figure1", 0, max_steps=10_000), figure1.build()
+        )
+        text = format_trace_file(path)
+        assert "trace: figure1 seed=0" in text
+        assert "T0" in text.splitlines()[2]  # interleaving header row
+        assert "result: steps=" in text
+
+    def test_same_rendering_as_live_events(self, tmp_path):
+        from repro.core.traceview import format_trace_file
+        from repro.runtime import EventTrace
+        from repro.trace import record_execution
+
+        witness = EventTrace()
+        record_execution(
+            figure1.build(),
+            RandomScheduler(preemption="every"),
+            path=tmp_path / "t.jsonl",
+            seed=0,
+            max_steps=10_000,
+            observers=[witness],
+        )
+        assert format_trace(witness.events) in format_trace_file(tmp_path / "t.jsonl")

@@ -1,0 +1,169 @@
+"""The tentpole acceptance criteria, as tests.
+
+1. For every registered workload and each of the three detectors, running
+   the detector offline over a recorded trace yields a ``RaceReport`` that
+   compares equal (full ``==``, evidence included) to the live observer
+   that watched the recording execution itself.
+2. A warm ``TraceStore`` answers a repeated ``detect_races`` with zero
+   program executions.
+"""
+
+import pytest
+
+from repro.core import detect_races
+from repro.detectors import make_detector
+from repro.runtime.interpreter import Execution
+from repro.trace import TraceStore, analyze_trace, detect_key, replay_events
+from repro.workloads import all_workloads, figure1, get
+
+DETECTORS = ("hybrid", "happens-before", "lockset")
+
+#: enough steps for every workload to show races, small enough to be quick.
+STEP_CAP = 20_000
+
+
+def _capped(spec):
+    return min(spec.max_steps, STEP_CAP)
+
+
+@pytest.mark.parametrize(
+    "workload", [spec.name for spec in all_workloads()]
+)
+def test_offline_reports_identical_to_live(workload, tmp_path):
+    spec = get(workload)
+    store = TraceStore(tmp_path)
+    live = [make_detector(name) for name in DETECTORS]
+    key = detect_key(spec.name, 0, max_steps=_capped(spec))
+    path = store.ensure(key, spec.build(), observers=live)
+    offline = analyze_trace(path, DETECTORS)
+    for observer, name in zip(live, DETECTORS):
+        assert observer.report == offline[name], (
+            f"{workload}/{name}: offline analysis diverged from the live run"
+        )
+
+
+def test_replay_events_drives_full_observer_lifecycle(tmp_path):
+    store = TraceStore(tmp_path)
+    key = detect_key("figure1", 0, max_steps=10_000)
+    store.ensure(key, figure1.build())
+    detector = make_detector("hybrid")
+    with store.open(key) as reader:
+        (driven,) = replay_events(reader, [detector], program=reader.header.program)
+    assert driven is detector
+    assert detector.report.program == "figure1"
+    assert len(detector.report) == 1
+
+
+class TestWarmCacheSkipsExecution:
+    SEEDS = (0, 1)
+
+    def _detect(self, trace_dir, detector="hybrid"):
+        spec = get("figure1")
+        return detect_races(
+            spec.build(),
+            detector=detector,
+            seeds=self.SEEDS,
+            max_steps=_capped(spec),
+            trace_dir=trace_dir,
+        )
+
+    def test_zero_executions_on_warm_store(self, tmp_path, monkeypatch):
+        cold = self._detect(tmp_path)
+
+        def bomb(self, scheduler):
+            raise AssertionError("a warm cache must not execute the program")
+
+        monkeypatch.setattr(Execution, "run", bomb)
+        warm = self._detect(tmp_path)
+        assert warm == cold  # bit-identical: both sides replay the same traces
+
+    def test_added_detectors_reuse_recorded_traces(self, tmp_path, monkeypatch):
+        self._detect(tmp_path)
+        monkeypatch.setattr(
+            Execution,
+            "run",
+            lambda self, scheduler: pytest.fail("unexpected execution"),
+        )
+        reports = self._detect(tmp_path, detector=DETECTORS)
+        assert set(reports) == set(DETECTORS)
+        assert len(reports["hybrid"]) == 1
+
+    def test_store_stats_confirm_cache_hits(self, tmp_path):
+        self._detect(tmp_path)
+        store = TraceStore(tmp_path)
+        for seed in self.SEEDS:
+            key = detect_key("figure1", seed, max_steps=_capped(get("figure1")))
+            assert store.get(key) is not None
+        assert store.stats.executions == 0
+
+
+class TestDetectRacesTraceDir:
+    def test_cold_equals_warm_exactly(self, tmp_path):
+        spec = get("figure2")
+        kwargs = dict(seeds=(0, 1, 2), max_steps=_capped(spec), trace_dir=tmp_path)
+        assert detect_races(spec.build(), **kwargs) == detect_races(
+            spec.build(), **kwargs
+        )
+
+    def test_matches_classic_path_on_pairs(self, tmp_path):
+        spec = get("figure1")
+        classic = detect_races(
+            spec.build(), seeds=(0, 1, 2), max_steps=_capped(spec)
+        )
+        traced = detect_races(
+            spec.build(), seeds=(0, 1, 2), max_steps=_capped(spec),
+            trace_dir=tmp_path,
+        )
+        assert classic.pairs == traced.pairs
+        assert {
+            str(p): (e.count, e.both_write) for p, e in classic.evidence.items()
+        } == {
+            str(p): (e.count, e.both_write) for p, e in traced.evidence.items()
+        }
+
+    def test_parallel_workers_record_for_the_parent(self, tmp_path):
+        spec = get("figure1")
+        parallel = detect_races(
+            spec.build(),
+            seeds=(0, 1, 2),
+            max_steps=_capped(spec),
+            trace_dir=tmp_path / "par",
+            jobs=2,
+        )
+        serial = detect_races(
+            spec.build(),
+            seeds=(0, 1, 2),
+            max_steps=_capped(spec),
+            trace_dir=tmp_path / "ser",
+        )
+        assert parallel.pairs == serial.pairs
+        store = TraceStore(tmp_path / "par")
+        assert len(store.entries()) == 3
+
+    def test_multi_detector_single_execution_per_seed(self, tmp_path):
+        """Without trace_dir, a detector list still means one run per seed."""
+        spec = get("figure1")
+        executions = 0
+        original = Execution.run
+
+        def counting(self, scheduler):
+            nonlocal executions
+            executions += 1
+            return original(self, scheduler)
+
+        try:
+            Execution.run = counting
+            reports = detect_races(
+                spec.build(),
+                detector=DETECTORS,
+                seeds=(0, 1),
+                max_steps=_capped(spec),
+            )
+        finally:
+            Execution.run = original
+        assert executions == 2  # one per seed, not one per (seed, detector)
+        assert set(reports) == set(DETECTORS)
+        single = detect_races(
+            spec.build(), seeds=(0, 1), max_steps=_capped(spec)
+        )
+        assert reports["hybrid"].pairs == single.pairs
