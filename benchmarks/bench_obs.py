@@ -1,0 +1,125 @@
+"""Observability overhead: campaign wall clock with metrics off vs on.
+
+The metrics registry is designed to cost one ``None``-check per
+instrumented site when disabled (the default), and a handful of dict
+operations per *execution* — not per step — when enabled.  This
+benchmark quantifies both:
+
+* ``disabled`` — the stock campaign, registry inactive (what ``table1``
+  and every other un-flagged entry point runs); the acceptance bar is
+  that this regresses < 2% against the pre-observability baseline;
+* ``enabled`` — the same campaign under ``collecting()``, measuring the
+  full per-execution fold cost.
+
+Two entry points:
+
+* under pytest (``pytest benchmarks/bench_obs.py --benchmark-only``)
+  each configuration is a ``benchmark`` case;
+* as a script (``python benchmarks/bench_obs.py``) it prints the
+  comparison and writes a ``BENCH_obs.json`` overhead record for the
+  perf trajectory.
+"""
+
+import json
+import os
+import time
+
+from repro.core import detect_races, fuzz_races
+from repro.obs import collecting, environment_metadata
+from repro.workloads import figure1
+
+PAIRS = [figure1.REAL_PAIR, figure1.FALSE_PAIR]
+
+
+def _campaign(trials):
+    phase1 = detect_races(figure1.build(), seeds=range(3), max_steps=20_000)
+    verdicts = fuzz_races(
+        figure1.build(), phase1.pairs, trials=trials, max_steps=20_000
+    )
+    return phase1, verdicts
+
+
+def _time_campaign(trials, *, repeats, metered):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        if metered:
+            with collecting():
+                _campaign(trials)
+        else:
+            _campaign(trials)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_campaign_metrics_disabled(benchmark, quick_trials):
+    _, verdicts = benchmark(lambda: _campaign(quick_trials))
+    assert verdicts[figure1.REAL_PAIR].is_real
+
+
+def test_campaign_metrics_enabled(benchmark, quick_trials):
+    def metered():
+        with collecting() as registry:
+            result = _campaign(quick_trials)
+        return result, registry.snapshot()
+
+    (_, verdicts), snapshot = benchmark(metered)
+    assert verdicts[figure1.REAL_PAIR].is_real
+    assert snapshot.counters["fuzz.trials"] == 2 * quick_trials
+    benchmark.extra_info["counters"] = len(snapshot.counters)
+
+
+def test_registry_inc(benchmark):
+    """The hot-path primitive: one enabled counter increment."""
+    with collecting() as registry:
+        benchmark(lambda: registry.inc("bench.counter"))
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=100)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--output", default="BENCH_obs.json")
+    args = parser.parse_args(argv)
+
+    # Interleave-free warmup so both arms measure hot code.
+    _campaign(5)
+
+    disabled_s = _time_campaign(
+        args.trials, repeats=args.repeats, metered=False
+    )
+    enabled_s = _time_campaign(args.trials, repeats=args.repeats, metered=True)
+
+    with collecting() as registry:
+        _campaign(args.trials)
+    snapshot = registry.snapshot()
+
+    record = {
+        "benchmark": "observability-overhead",
+        "workload": "figure1",
+        "pairs": len(PAIRS),
+        "trials_per_pair": args.trials,
+        "repeats": args.repeats,
+        "cpu_count": os.cpu_count(),
+        "env": environment_metadata(),
+        "disabled_s": round(disabled_s, 4),
+        "enabled_s": round(enabled_s, 4),
+        "enabled_overhead_ratio": (
+            round(enabled_s / disabled_s, 3) if disabled_s else None
+        ),
+        "counters_collected": len(snapshot.counters),
+        "spans_collected": len(snapshot.spans),
+        "interp_executions": snapshot.counters.get("interp.executions", 0),
+        "interp_steps": snapshot.counters.get("interp.steps", 0),
+    }
+    with open(args.output, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,7 @@ import time
 from repro.core import fuzz_races
 from repro.core.parallel import FuzzTask, chunk_ranges, run_fuzz_task
 from repro.core.results import PairVerdict
+from repro.obs import environment_metadata
 from repro.workloads import figure1
 
 PAIRS = [figure1.REAL_PAIR, figure1.FALSE_PAIR]
@@ -118,6 +119,7 @@ def main(argv=None):
         "chunk_size": args.chunk_size,
         "jobs": args.jobs,
         "cpu_count": os.cpu_count(),
+        "env": environment_metadata(),
         "serial_s": round(serial_s, 4),
         "parallel_s": round(parallel_s, 4),
         "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,

@@ -25,6 +25,7 @@ import time
 
 from repro.core import fuzz_races
 from repro.core.faults import FaultPlan, FaultSpec
+from repro.obs import environment_metadata
 from repro.workloads import figure1
 
 PAIRS = [figure1.REAL_PAIR, figure1.FALSE_PAIR]
@@ -111,6 +112,7 @@ def main(argv=None):
         "trials_per_pair": args.trials,
         "chunk_size": args.chunk_size,
         "cpu_count": os.cpu_count(),
+        "env": environment_metadata(),
         "bare_s": round(bare_s, 4),
         "supervised_clean_s": round(clean_s, 4),
         "supervised_faulted_s": round(faulted_s, 4),

@@ -28,6 +28,7 @@ import tempfile
 import time
 
 from repro.core import detect_races
+from repro.obs import environment_metadata
 from repro.trace import TraceStore, analyze_trace, detect_key
 from repro.workloads import get
 
@@ -147,6 +148,7 @@ def main(argv=None):
         "benchmark": "trace-record-once-analyze-many",
         "detectors": list(DETECTORS),
         "cpu_count": os.cpu_count(),
+        "env": environment_metadata(),
         "warm_cache_executions": 0,
         "rows": rows,
     }

@@ -13,7 +13,9 @@ deterministic concurrent abstract machine:
 * :mod:`repro.jdk` — a mini JDK collections library containing the real
   bugs of Section 5.3;
 * :mod:`repro.workloads` — one benchmark per Table 1 row;
-* :mod:`repro.harness` — regenerates every table and figure.
+* :mod:`repro.harness` — regenerates every table and figure;
+* :mod:`repro.obs` — campaign telemetry: the metrics registry, phase
+  spans, live progress, and exportable run reports.
 
 Quickstart::
 
@@ -50,6 +52,7 @@ from .detectors import (
     VectorClock,
     make_detector,
 )
+from .obs import MetricsRegistry, MetricsSnapshot, collecting
 from .runtime import (
     AtomicCounter,
     Barrier,
@@ -122,4 +125,8 @@ __all__ = [
     "detect_lock_order_inversions",
     "AtomicityFuzzer",
     "AtomicRegion",
+    # observability
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "collecting",
 ]

@@ -10,6 +10,8 @@ Commands:
 * ``analyze``  — run detectors offline over recorded trace files;
 * ``fuzz``     — the full two-phase RaceFuzzer campaign;
 * ``replay``   — re-run one (pair, seed) with a rendered interleaving;
+* ``stats``    — render a ``--metrics-out`` run report (tables or
+  Prometheus text format);
 * ``table1``   — regenerate Table 1 (delegates to repro.harness.table1);
 * ``figure2``  — the probability sweep (delegates to
   repro.harness.figure2_prob).
@@ -18,7 +20,10 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+
+from contextlib import ExitStack
 
 from repro.core import (
     DefaultScheduler,
@@ -30,8 +35,22 @@ from repro.core import (
 )
 from repro.core.replay import replay_race
 from repro.core.traceview import format_replay
+from repro.obs import (
+    ProgressPrinter,
+    collecting,
+    load_run_report,
+    render_prometheus,
+    render_stats_table,
+    validate_run_report,
+    write_run_report,
+)
 from repro.runtime import Execution
 from repro.workloads import all_workloads, get
+
+
+def _enter_collecting(stack: ExitStack, wanted: bool):
+    """Enable metrics for the body of a command when any flag needs them."""
+    return stack.enter_context(collecting()) if wanted else None
 
 
 def _cmd_list(args) -> int:
@@ -49,34 +68,67 @@ def _cmd_list(args) -> int:
 
 def _cmd_run(args) -> int:
     spec = get(args.workload)
-    if args.scheduler == "rapos":
-        result = RaposDriver(max_steps=spec.max_steps).run(
-            spec.build(), seed=args.seed
-        )
-    else:
-        scheduler = (
-            DefaultScheduler()
-            if args.scheduler == "default"
-            else RandomScheduler(preemption="every")
-        )
-        result = Execution(
-            spec.build(), seed=args.seed, max_steps=spec.max_steps
-        ).run(scheduler)
+    with ExitStack() as stack:
+        registry = _enter_collecting(stack, args.metrics_out is not None)
+        if args.scheduler == "rapos":
+            result = RaposDriver(max_steps=spec.max_steps).run(
+                spec.build(), seed=args.seed
+            )
+        else:
+            scheduler = (
+                DefaultScheduler()
+                if args.scheduler == "default"
+                else RandomScheduler(preemption="every")
+            )
+            result = Execution(
+                spec.build(), seed=args.seed, max_steps=spec.max_steps
+            ).run(scheduler)
     print(result)
+    if registry is not None:
+        write_run_report(
+            args.metrics_out,
+            registry.snapshot(),
+            command="run",
+            workload=spec.name,
+        )
     return 0 if not result.crashes and not result.deadlock else 1
 
 
 def _cmd_detect(args) -> int:
     spec = get(args.workload)
-    report = detect_races(
-        spec.build(),
-        detector=args.detector,
-        seeds=range(args.seeds),
-        max_steps=spec.max_steps,
-        jobs=args.jobs,
-        trace_dir=args.trace_dir,
-    )
+    # The trace-store stats line rides on the metrics registry, so a
+    # --trace-dir run collects even without --metrics-out.
+    collect = args.metrics_out is not None or args.trace_dir is not None
+    with ExitStack() as stack:
+        registry = _enter_collecting(stack, collect)
+        report = detect_races(
+            spec.build(),
+            detector=args.detector,
+            seeds=range(args.seeds),
+            max_steps=spec.max_steps,
+            jobs=args.jobs,
+            trace_dir=args.trace_dir,
+        )
     print(report)
+    if registry is not None:
+        snapshot = registry.snapshot()
+        if args.trace_dir is not None:
+            c = snapshot.counters
+            print(
+                f"trace store: {c.get('trace.store_hits', 0)} hit(s), "
+                f"{c.get('trace.store_misses', 0)} miss(es), "
+                f"{c.get('trace.store_executions', 0)} recorded "
+                f"execution(s), {c.get('trace.store_bytes', 0)} byte(s) "
+                f"written",
+                file=sys.stderr,
+            )
+        if args.metrics_out is not None:
+            write_run_report(
+                args.metrics_out,
+                snapshot,
+                command="detect",
+                workload=spec.name,
+            )
     return 0
 
 
@@ -138,19 +190,33 @@ def _cmd_analyze(args) -> int:
 def _cmd_fuzz(args) -> int:
     spec = get(args.workload)
     faults = parse_fault_plan(args.fault_plan) if args.fault_plan else None
-    campaign = race_directed_test(
-        spec.build(),
-        trials=args.trials,
-        phase1_seeds=spec.phase1_seeds,
-        max_steps=spec.max_steps,
-        jobs=args.jobs,
-        chunk_size=args.chunk_size,
-        stop_on_confirm=args.stop_on_confirm,
-        deadline=args.deadline,
-        retries=args.retries,
-        checkpoint=args.checkpoint,
-        faults=faults,
-    )
+    on_progress = ProgressPrinter(sys.stderr) if args.progress else None
+    with ExitStack() as stack:
+        registry = _enter_collecting(stack, args.metrics_out is not None)
+        campaign = race_directed_test(
+            spec.build(),
+            trials=args.trials,
+            phase1_seeds=spec.phase1_seeds,
+            max_steps=spec.max_steps,
+            jobs=args.jobs,
+            chunk_size=args.chunk_size,
+            stop_on_confirm=args.stop_on_confirm,
+            deadline=args.deadline,
+            retries=args.retries,
+            checkpoint=args.checkpoint,
+            faults=faults,
+            on_progress=on_progress,
+        )
+    if registry is not None:
+        # A checkpoint-resumed campaign accumulates into the prior report
+        # rather than overwriting it (mirrors the journal semantics).
+        write_run_report(
+            args.metrics_out,
+            registry.snapshot(),
+            command="fuzz",
+            workload=spec.name,
+            merge_existing=args.checkpoint is not None,
+        )
     print(campaign)
     if campaign.harmful_pairs:
         print()
@@ -215,6 +281,30 @@ def _cmd_replay(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    try:
+        report = load_run_report(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read run report {args.path}: {exc}", file=sys.stderr)
+        return 2
+    errors = validate_run_report(report)
+    if errors:
+        for error in errors:
+            print(f"invalid run report: {error}", file=sys.stderr)
+        return 2
+    try:
+        if args.prometheus:
+            print(render_prometheus(report), end="")
+        else:
+            print(render_stats_table(report))
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream head/pager closed the pipe early; redirect stdout to
+        # devnull so interpreter shutdown doesn't raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
 def _cmd_table1(args) -> int:
     from repro.harness import table1
 
@@ -247,6 +337,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--scheduler", choices=("random", "default", "rapos"), default="random"
     )
+    run_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write a versioned JSON run report of the execution's metrics",
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     detect_parser = commands.add_parser("detect", help="Phase 1 race detection")
@@ -270,6 +366,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="record-once trace cache: each seed executes at most once "
         "ever (across invocations); reports come from replaying the "
         "stored traces",
+    )
+    detect_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write a versioned JSON run report of the campaign's metrics",
     )
     detect_parser.set_defaults(handler=_cmd_detect)
 
@@ -363,6 +465,19 @@ def build_parser() -> argparse.ArgumentParser:
         "comma-separated phase:index:kind[:attempts[:delay]] entries, "
         "e.g. 'fuzz:3:crash,fuzz:7:hang:1:0.5'",
     )
+    fuzz_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write a versioned JSON run report of the campaign's metrics; "
+        "with --checkpoint, a resumed run merges into the prior report",
+    )
+    fuzz_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print throttled per-pair progress lines (done/total, "
+        "confirms, ETA) to stderr",
+    )
     fuzz_parser.set_defaults(handler=_cmd_fuzz)
 
     replay_parser = commands.add_parser(
@@ -390,6 +505,17 @@ def build_parser() -> argparse.ArgumentParser:
         "schedule and replay that one",
     )
     replay_parser.set_defaults(handler=_cmd_replay)
+
+    stats_parser = commands.add_parser(
+        "stats", help="render a --metrics-out run report"
+    )
+    stats_parser.add_argument("path", help="run-report JSON file")
+    stats_parser.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="emit Prometheus text exposition format instead of tables",
+    )
+    stats_parser.set_defaults(handler=_cmd_stats)
 
     table_parser = commands.add_parser("table1", help="regenerate Table 1")
     table_parser.add_argument("rest", nargs=argparse.REMAINDER)

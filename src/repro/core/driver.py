@@ -29,15 +29,17 @@ the pipeline through the supervisor even at ``jobs=1``.  See
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from typing import Iterable, Sequence
 
 from repro.detectors import RaceReport, make_detector
+from repro.obs import ProgressUpdate, maybe_registry, span
 from repro.runtime.interpreter import Execution
 from repro.runtime.program import Program
 from repro.runtime.statement import StatementPair
 
-from .parallel import ParallelCampaign
+from .parallel import ParallelCampaign, pair_span_name
 from .racefuzzer import RaceFuzzer
 from .results import CampaignReport, PairVerdict
 from .schedulers import RandomScheduler, baseline_scheduler
@@ -118,6 +120,12 @@ def _detect_from_traces(
         for seed in seed_list
     }
     missing = [seed for seed in seed_list if store.get(keys[seed]) is None]
+    m = maybe_registry()
+    if m is not None and len(seed_list) > len(missing):
+        # The probe above bypasses ensure(), so pre-existing traces are
+        # credited here; misses/executions are counted where the recording
+        # happens (inline ensure() or the worker's store).
+        m.inc("trace.store_hits", len(seed_list) - len(missing))
     if missing and (_parallel(jobs) or _supervised(deadline, retries)):
         with ParallelCampaign(jobs=jobs, deadline=deadline, retry=retries) as engine:
             engine.record(
@@ -187,17 +195,18 @@ def detect_races(
 
     merged: dict[str, RaceReport]
     if trace_dir is not None:
-        merged = _detect_from_traces(
-            program,
-            detectors,
-            seed_list,
-            max_steps=max_steps,
-            history_cap=history_cap,
-            trace_dir=trace_dir,
-            jobs=jobs,
-            deadline=deadline,
-            retries=retries,
-        )
+        with span("phase1.detect"):
+            merged = _detect_from_traces(
+                program,
+                detectors,
+                seed_list,
+                max_steps=max_steps,
+                history_cap=history_cap,
+                trace_dir=trace_dir,
+                jobs=jobs,
+                deadline=deadline,
+                retries=retries,
+            )
     elif _parallel(jobs) or _supervised(deadline, retries):
         with ParallelCampaign(jobs=jobs, deadline=deadline, retry=retries) as engine:
             name = _registered_name(program)
@@ -213,23 +222,24 @@ def detect_races(
             }
     else:
         merged = {}
-        for seed in seed_list:
-            observers = {
-                det: make_detector(det, history_cap=history_cap)
-                for det in detectors
-            }
-            execution = Execution(
-                program,
-                seed=seed,
-                observers=list(observers.values()),
-                max_steps=max_steps,
-            )
-            execution.run(RandomScheduler(preemption="every"))
-            for det, observer in observers.items():
-                if det in merged:
-                    merged[det].merge(observer.report)
-                else:
-                    merged[det] = observer.report
+        with span("phase1.detect"):
+            for seed in seed_list:
+                observers = {
+                    det: make_detector(det, history_cap=history_cap)
+                    for det in detectors
+                }
+                execution = Execution(
+                    program,
+                    seed=seed,
+                    observers=list(observers.values()),
+                    max_steps=max_steps,
+                )
+                execution.run(RandomScheduler(preemption="every"))
+                for det, observer in observers.items():
+                    if det in merged:
+                        merged[det].merge(observer.report)
+                    else:
+                        merged[det] = observer.report
     return merged[detector] if single else merged
 
 
@@ -249,6 +259,7 @@ def fuzz_races(
     retries: int | None = None,
     checkpoint=None,
     faults=None,
+    on_progress=None,
 ) -> dict[StatementPair, PairVerdict]:
     """Phase 2: fuzz every pair ``trials`` times; aggregate verdicts.
 
@@ -281,6 +292,7 @@ def fuzz_races(
             retry=retries,
             checkpoint=checkpoint,
             faults=faults,
+            on_progress=on_progress,
         ) as engine:
             return engine.fuzz(
                 _registered_name(program),
@@ -292,17 +304,34 @@ def fuzz_races(
                 max_steps=max_steps,
             )
     verdicts: dict[StatementPair, PairVerdict] = {}
-    for pair in pair_list:
-        fuzzer = RaceFuzzer(
-            pair, preemption=preemption, patience=patience, max_steps=max_steps
-        )
-        verdict = PairVerdict(pair=pair)
-        for trial in range(trials):
-            outcome = fuzzer.run(program, seed=base_seed + trial)
-            verdict.absorb(outcome)
-            if stop_on_confirm and verdict.times_created > 0:
-                break
-        verdicts[pair] = verdict
+    start = time.monotonic() if on_progress is not None else 0.0
+    confirms = 0
+    with span("phase2.fuzz"):
+        for done, pair in enumerate(pair_list, start=1):
+            fuzzer = RaceFuzzer(
+                pair, preemption=preemption, patience=patience,
+                max_steps=max_steps,
+            )
+            verdict = PairVerdict(pair=pair)
+            with span(pair_span_name(pair)):
+                for trial in range(trials):
+                    outcome = fuzzer.run(program, seed=base_seed + trial)
+                    verdict.absorb(outcome)
+                    if stop_on_confirm and verdict.times_created > 0:
+                        break
+            verdicts[pair] = verdict
+            if on_progress is not None:
+                if verdict.times_created > 0:
+                    confirms += 1
+                on_progress(
+                    ProgressUpdate(
+                        phase="fuzz",
+                        done=done,
+                        total=len(pair_list),
+                        confirms=confirms,
+                        elapsed_s=time.monotonic() - start,
+                    )
+                )
     return verdicts
 
 
@@ -324,6 +353,7 @@ def race_directed_test(
     retries: int | None = None,
     checkpoint=None,
     faults=None,
+    on_progress=None,
 ) -> CampaignReport:
     """The full RaceFuzzer pipeline over one program.
 
@@ -348,6 +378,7 @@ def race_directed_test(
             retry=retries,
             checkpoint=checkpoint,
             faults=faults,
+            on_progress=on_progress,
         ) as engine:
             name = _registered_name(program)
             if pairs is None:
@@ -399,6 +430,7 @@ def race_directed_test(
         max_steps=max_steps,
         chunk_size=chunk_size,
         stop_on_confirm=stop_on_confirm,
+        on_progress=on_progress,
     )
     return CampaignReport(program=program.name, phase1=phase1, verdicts=verdicts)
 
@@ -439,11 +471,14 @@ def baseline_exceptions(
                 max_steps=max_steps,
             )
     crashes: Counter = Counter()
-    for run in range(runs):
-        execution = Execution(program, seed=base_seed + run, max_steps=max_steps)
-        result = execution.run(baseline_scheduler(scheduler))
-        for crash in result.crashes:
-            crashes[crash.error_type] += 1
-        if result.deadlock:
-            crashes["Deadlock"] += 1
+    with span("baseline"):
+        for run in range(runs):
+            execution = Execution(
+                program, seed=base_seed + run, max_steps=max_steps
+            )
+            result = execution.run(baseline_scheduler(scheduler))
+            for crash in result.crashes:
+                crashes[crash.error_type] += 1
+            if result.deadlock:
+                crashes["Deadlock"] += 1
     return crashes

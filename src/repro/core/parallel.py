@@ -48,12 +48,14 @@ merge.
 from __future__ import annotations
 
 import json
+import time
 from collections import Counter
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.detectors import RaceReport, make_detector
+from repro.obs import ProgressUpdate, span
 from repro.runtime.interpreter import Execution
 from repro.runtime.statement import StatementPair
 
@@ -69,6 +71,11 @@ R = TypeVar("R")
 def pair_key(pair: StatementPair) -> tuple[str, str]:
     """Stable cross-process identity for a pair (sorting / grouping key)."""
     return (str(pair.first), str(pair.second))
+
+
+def pair_span_name(pair: StatementPair) -> str:
+    """The per-pair wall-clock span's name, stable across processes."""
+    return f"pair.{pair.first.site}|{pair.second.site}"
 
 
 def _validate_chunk_size(chunk_size: int) -> int:
@@ -193,8 +200,9 @@ def run_fuzz_task(task: FuzzTask) -> PairVerdict:
         max_steps=task.max_steps,
     )
     verdict = PairVerdict(pair=task.pair)
-    for seed in range(task.seed_start, task.seed_start + task.count):
-        verdict.absorb(fuzzer.run(program, seed=seed))
+    with span(pair_span_name(task.pair)):
+        for seed in range(task.seed_start, task.seed_start + task.count):
+            verdict.absorb(fuzzer.run(program, seed=seed))
     return verdict
 
 
@@ -234,19 +242,38 @@ def chunk_ranges(base_seed: int, trials: int, chunk_size: int) -> list[tuple[int
 
 
 def pool_map(
-    fn: Callable[[T], R], items: Sequence[T], jobs: int | None = None
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    jobs: int | None = None,
+    *,
+    on_progress: Callable[[int, int], None] | None = None,
 ) -> list[R]:
     """Order-preserving process-pool map; ``jobs=1`` runs inline.
 
     The harness modules (Table 1 rows, the Figure 2 sweep) use this for
     coarse-grained fan-out where every task is one independent measurement
-    and results are consumed positionally.
+    and results are consumed positionally.  ``on_progress(done, total)``
+    fires as tasks complete (completion order; results still merge in
+    submission order).
     """
     jobs = resolve_jobs(jobs)
-    if jobs == 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(fn, items))
+    total = len(items)
+    if jobs == 1 or total <= 1:
+        results = []
+        for index, item in enumerate(items):
+            results.append(fn(item))
+            if on_progress is not None:
+                on_progress(index + 1, total)
+        return results
+    with ProcessPoolExecutor(max_workers=min(jobs, total)) as pool:
+        if on_progress is None:
+            return list(pool.map(fn, items))
+        futures = [pool.submit(fn, item) for item in items]
+        outstanding = set(futures)
+        while outstanding:
+            done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+            on_progress(total - len(outstanding), total)
+        return [future.result() for future in futures]
 
 
 # --------------------------------------------------------------------- #
@@ -305,10 +332,12 @@ class ParallelCampaign:
         checkpoint=None,
         faults: FaultPlan | None = None,
         pool_death_limit: int = 2,
+        on_progress: Callable[[ProgressUpdate], None] | None = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.chunk_size = _validate_chunk_size(chunk_size)
         self.stop_on_confirm = stop_on_confirm
+        self.on_progress = on_progress
         self.supervisor = CampaignSupervisor(
             jobs=self.jobs,
             deadline=deadline,
@@ -331,6 +360,34 @@ class ParallelCampaign:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def _settle_hook(self, phase: str, total: int, count_confirm=None):
+        """An ``on_settle`` callback feeding :attr:`on_progress` updates.
+
+        ``count_confirm(index, result)`` (optional) returns the running
+        number of confirmed pairs to display.
+        """
+        if self.on_progress is None:
+            return None
+        start = time.monotonic()
+        state = {"done": 0}
+
+        def on_settle(index: int, result) -> None:
+            state["done"] += 1
+            confirms = (
+                count_confirm(index, result) if count_confirm is not None else None
+            )
+            self.on_progress(
+                ProgressUpdate(
+                    phase=phase,
+                    done=state["done"],
+                    total=total,
+                    confirms=confirms,
+                    elapsed_s=time.monotonic() - start,
+                )
+            )
+
+        return on_settle
 
     # -- Phase 1 ------------------------------------------------------- #
 
@@ -361,11 +418,13 @@ class ParallelCampaign:
             )
             for seed in seed_list
         ]
-        report = self.supervisor.supervise(
-            "detect",
-            tasks,
-            validate=lambda task, r: isinstance(r, RaceReport),
-        )
+        with span("phase1.detect"):
+            report = self.supervisor.supervise(
+                "detect",
+                tasks,
+                validate=lambda task, r: isinstance(r, RaceReport),
+                on_settle=self._settle_hook("detect", len(tasks)),
+            )
         self.last_report = report
         self.failures.extend(report.failures)
         # Quarantined seeds lose their coverage contribution (recorded on
@@ -404,11 +463,13 @@ class ParallelCampaign:
             )
             for seed in seeds
         ]
-        report = self.supervisor.supervise(
-            "record",
-            tasks,
-            validate=lambda task, r: isinstance(r, str),
-        )
+        with span("phase1.record"):
+            report = self.supervisor.supervise(
+                "record",
+                tasks,
+                validate=lambda task, r: isinstance(r, str),
+                on_settle=self._settle_hook("record", len(tasks)),
+            )
         self.last_report = report
         self.failures.extend(report.failures)
         return list(report.results)
@@ -441,11 +502,13 @@ class ParallelCampaign:
             )
             for start, count in chunk_ranges(base_seed, runs, self.chunk_size)
         ]
-        report = self.supervisor.supervise(
-            "baseline",
-            tasks,
-            validate=lambda task, r: isinstance(r, Counter),
-        )
+        with span("baseline"):
+            report = self.supervisor.supervise(
+                "baseline",
+                tasks,
+                validate=lambda task, r: isinstance(r, Counter),
+                on_settle=self._settle_hook("baseline", len(tasks)),
+            )
         self.last_report = report
         self.failures.extend(report.failures)
         crashes: Counter = Counter()
@@ -506,17 +569,26 @@ class ParallelCampaign:
                     ]
                 return []
 
-        report = self.supervisor.supervise(
-            "fuzz",
-            tasks,
-            validate=lambda task, r: (
-                isinstance(r, PairVerdict) and r.pair == task.pair
-            ),
-            key_fn=fuzz_task_key,
-            encode=lambda verdict: verdict.to_jsonable(),
-            decode=PairVerdict.from_jsonable,
-            on_result=on_result,
-        )
+        confirmed_pairs: set[tuple[str, str]] = set()
+
+        def count_confirm(index: int, verdict) -> int:
+            if isinstance(verdict, PairVerdict) and verdict.times_created > 0:
+                confirmed_pairs.add(pair_key(tasks[index].pair))
+            return len(confirmed_pairs)
+
+        with span("phase2.fuzz"):
+            report = self.supervisor.supervise(
+                "fuzz",
+                tasks,
+                validate=lambda task, r: (
+                    isinstance(r, PairVerdict) and r.pair == task.pair
+                ),
+                key_fn=fuzz_task_key,
+                encode=lambda verdict: verdict.to_jsonable(),
+                decode=PairVerdict.from_jsonable,
+                on_result=on_result,
+                on_settle=self._settle_hook("fuzz", len(tasks), count_confirm),
+            )
         self.last_report = report
         self.failures.extend(report.failures)
         verdicts: dict[StatementPair, PairVerdict] = {
@@ -579,5 +651,6 @@ __all__ = [
     "fuzz_task_key",
     "pool_map",
     "pair_key",
+    "pair_span_name",
     "resolve_jobs",
 ]

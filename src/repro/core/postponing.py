@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.obs import WALL_BUCKETS, maybe_registry
 from repro.runtime.errors import ExecutionLimitExceeded
 from repro.runtime.interpreter import Execution, ExecutionResult
 from repro.runtime.observer import ExecutionObserver
@@ -63,6 +64,12 @@ class FuzzResult:
     forced_releases: int = 0
     #: how many times the livelock watchdog released a thread.
     watchdog_releases: int = 0
+    #: how many times a thread entered the postponed set (lines 14 and 21).
+    postpones: int = 0
+    #: how many line-11 coin flips resolved a created racing situation.
+    coin_flips: int = 0
+    #: largest size the postponed set reached during this trial.
+    postponed_high_water: int = 0
 
     @property
     def created(self) -> bool:
@@ -168,6 +175,9 @@ class PostponingDriver:
                         self._resolve(execution, tid, rivals, postponed, fuzz)
                     else:
                         postponed[tid] = execution.step_count  # line 21
+                        fuzz.postpones += 1
+                        if len(postponed) > fuzz.postponed_high_water:
+                            fuzz.postponed_high_water = len(postponed)
                 else:
                     exempt.discard(tid)
                     self._execute_run(execution, tid, postponed, exempt, fuzz)
@@ -179,6 +189,21 @@ class PostponingDriver:
             execution.result.truncated = True
 
         execution.finish()
+        m = maybe_registry()
+        if m is not None:
+            m.inc("fuzz.trials")
+            if fuzz.created:
+                m.inc("fuzz.trials_created")
+            m.inc("fuzz.races_created", len(fuzz.hits))
+            m.inc("fuzz.postpones", fuzz.postpones)
+            m.inc("fuzz.coin_flips", fuzz.coin_flips)
+            m.inc("fuzz.forced_releases", fuzz.forced_releases)
+            m.inc("fuzz.watchdog_releases", fuzz.watchdog_releases)
+            m.gauge_max("fuzz.postponed_high_water", fuzz.postponed_high_water)
+            m.observe(
+                "fuzz.trial_wall_s", execution.result.wall_time,
+                bounds=WALL_BUCKETS,
+            )
         return fuzz
 
     # --- internals -------------------------------------------------------- #
@@ -196,6 +221,7 @@ class PostponingDriver:
         op = execution.next_op(tid)
         location_name = op.location.describe() if op.location is not None else "?"
         execute_arrival = self.resolve_arrival_first(execution, tid, rivals)
+        fuzz.coin_flips += 1
         for rival in rivals:
             hit = TargetHit(
                 step=execution.step_count,
@@ -211,6 +237,9 @@ class PostponingDriver:
             execution.step(tid)  # line 12; rivals stay postponed
         else:
             postponed[tid] = execution.step_count  # line 14
+            fuzz.postpones += 1
+            if len(postponed) > fuzz.postponed_high_water:
+                fuzz.postponed_high_water = len(postponed)
             for rival in rivals:  # lines 15-18
                 execution.step(rival)
                 postponed.pop(rival, None)

@@ -52,6 +52,8 @@ from dataclasses import dataclass, field
 from random import Random
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.obs import MeteredResult, collecting, maybe_registry
+
 from .faults import MALFORMED_SENTINEL, FaultPlan, FaultSpec, apply_fault
 from .results import TaskFailure
 
@@ -170,6 +172,9 @@ class TaskEnvelope:
     attempt: int
     deadline: float | None = None
     fault: FaultSpec | None = None
+    #: collect metrics in the executing process and ship a snapshot home
+    #: with the result (set when the parent's registry is enabled).
+    metrics: bool = False
 
 
 def _worker_fn(name: str) -> Callable[[Any], Any]:
@@ -191,15 +196,36 @@ def run_envelope(envelope: TaskEnvelope, in_worker: bool = True) -> Any:
 
     Order matters: the fault is applied *inside* the deadline window so
     an injected hang is caught exactly like a real one.
+
+    When ``envelope.metrics`` is set the attempt runs under a fresh
+    enabled registry and returns a :class:`~repro.obs.MeteredResult`;
+    the supervisor merges the snapshot into the parent registry only if
+    the result is accepted, so a retried attempt never double-counts.
     """
     fn = _worker_fn(envelope.fn)
-    with wall_deadline(envelope.deadline):
-        if envelope.fault is not None:
-            apply_fault(envelope.fault, in_worker=in_worker)
-        result = fn(envelope.task)
+    if not envelope.metrics:
+        with wall_deadline(envelope.deadline):
+            if envelope.fault is not None:
+                apply_fault(envelope.fault, in_worker=in_worker)
+            result = fn(envelope.task)
+        if envelope.fault is not None and envelope.fault.kind == "malformed":
+            return MALFORMED_SENTINEL
+        return result
+    with collecting() as registry:
+        with wall_deadline(envelope.deadline):
+            if envelope.fault is not None:
+                apply_fault(envelope.fault, in_worker=in_worker)
+            result = fn(envelope.task)
     if envelope.fault is not None and envelope.fault.kind == "malformed":
-        return MALFORMED_SENTINEL
-    return result
+        result = MALFORMED_SENTINEL
+    return MeteredResult(result=result, snapshot=registry.snapshot())
+
+
+def _unwrap_metered(result: Any) -> tuple[Any, Any]:
+    """Split a possibly metered result into (payload, snapshot-or-None)."""
+    if isinstance(result, MeteredResult):
+        return result.result, result.snapshot
+    return result, None
 
 
 class CheckpointJournal:
@@ -375,6 +401,7 @@ class CampaignSupervisor:
         encode: Callable[[Any], Any] | None = None,
         decode: Callable[[Any], Any] | None = None,
         on_result: Callable[[int, Any], Iterable[int]] | None = None,
+        on_settle: Callable[[int, Any], None] | None = None,
     ) -> SupervisorReport:
         """Run every task to success, quarantine, or cancellation.
 
@@ -383,6 +410,9 @@ class CampaignSupervisor:
         rejects malformed results (rejections are retried like crashes).
         ``on_result(index, result)`` fires on every success and returns
         indices to cancel — the hook behind ``stop_on_confirm``.
+        ``on_settle(index, result_or_None)`` fires once per task when it
+        reaches *any* terminal state (success, cache hit, quarantine,
+        cancellation) — the hook behind live progress reporting.
         """
         n = len(tasks)
         results: list[Any] = [_UNSET] * n
@@ -392,6 +422,13 @@ class CampaignSupervisor:
         cancelled: set[int] = set()
         report = SupervisorReport(results=results)
         keys = [key_fn(task) if key_fn is not None else None for task in tasks]
+        metered = maybe_registry() is not None
+        failed_attempt_kinds: dict[str, int] = {}
+        pool_deaths_before = self.pool_deaths
+
+        def settle(index: int, result: Any) -> None:
+            if on_settle is not None:
+                on_settle(index, result)
 
         journal = (
             CheckpointJournal(self.checkpoint)
@@ -412,15 +449,23 @@ class CampaignSupervisor:
 
         def settle_success(index: int, result: Any, future_of: dict[int, Future]) -> bool:
             """Accept a validated result; returns False if malformed."""
+            result, snapshot = _unwrap_metered(result)
             if validate is not None and not validate(tasks[index], result):
                 return False
             results[index] = result
+            if snapshot is not None:
+                m = maybe_registry()
+                if m is not None:
+                    # Accepted attempts only: a rejected or retried attempt
+                    # drops its partial counters with its result.
+                    m.merge_snapshot(snapshot)
             if journal is not None and keys[index] is not None:
                 journal.append(
                     keys[index], encode(result) if encode is not None else result
                 )
             if on_result is not None:
                 request_cancels(on_result(index, result), future_of)
+            settle(index, result)
             return True
 
         def record_failure(index: int, kind: str, message: str) -> float | None:
@@ -431,6 +476,7 @@ class CampaignSupervisor:
             """
             attempts[index] += 1
             history[index].append(f"{kind}: {message}")
+            failed_attempt_kinds[kind] = failed_attempt_kinds.get(kind, 0) + 1
             if attempts[index] > self.retry.max_retries:
                 failures.append(
                     TaskFailure(
@@ -444,6 +490,7 @@ class CampaignSupervisor:
                     )
                 )
                 results[index] = None
+                settle(index, None)
                 return None
             report.retried += 1
             delay = compute_backoff(self.retry, index, attempts[index] - 1)
@@ -462,6 +509,7 @@ class CampaignSupervisor:
                 attempt=attempts[index],
                 deadline=self.deadline,
                 fault=fault,
+                metrics=metered,
             )
 
         try:
@@ -481,6 +529,7 @@ class CampaignSupervisor:
                         report.cached += 1
                         if on_result is not None:
                             request_cancels(on_result(index, results[index]), {})
+                        settle(index, results[index])
 
             pending: list[tuple[float, int]] = [
                 (0.0, index) for index in range(n) if results[index] is _UNSET
@@ -488,13 +537,13 @@ class CampaignSupervisor:
             if self.jobs > 1 and not self.serial_fallback:
                 pending = self._drain_pool(
                     pending, envelope_for, settle_success, record_failure,
-                    cancelled, results, report,
+                    cancelled, results, report, settle,
                 )
             # Inline path: jobs=1 from the start, serial fallback after
             # repeated pool deaths, or the tail of a degraded pool run.
             self._drain_inline(
                 pending, envelope_for, settle_success, record_failure,
-                cancelled, results,
+                cancelled, results, settle,
             )
         finally:
             if journal is not None:
@@ -507,19 +556,37 @@ class CampaignSupervisor:
         report.pool_deaths = self.pool_deaths
         report.serial_fallback = self.serial_fallback
         report.cancelled = len(cancelled)
+        m = maybe_registry()
+        if m is not None:
+            m.inc("supervisor.batches")
+            m.inc("supervisor.tasks", n)
+            m.inc("supervisor.retries", report.retried)
+            m.inc("supervisor.quarantines", len(failures))
+            m.inc("supervisor.pool_deaths", self.pool_deaths - pool_deaths_before)
+            m.inc("supervisor.cached", report.cached)
+            m.inc("supervisor.cancelled", report.cancelled)
+            m.inc(
+                "supervisor.deadline_kills", failed_attempt_kinds.get("deadline", 0)
+            )
+            for kind in sorted(failed_attempt_kinds):
+                m.inc(
+                    f"supervisor.failed_attempts.{kind}",
+                    failed_attempt_kinds[kind],
+                )
         return report
 
     # -- inline (serial) execution -------------------------------------- #
 
     def _drain_inline(
         self, pending, envelope_for, settle_success, record_failure,
-        cancelled, results,
+        cancelled, results, settle,
     ) -> None:
         while pending:
             pending.sort()
             ready_at, index = pending.pop(0)
             if index in cancelled:
                 results[index] = _CANCELLED
+                settle(index, None)
                 continue
             delay = ready_at - time.monotonic()
             if delay > 0:
@@ -537,7 +604,8 @@ class CampaignSupervisor:
                     continue
                 verdict = record_failure(
                     index, "malformed",
-                    f"validation rejected a {type(result).__name__} result",
+                    f"validation rejected a "
+                    f"{type(_unwrap_metered(result)[0]).__name__} result",
                 )
             if verdict is not None:
                 pending.append((verdict, index))
@@ -546,7 +614,7 @@ class CampaignSupervisor:
 
     def _drain_pool(
         self, pending, envelope_for, settle_success, record_failure,
-        cancelled, results, report,
+        cancelled, results, report, settle,
     ) -> list[tuple[float, int]]:
         """Run the batch on the pool; returns tasks left for inline mode.
 
@@ -590,6 +658,7 @@ class CampaignSupervisor:
             for ready_at, index in pending:
                 if index in cancelled:
                     results[index] = _CANCELLED
+                    settle(index, None)
                     continue
                 if ready_at > now or submit_error is not None:
                     still_waiting.append((ready_at, index))
@@ -642,6 +711,7 @@ class CampaignSupervisor:
                 future_of.pop(index, None)
                 if future.cancelled():
                     results[index] = _CANCELLED
+                    settle(index, None)
                     continue
                 exc = future.exception()
                 if exc is None:
@@ -650,7 +720,8 @@ class CampaignSupervisor:
                         continue
                     ready_at = record_failure(
                         index, "malformed",
-                        f"validation rejected a {type(result).__name__} result",
+                        f"validation rejected a "
+                        f"{type(_unwrap_metered(result)[0]).__name__} result",
                     )
                 elif isinstance(exc, BrokenProcessPool):
                     # The pool died under this future; every other

@@ -33,6 +33,7 @@ from repro.core import (
 )
 from repro.core.results import CampaignReport
 from repro.detectors import HybridRaceDetector
+from repro.obs import MetricsSnapshot, collecting, maybe_registry
 from repro.runtime import Execution
 from repro.workloads.base import WorkloadSpec, table1_workloads
 
@@ -55,6 +56,9 @@ class Table1Row:
     probability: float | None
     deadlocks_found: int
     campaign: CampaignReport = field(repr=False, default=None)
+    #: the row's own metrics snapshot, when the table run collects metrics
+    #: (rows measure in worker processes, so each carries its share home).
+    metrics: MetricsSnapshot | None = field(repr=False, default=None)
 
     @property
     def name(self) -> str:
@@ -147,30 +151,55 @@ def _measure_row_task(payload: tuple) -> Table1Row:
 
     The spec is dropped from the returned row because some registry specs
     hold closure build functions that cannot cross the process boundary;
-    the parent reattaches its own copy.
+    the parent reattaches its own copy.  With ``collect`` the row measures
+    under its own metrics registry and carries the snapshot home — workers
+    don't inherit the parent's registry, so this is how per-row metrics
+    cross the process boundary.
     """
     from repro.workloads.base import get
 
-    name, kwargs = payload
-    row = measure_row(get(name), **kwargs)
+    name, kwargs, collect = payload
+    if collect:
+        with collecting() as registry:
+            row = measure_row(get(name), **kwargs)
+        row.metrics = registry.snapshot()
+    else:
+        row = measure_row(get(name), **kwargs)
     row.spec = None
     return row
 
 
 def build_table(
-    specs: list[WorkloadSpec] | None = None, *, jobs: int = 1, **kwargs
+    specs: list[WorkloadSpec] | None = None,
+    *,
+    jobs: int = 1,
+    collect_metrics: bool = False,
+    on_progress=None,
+    **kwargs,
 ) -> list[Table1Row]:
     """Measure every row; ``jobs=N`` measures rows in worker processes.
 
     Row-level parallelism keeps each row's protocol (and its seed
     discipline) untouched, so the numbers match a serial run — apart from
     the wall-clock columns, which measure a now-contended machine.
+
+    ``collect_metrics`` (implied by an active registry) attaches a
+    :class:`~repro.obs.MetricsSnapshot` to every row and merges them all
+    into the caller's registry, in row order, so serial and parallel
+    table runs report identical counters.  ``on_progress(done, total)``
+    fires as rows finish.
     """
     specs = specs if specs is not None else table1_workloads()
-    payloads = [(spec.name, kwargs) for spec in specs]
-    rows = pool_map(_measure_row_task, payloads, jobs=jobs)
+    collect = collect_metrics or maybe_registry() is not None
+    payloads = [(spec.name, kwargs, collect) for spec in specs]
+    rows = pool_map(
+        _measure_row_task, payloads, jobs=jobs, on_progress=on_progress
+    )
+    parent = maybe_registry()
     for spec, row in zip(specs, rows):
         row.spec = spec
+        if parent is not None and row.metrics is not None:
+            parent.merge_snapshot(row.metrics)
     return rows
 
 
@@ -232,7 +261,9 @@ def render_comparison(rows: list[Table1Row]) -> str:
 
 def main(argv: list[str] | None = None) -> None:
     import argparse
+    from contextlib import ExitStack
 
+    from repro.obs import ProgressPrinter, ProgressUpdate, write_run_report
     from repro.workloads.base import get
 
     parser = argparse.ArgumentParser(description=__doc__)
@@ -254,6 +285,18 @@ def main(argv: list[str] | None = None) -> None:
         help="JSONL journal of completed fuzzing chunks; restart with the "
         "same path to resume a killed table run",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write a versioned JSON run report of the whole table run; "
+        "with --checkpoint, a resumed run merges into the prior report",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a progress line to stderr as each row finishes",
+    )
     args = parser.parse_args(argv)
 
     kwargs = {}
@@ -264,7 +307,38 @@ def main(argv: list[str] | None = None) -> None:
     if args.checkpoint is not None:
         kwargs["checkpoint"] = args.checkpoint
     specs = [get(name) for name in args.names] if args.names else None
-    rows = build_table(specs, jobs=args.jobs, **kwargs)
+
+    on_progress = None
+    if args.progress:
+        printer = ProgressPrinter()
+        started = time.perf_counter()
+
+        def on_progress(done: int, total: int) -> None:
+            printer(
+                ProgressUpdate(
+                    phase="table1",
+                    done=done,
+                    total=total,
+                    elapsed_s=time.perf_counter() - started,
+                )
+            )
+
+    with ExitStack() as stack:
+        registry = (
+            stack.enter_context(collecting())
+            if args.metrics_out is not None
+            else None
+        )
+        rows = build_table(
+            specs, jobs=args.jobs, on_progress=on_progress, **kwargs
+        )
+    if registry is not None:
+        write_run_report(
+            args.metrics_out,
+            registry.snapshot(),
+            command="table1",
+            merge_existing=args.checkpoint is not None,
+        )
     print(render_measured(rows))
     print()
     print(render_comparison(rows))

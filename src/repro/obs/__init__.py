@@ -1,0 +1,83 @@
+"""Observability: metrics, spans, run reports, and live progress.
+
+The package every other layer is instrumented against:
+
+* :mod:`repro.obs.registry` — the :class:`MetricsRegistry` (counters,
+  gauges, fixed-bucket histograms, span timers), its picklable
+  :class:`MetricsSnapshot`, and the process-wide active-registry switch
+  (:func:`collecting` / :func:`maybe_registry`).  Near-zero cost when
+  disabled; deterministic snapshot merge makes serial == parallel hold
+  for metrics like it does for campaign results.
+* :mod:`repro.obs.report` — versioned JSON run reports (``--metrics-out``),
+  schema validation, Prometheus text rendering, and the ``repro stats``
+  table renderer.
+* :mod:`repro.obs.progress` — the ``on_progress`` hook's
+  :class:`ProgressUpdate` value type and the stock throttled printer.
+
+Import discipline: this package imports nothing from ``repro.runtime`` /
+``repro.core`` / ``repro.trace`` (they all import *it*).
+"""
+
+from .progress import ProgressPrinter, ProgressUpdate
+from .registry import (
+    NULL_SPAN,
+    STEP_BUCKETS,
+    WALL_BUCKETS,
+    HistogramData,
+    MeteredResult,
+    MetricsRegistry,
+    MetricsSnapshot,
+    Span,
+    SpanData,
+    collecting,
+    get_registry,
+    maybe_registry,
+    set_registry,
+    span,
+)
+from .report import (
+    REPORT_KIND,
+    REPORT_VERSION,
+    REQUIRED_COUNTERS,
+    build_run_report,
+    environment_metadata,
+    load_run_report,
+    render_prometheus,
+    render_stats_table,
+    snapshot_from_report,
+    validate_run_report,
+    write_run_report,
+)
+
+__all__ = [
+    # registry
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "MeteredResult",
+    "HistogramData",
+    "SpanData",
+    "Span",
+    "NULL_SPAN",
+    "STEP_BUCKETS",
+    "WALL_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "maybe_registry",
+    "span",
+    "collecting",
+    # report
+    "REPORT_VERSION",
+    "REPORT_KIND",
+    "REQUIRED_COUNTERS",
+    "environment_metadata",
+    "build_run_report",
+    "write_run_report",
+    "load_run_report",
+    "snapshot_from_report",
+    "validate_run_report",
+    "render_prometheus",
+    "render_stats_table",
+    # progress
+    "ProgressUpdate",
+    "ProgressPrinter",
+]

@@ -1,0 +1,440 @@
+"""The metrics registry: counters, gauges, histograms, and spans.
+
+Observability in this codebase follows the same discipline as its
+nondeterminism: one explicit owner, deterministic everywhere.  A single
+process-wide :class:`MetricsRegistry` is either *enabled* (every layer
+records into it) or *disabled* (the default — every instrumentation site
+collapses to one ``None``-check, so an uninstrumented campaign pays
+nothing measurable; see ``benchmarks/bench_obs.py``).
+
+Three rules make serial == parallel hold for metrics exactly as it does
+for campaign results:
+
+1. **Snapshots are picklable value objects.**  A worker process collects
+   into its own registry (installed by the supervisor around each task
+   attempt) and ships a :class:`MetricsSnapshot` home with the result.
+2. **Merge is deterministic and associative.**  Counters add, gauges take
+   the max, histograms add bucket-wise (equal bounds required), spans
+   aggregate ``(count, total, min, max)``.  Folding worker snapshots in
+   any order yields the same totals the serial run accumulates in place.
+3. **Only settled work counts.**  The supervisor merges a snapshot only
+   when the attempt's result is accepted, so retried or quarantined
+   attempts never double-count (their partial counters die with them).
+
+Spans time wall-clock phases (``with span("phase2.fuzz"): ...``); they
+are aggregates, not traces — deliberately cheap enough to wrap every
+(pair, chunk) in a campaign.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+#: default histogram bounds for step-count style distributions.
+STEP_BUCKETS: tuple[float, ...] = (
+    10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0,
+)
+
+#: default histogram bounds for wall-clock seconds.
+WALL_BUCKETS: tuple[float, ...] = (0.001, 0.01, 0.1, 1.0, 10.0, 60.0)
+
+
+@dataclass
+class HistogramData:
+    """One fixed-bucket histogram: ``counts[i]`` observations ``<= bounds[i]``,
+    plus one overflow bucket; ``total``/``count`` give the exact mean."""
+
+    bounds: tuple[float, ...]
+    counts: list[int]
+    total: float = 0.0
+    count: int = 0
+
+    @classmethod
+    def empty(cls, bounds: Sequence[float]) -> "HistogramData":
+        bounds = tuple(float(b) for b in bounds)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"histogram bounds must be strictly increasing: {bounds}")
+        return cls(bounds=bounds, counts=[0] * (len(bounds) + 1))
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def add(self, other: "HistogramData") -> None:
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.total += other.total
+        self.count += other.count
+
+    def copy(self) -> "HistogramData":
+        return HistogramData(
+            bounds=self.bounds,
+            counts=list(self.counts),
+            total=self.total,
+            count=self.count,
+        )
+
+    def to_jsonable(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_jsonable(cls, obj: Mapping) -> "HistogramData":
+        return cls(
+            bounds=tuple(float(b) for b in obj["bounds"]),
+            counts=[int(c) for c in obj["counts"]],
+            total=float(obj["total"]),
+            count=int(obj["count"]),
+        )
+
+
+@dataclass
+class SpanData:
+    """Aggregated wall-clock timings of one named span."""
+
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = 0.0
+    max_s: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        if self.count == 0:
+            self.min_s = self.max_s = seconds
+        else:
+            self.min_s = min(self.min_s, seconds)
+            self.max_s = max(self.max_s, seconds)
+        self.count += 1
+        self.total_s += seconds
+
+    def add(self, other: "SpanData") -> None:
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.min_s, self.max_s = other.min_s, other.max_s
+        else:
+            self.min_s = min(self.min_s, other.min_s)
+            self.max_s = max(self.max_s, other.max_s)
+        self.count += other.count
+        self.total_s += other.total_s
+
+    def copy(self) -> "SpanData":
+        return SpanData(
+            count=self.count, total_s=self.total_s,
+            min_s=self.min_s, max_s=self.max_s,
+        )
+
+    def to_jsonable(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+        }
+
+    @classmethod
+    def from_jsonable(cls, obj: Mapping) -> "SpanData":
+        return cls(
+            count=int(obj["count"]),
+            total_s=float(obj["total_s"]),
+            min_s=float(obj["min_s"]),
+            max_s=float(obj["max_s"]),
+        )
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A picklable, mergeable point-in-time copy of a registry.
+
+    Merging is associative and commutative for counters/gauges/histograms
+    (sums, maxes, bucket sums), and associative for spans, so any fold
+    order over worker snapshots produces identical totals.
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, HistogramData] = field(default_factory=dict)
+    spans: dict[str, SpanData] = field(default_factory=dict)
+
+    def merged(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """A new snapshot combining ``self`` and ``other``."""
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        gauges = dict(self.gauges)
+        for name, value in other.gauges.items():
+            gauges[name] = max(gauges.get(name, value), value)
+        histograms = {name: h.copy() for name, h in self.histograms.items()}
+        for name, h in other.histograms.items():
+            if name in histograms:
+                histograms[name].add(h)
+            else:
+                histograms[name] = h.copy()
+        spans = {name: s.copy() for name, s in self.spans.items()}
+        for name, s in other.spans.items():
+            if name in spans:
+                spans[name].add(s)
+            else:
+                spans[name] = s.copy()
+        return MetricsSnapshot(
+            counters=counters, gauges=gauges, histograms=histograms, spans=spans
+        )
+
+    def to_jsonable(self) -> dict:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: h.to_jsonable()
+                for name, h in sorted(self.histograms.items())
+            },
+            "spans": {
+                name: s.to_jsonable() for name, s in sorted(self.spans.items())
+            },
+        }
+
+    @classmethod
+    def from_jsonable(cls, obj: Mapping) -> "MetricsSnapshot":
+        return cls(
+            counters={str(k): int(v) for k, v in obj.get("counters", {}).items()},
+            gauges={str(k): float(v) for k, v in obj.get("gauges", {}).items()},
+            histograms={
+                str(k): HistogramData.from_jsonable(v)
+                for k, v in obj.get("histograms", {}).items()
+            },
+            spans={
+                str(k): SpanData.from_jsonable(v)
+                for k, v in obj.get("spans", {}).items()
+            },
+        )
+
+
+@dataclass(frozen=True)
+class MeteredResult:
+    """A worker task's result bundled with the metrics it accumulated.
+
+    The supervisor unwraps this before validation/journaling, merging the
+    snapshot into the parent registry only when the result is accepted —
+    the mechanism behind retry-safe, serial-equivalent parallel metrics.
+    """
+
+    result: Any
+    snapshot: MetricsSnapshot
+
+
+class _NullSpan:
+    """The disabled-mode span: a reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """Times one ``with`` block into its registry's span aggregate."""
+
+    __slots__ = ("_registry", "name", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self.name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._registry.observe_span(self.name, time.perf_counter() - self._start)
+
+
+class MetricsRegistry:
+    """Counters, gauges, histograms, and spans under one roof.
+
+    A disabled registry turns every method into a no-op, and the
+    :func:`maybe_registry` accessor returns ``None`` for it so hot loops
+    (the interpreter's ``step``) can hoist the check out entirely.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, HistogramData] = {}
+        self._spans: dict[str, SpanData] = {}
+
+    # -- recording ------------------------------------------------------ #
+
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to the counter ``name`` (created at 0)."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise gauge ``name`` to ``value`` if it is a new high-water mark."""
+        if not self.enabled:
+            return
+        current = self._gauges.get(name)
+        if current is None or value > current:
+            self._gauges[name] = value
+
+    def observe(
+        self, name: str, value: float, *, bounds: Sequence[float] = STEP_BUCKETS
+    ) -> None:
+        """Record ``value`` into the fixed-bucket histogram ``name``."""
+        if not self.enabled:
+            return
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = HistogramData.empty(bounds)
+        histogram.observe(value)
+
+    def span(self, name: str):
+        """A context manager timing its block into span ``name``."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name)
+
+    def observe_span(self, name: str, seconds: float) -> None:
+        """Record one completed timing for span ``name``."""
+        if not self.enabled:
+            return
+        data = self._spans.get(name)
+        if data is None:
+            data = self._spans[name] = SpanData()
+        data.observe(seconds)
+
+    # -- reading / merging ---------------------------------------------- #
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float | None:
+        return self._gauges.get(name)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """A picklable copy of everything recorded so far."""
+        return MetricsSnapshot(
+            counters=dict(self._counters),
+            gauges=dict(self._gauges),
+            histograms={k: h.copy() for k, h in self._histograms.items()},
+            spans={k: s.copy() for k, s in self._spans.items()},
+        )
+
+    def merge_snapshot(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a worker's snapshot into this registry (deterministic)."""
+        if not self.enabled:
+            return
+        for name, value in snapshot.counters.items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        for name, value in snapshot.gauges.items():
+            self.gauge_max(name, value)
+        for name, histogram in snapshot.histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                self._histograms[name] = histogram.copy()
+            else:
+                mine.add(histogram)
+        for name, span_data in snapshot.spans.items():
+            mine = self._spans.get(name)
+            if mine is None:
+                self._spans[name] = span_data.copy()
+            else:
+                mine.add(span_data)
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._spans.clear()
+
+
+# --------------------------------------------------------------------- #
+# The process-wide active registry.
+# --------------------------------------------------------------------- #
+
+#: metrics are off by default; `collecting()` swaps in an enabled registry.
+_active: MetricsRegistry = MetricsRegistry(enabled=False)
+
+
+def get_registry() -> MetricsRegistry:
+    """The active registry (possibly disabled)."""
+    return _active
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the active one; returns the previous."""
+    global _active
+    previous, _active = _active, registry
+    return previous
+
+
+def maybe_registry() -> MetricsRegistry | None:
+    """The active registry if enabled, else ``None``.
+
+    The hot-path idiom: fetch once per unit of work, branch on ``None``
+    per event.  A disabled campaign's entire metrics cost is that branch.
+    """
+    return _active if _active.enabled else None
+
+
+def span(name: str):
+    """Module-level convenience: time a block into the active registry."""
+    return _active.span(name)
+
+
+@contextmanager
+def collecting(
+    registry: MetricsRegistry | None = None,
+) -> Iterator[MetricsRegistry]:
+    """Enable metrics collection for a block; restores the prior registry.
+
+    This is both the user-facing switch (the CLI wraps a campaign in it
+    when ``--metrics-out`` is given) and the worker-side scope the
+    supervisor installs around each task attempt.
+    """
+    registry = registry if registry is not None else MetricsRegistry(enabled=True)
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "MeteredResult",
+    "HistogramData",
+    "SpanData",
+    "Span",
+    "NULL_SPAN",
+    "STEP_BUCKETS",
+    "WALL_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "maybe_registry",
+    "span",
+    "collecting",
+]

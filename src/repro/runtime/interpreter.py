@@ -50,6 +50,8 @@ from .events import (
     ThreadEndEvent,
     ThreadStartEvent,
 )
+from repro.obs import STEP_BUCKETS, maybe_registry
+
 from .heap import Heap
 from .locks import LockTable
 from .observer import ExecutionObserver, ObserverChain
@@ -140,6 +142,13 @@ class Execution:
         self.observer = ObserverChain(observers)
         self._observing = bool(self.observer.observers)
         self._observe_mem = self._observing and self.observer.wants_mem_events
+        # Metrics: resolved once per execution so the per-step cost with
+        # metrics disabled is a single None-check.  Per-op tallies stay in
+        # plain locals and fold into the registry at finish().
+        self._metrics = maybe_registry()
+        self._m_kinds: dict[str, int] | None = {} if self._metrics else None
+        self._m_switches = 0
+        self._m_last_tid = -1
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -172,6 +181,26 @@ class Execution:
         self.result.wall_time = time.perf_counter() - self._start_time
         if self._observing:
             self.observer.on_finish(self)
+        m = self._metrics
+        if m is not None:
+            m.inc("interp.executions")
+            m.inc("interp.steps", self.ops_executed)
+            m.inc("interp.context_switches", self._m_switches)
+            lock_ops = 0
+            for kind, count in self._m_kinds.items():
+                m.inc(f"interp.ops.{kind}", count)
+                if kind in ("lock", "unlock", "reacquire"):
+                    lock_ops += count
+            m.inc("interp.lock_ops", lock_ops)
+            m.inc("interp.crashes", len(self.result.crashes))
+            if self.result.deadlock:
+                m.inc("interp.deadlocks")
+            if self.result.truncated:
+                m.inc("interp.truncated")
+            m.observe(
+                "interp.steps_per_execution", self.ops_executed,
+                bounds=STEP_BUCKETS,
+            )
         return self.result
 
     def run(self, scheduler) -> ExecutionResult:
@@ -270,6 +299,14 @@ class Execution:
             )
         self.step_count += 1
         self.ops_executed += 1
+        if self._m_kinds is not None:
+            if tid != self._m_last_tid:
+                if self._m_last_tid >= 0:
+                    self._m_switches += 1
+                self._m_last_tid = tid
+            op = ts.pending
+            kind = op.kind.value if op is not None else "wake"
+            self._m_kinds[kind] = self._m_kinds.get(kind, 0) + 1
 
         if ts.status is ThreadStatus.SLEEPING:
             self._wake_from_sleep(ts)

@@ -188,6 +188,11 @@ def record_execution(
     execution, which is how the equivalence tests compare online and
     offline analysis of the *same* schedule with a single run.
     """
+    from repro.obs import maybe_registry
+
+    m = maybe_registry()
+    if m is not None:
+        m.inc("trace.records")
     recorder = TraceRecorder(path, scheduler=scheduler_spec)
     execution = Execution(
         program,

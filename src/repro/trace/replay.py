@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
+from repro.obs import maybe_registry
 from repro.runtime.events import Event
 from repro.runtime.observer import ExecutionObserver, ObserverChain
 
@@ -79,6 +80,10 @@ def analyze_trace(
     built = {
         name: make_detector(name, history_cap=history_cap) for name in detectors
     }
+    m = maybe_registry()
+    if m is not None:
+        m.inc("trace.replays")
+        m.inc("trace.analyses", len(built))
     replay_events(reader, list(built.values()), program=reader.header.program)
     return {name: observer.report for name, observer in built.items()}
 

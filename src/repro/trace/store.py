@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
+from repro.obs import maybe_registry
 from repro.runtime.program import Program
 
 from .io import TraceReader, record_execution, remove_partial
@@ -131,11 +132,16 @@ class TraceStore:
         doing record-once/analyze-many should replay the returned trace
         rather than rely on them.
         """
+        m = maybe_registry()
         cached = self.get(key)
         if cached is not None:
             self.stats.hits += 1
+            if m is not None:
+                m.inc("trace.store_hits")
             return cached
         self.stats.misses += 1
+        if m is not None:
+            m.inc("trace.store_misses")
         final = self.path_for(key)
         # Keep the gz suffix decision on the temp name so the writer picks
         # the right codec, then publish atomically.
@@ -157,6 +163,9 @@ class TraceStore:
         except BaseException:
             remove_partial(tmp)
             raise
+        if m is not None:
+            m.inc("trace.store_executions")
+            m.inc("trace.store_bytes", final.stat().st_size)
         return final
 
     def open(self, key: TraceKey) -> TraceReader | None:

@@ -1,0 +1,116 @@
+"""Serial == parallel for metrics, exactly as for campaign results.
+
+Workload counters (``interp.*``, ``fuzz.*``, ``trace.*``) must be
+identical between a serial run and a process-pool run on the same seeds:
+workers collect into their own registries and the supervisor folds
+accepted snapshots deterministically.  ``supervisor.*`` counters compare
+between supervised serial and supervised parallel (an unsupervised serial
+run has no supervisor), and wall-clock aggregates (spans, ``*_wall_s``
+histograms) are machine-dependent and excluded.
+"""
+
+import pytest
+
+from repro.core import detect_races, fuzz_races
+from repro.obs import collecting
+from repro.workloads import get
+
+WORKLOADS = ["figure1", "philosophers"]
+
+#: histograms whose values are wall-clock seconds (not schedule-determined).
+TIMING_HISTOGRAMS = ("fuzz.trial_wall_s",)
+
+
+def _workload_counters(snapshot):
+    return {
+        name: value
+        for name, value in snapshot.counters.items()
+        if name.split(".", 1)[0] in ("interp", "fuzz", "trace")
+    }
+
+
+def _campaign_snapshot(name, *, jobs, supervised=False, trials=6):
+    spec = get(name)
+    kwargs = {"retries": 1} if supervised else {}
+    with collecting() as registry:
+        phase1 = detect_races(
+            spec.build(), seeds=spec.phase1_seeds, max_steps=spec.max_steps
+        )
+        fuzz_races(
+            spec.build(),
+            phase1.pairs,
+            trials=trials,
+            max_steps=spec.max_steps,
+            jobs=jobs,
+            chunk_size=2,
+            **kwargs,
+        )
+    return registry.snapshot()
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+class TestSerialParallelEquivalence:
+    def test_workload_counters_equal(self, workload):
+        serial = _campaign_snapshot(workload, jobs=1)
+        parallel = _campaign_snapshot(workload, jobs=2)
+        assert _workload_counters(serial) == _workload_counters(parallel)
+
+    def test_gauges_equal(self, workload):
+        serial = _campaign_snapshot(workload, jobs=1)
+        parallel = _campaign_snapshot(workload, jobs=2)
+        assert serial.gauges == parallel.gauges
+
+    def test_schedule_histograms_equal(self, workload):
+        serial = _campaign_snapshot(workload, jobs=1)
+        parallel = _campaign_snapshot(workload, jobs=2)
+        for name, histogram in serial.histograms.items():
+            if name in TIMING_HISTOGRAMS:
+                # bucket boundaries depend on wall clock; only the
+                # observation count is schedule-determined.
+                assert parallel.histograms[name].count == histogram.count
+            else:
+                assert parallel.histograms[name] == histogram
+
+    def test_supervisor_counters_equal_when_both_supervised(self, workload):
+        serial = _campaign_snapshot(workload, jobs=1, supervised=True)
+        parallel = _campaign_snapshot(workload, jobs=2, supervised=True)
+        supervisor = lambda s: {  # noqa: E731
+            name: value
+            for name, value in s.counters.items()
+            if name.startswith("supervisor.")
+        }
+        assert supervisor(serial) == supervisor(parallel)
+        assert _workload_counters(serial) == _workload_counters(parallel)
+
+
+class TestTable1Metrics:
+    def test_rows_carry_snapshots_and_parent_merges(self):
+        from repro.harness.table1 import build_table
+        from repro.workloads.base import get as get_spec
+
+        specs = [get_spec("figure1")]
+        with collecting() as registry:
+            rows = build_table(
+                specs, jobs=1, trials=4, baseline_runs=5, timing_runs=1
+            )
+        assert rows[0].metrics is not None
+        assert rows[0].metrics.counters["fuzz.trials"] > 0
+        # the parent registry absorbed the row's snapshot
+        assert (
+            registry.counter("fuzz.trials")
+            == rows[0].metrics.counters["fuzz.trials"]
+        )
+
+    def test_serial_equals_parallel_table(self):
+        from repro.harness.table1 import build_table
+        from repro.workloads.base import get as get_spec
+
+        specs = [get_spec("figure1"), get_spec("vector")]
+        kwargs = {"trials": 4, "baseline_runs": 5, "timing_runs": 1}
+        with collecting() as serial_registry:
+            build_table(list(specs), jobs=1, **kwargs)
+        with collecting() as parallel_registry:
+            build_table(list(specs), jobs=2, **kwargs)
+        assert _workload_counters(
+            serial_registry.snapshot()
+        ) == _workload_counters(parallel_registry.snapshot())

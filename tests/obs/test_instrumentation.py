@@ -1,0 +1,179 @@
+"""Layer instrumentation: the counters each subsystem is expected to emit."""
+
+import pytest
+
+from repro.core import detect_races, fuzz_races, race_directed_test
+from repro.obs import collecting
+from repro.trace import TraceStore, analyze_trace, detect_key
+from repro.workloads import figure1, get
+
+
+class TestInterpreterCounters:
+    def test_execution_counters(self):
+        with collecting() as registry:
+            detect_races(figure1.build(), seeds=range(2), max_steps=20_000)
+        snapshot = registry.snapshot()
+        assert snapshot.counters["interp.executions"] == 2
+        assert snapshot.counters["interp.steps"] > 0
+        assert snapshot.counters["interp.context_switches"] > 0
+        assert snapshot.counters["interp.lock_ops"] > 0
+        # per-kind op counters sum to the step total
+        kind_total = sum(
+            value
+            for name, value in snapshot.counters.items()
+            if name.startswith("interp.ops.")
+        )
+        assert kind_total == snapshot.counters["interp.steps"]
+        h = snapshot.histograms["interp.steps_per_execution"]
+        assert h.count == 2
+
+    def test_disabled_run_records_nothing(self):
+        report = detect_races(figure1.build(), seeds=range(2), max_steps=20_000)
+        assert report.pairs  # campaign itself unaffected
+        with collecting() as registry:
+            pass
+        assert registry.snapshot().counters == {}
+
+
+class TestFuzzCounters:
+    def test_postponing_counters(self):
+        with collecting() as registry:
+            phase1 = detect_races(
+                figure1.build(), seeds=range(3), max_steps=20_000
+            )
+            verdicts = fuzz_races(
+                figure1.build(), phase1.pairs, trials=5, max_steps=20_000
+            )
+        snapshot = registry.snapshot()
+        trials = sum(v.trials for v in verdicts.values())
+        assert snapshot.counters["fuzz.trials"] == trials
+        assert snapshot.counters["fuzz.races_created"] == sum(
+            v.times_created for v in verdicts.values()
+        )
+        # the real pair postpones at its racing statements every trial
+        assert snapshot.counters["fuzz.postpones"] > 0
+        assert snapshot.counters["fuzz.coin_flips"] > 0
+        assert snapshot.gauges["fuzz.postponed_high_water"] >= 1
+        assert snapshot.histograms["fuzz.trial_wall_s"].count == trials
+
+    def test_campaign_spans_present(self):
+        with collecting() as registry:
+            race_directed_test(
+                figure1.build(),
+                trials=4,
+                phase1_seeds=range(3),
+                max_steps=20_000,
+            )
+        spans = registry.snapshot().spans
+        assert "phase1.detect" in spans
+        assert "phase2.fuzz" in spans
+        pair_spans = [name for name in spans if name.startswith("pair.")]
+        assert len(pair_spans) == 2  # figure1's two potential pairs
+        for name in pair_spans:
+            assert spans[name].count >= 1
+
+
+class TestSupervisorCounters:
+    def test_supervised_run_counts_tasks(self):
+        spec = get("figure1")
+        with collecting() as registry:
+            phase1 = detect_races(
+                spec.build(), seeds=spec.phase1_seeds, max_steps=spec.max_steps
+            )
+            fuzz_races(
+                spec.build(),
+                phase1.pairs,
+                trials=4,
+                max_steps=spec.max_steps,
+                jobs=1,
+                retries=1,
+                chunk_size=2,
+            )
+        counters = registry.snapshot().counters
+        assert counters["supervisor.batches"] >= 1
+        assert counters["supervisor.tasks"] >= len(phase1.pairs)
+        assert counters["supervisor.retries"] == 0
+        assert counters["supervisor.quarantines"] == 0
+
+    def test_retries_counted_under_faults(self):
+        from repro.core import parse_fault_plan
+
+        spec = get("figure1")
+        with collecting() as registry:
+            race_directed_test(
+                spec.build(),
+                trials=4,
+                phase1_seeds=spec.phase1_seeds,
+                max_steps=spec.max_steps,
+                retries=2,
+                faults=parse_fault_plan("fuzz:0:crash"),
+            )
+        counters = registry.snapshot().counters
+        assert counters["supervisor.retries"] >= 1
+        assert counters["supervisor.failed_attempts.crash"] >= 1
+
+
+class TestTraceCounters:
+    def test_store_hits_misses_and_bytes(self, tmp_path):
+        spec = get("figure1")
+        store = TraceStore(tmp_path)
+        key = detect_key(spec.name, 0, max_steps=spec.max_steps)
+        with collecting() as registry:
+            store.ensure(key, spec.build())  # miss: records
+            store.ensure(key, spec.build())  # hit
+        counters = registry.snapshot().counters
+        assert counters["trace.store_misses"] == 1
+        assert counters["trace.store_hits"] == 1
+        assert counters["trace.store_executions"] == 1
+        assert counters["trace.records"] == 1
+        assert counters["trace.store_bytes"] > 0
+
+    def test_analyze_counts_replays(self, tmp_path):
+        spec = get("figure1")
+        store = TraceStore(tmp_path)
+        key = detect_key(spec.name, 0, max_steps=spec.max_steps)
+        path = store.ensure(key, spec.build())
+        with collecting() as registry:
+            analyze_trace(path, ("hybrid", "lockset"))
+        counters = registry.snapshot().counters
+        assert counters["trace.replays"] == 1
+        assert counters["trace.analyses"] == 2
+
+    def test_metrics_match_store_stats(self, tmp_path):
+        """The registry's trace counters agree with StoreStats."""
+        spec = get("figure1")
+        store = TraceStore(tmp_path)
+        with collecting() as registry:
+            for seed in range(3):
+                key = detect_key(spec.name, seed, max_steps=spec.max_steps)
+                store.ensure(key, spec.build())
+            store.ensure(
+                detect_key(spec.name, 0, max_steps=spec.max_steps), spec.build()
+            )
+        counters = registry.snapshot().counters
+        assert counters["trace.store_hits"] == store.stats.hits == 1
+        assert counters["trace.store_misses"] == store.stats.misses == 3
+        assert counters["trace.store_executions"] == store.stats.executions == 3
+
+
+class TestResultsUnchanged:
+    @pytest.mark.parametrize("collect", [False, True])
+    def test_campaign_verdicts_identical_with_metrics(self, collect):
+        def campaign():
+            return race_directed_test(
+                figure1.build(),
+                trials=6,
+                phase1_seeds=range(3),
+                max_steps=20_000,
+            )
+
+        baseline = campaign()
+        if collect:
+            with collecting():
+                observed = campaign()
+        else:
+            observed = campaign()
+        assert observed.real_pairs == baseline.real_pairs
+        assert {
+            p: v.times_created for p, v in observed.verdicts.items()
+        } == {p: v.times_created for p, v in baseline.verdicts.items()}

@@ -1,0 +1,160 @@
+"""Run reports: schema, validation, renderers, checkpoint merge."""
+
+import json
+
+from repro.obs import (
+    REPORT_KIND,
+    REPORT_VERSION,
+    REQUIRED_COUNTERS,
+    MetricsRegistry,
+    build_run_report,
+    environment_metadata,
+    load_run_report,
+    render_prometheus,
+    render_stats_table,
+    snapshot_from_report,
+    validate_run_report,
+    write_run_report,
+)
+
+
+def _snapshot():
+    registry = MetricsRegistry()
+    registry.inc("fuzz.trials", 7)
+    registry.inc("interp.steps", 100)
+    registry.gauge_max("fuzz.postponed_high_water", 2)
+    registry.observe("interp.steps_per_execution", 50)
+    registry.observe_span("phase2.fuzz", 0.5)
+    return registry.snapshot()
+
+
+class TestBuild:
+    def test_report_shape(self):
+        report = build_run_report(_snapshot(), command="fuzz", workload="figure1")
+        assert report["kind"] == REPORT_KIND
+        assert report["version"] == REPORT_VERSION
+        assert report["command"] == "fuzz"
+        assert report["workload"] == "figure1"
+        assert report["counters"]["fuzz.trials"] == 7
+        assert report["env"]["python"]
+
+    def test_required_counters_zero_filled(self):
+        report = build_run_report(_snapshot(), command="fuzz")
+        for key in REQUIRED_COUNTERS:
+            assert key in report["counters"]
+        assert report["counters"]["supervisor.retries"] == 0
+
+    def test_environment_metadata_keys(self):
+        env = environment_metadata()
+        for key in ("python", "implementation", "platform", "machine", "cpu_count"):
+            assert key in env
+
+    def test_extra_payload(self):
+        report = build_run_report(_snapshot(), command="fuzz", extra={"note": "x"})
+        assert report["extra"] == {"note": "x"}
+
+    def test_report_is_json_serializable(self):
+        report = build_run_report(_snapshot(), command="fuzz")
+        json.dumps(report)
+
+
+class TestValidate:
+    def test_valid_report_passes(self):
+        report = build_run_report(_snapshot(), command="fuzz")
+        assert validate_run_report(report) == []
+
+    def test_rejects_non_object(self):
+        assert validate_run_report([1, 2]) != []
+        assert validate_run_report("x") != []
+
+    def test_rejects_wrong_kind_and_version(self):
+        report = build_run_report(_snapshot(), command="fuzz")
+        bad = dict(report, kind="something-else")
+        assert any("kind" in e for e in validate_run_report(bad))
+        future = dict(report, version=REPORT_VERSION + 1)
+        assert any("newer" in e for e in validate_run_report(future))
+
+    def test_rejects_missing_required_counter(self):
+        report = build_run_report(_snapshot(), command="fuzz")
+        counters = dict(report["counters"])
+        del counters["fuzz.trials"]
+        errors = validate_run_report(dict(report, counters=counters))
+        assert any("fuzz.trials" in e for e in errors)
+
+    def test_rejects_negative_counter(self):
+        report = build_run_report(_snapshot(), command="fuzz")
+        counters = dict(report["counters"], **{"fuzz.trials": -1})
+        errors = validate_run_report(dict(report, counters=counters))
+        assert any("non-negative" in e for e in errors)
+
+    def test_rejects_inconsistent_histogram(self):
+        report = build_run_report(_snapshot(), command="fuzz")
+        h = dict(report["histograms"]["interp.steps_per_execution"])
+        h["count"] = h["count"] + 5
+        errors = validate_run_report(
+            dict(report, histograms={"interp.steps_per_execution": h})
+        )
+        assert any("sum" in e for e in errors)
+
+
+class TestWriteLoad:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "report.json"
+        written = write_run_report(
+            path, _snapshot(), command="fuzz", workload="figure1"
+        )
+        loaded = load_run_report(path)
+        assert loaded == written
+        assert validate_run_report(loaded) == []
+        assert snapshot_from_report(loaded).counters["fuzz.trials"] == 7
+
+    def test_overwrite_by_default(self, tmp_path):
+        path = tmp_path / "report.json"
+        write_run_report(path, _snapshot(), command="fuzz")
+        write_run_report(path, _snapshot(), command="fuzz")
+        assert load_run_report(path)["counters"]["fuzz.trials"] == 7
+
+    def test_merge_existing_accumulates(self, tmp_path):
+        path = tmp_path / "report.json"
+        write_run_report(path, _snapshot(), command="fuzz")
+        write_run_report(path, _snapshot(), command="fuzz", merge_existing=True)
+        report = load_run_report(path)
+        assert report["counters"]["fuzz.trials"] == 14
+        assert report["counters"]["interp.steps"] == 200
+        # gauges take the max, not the sum
+        assert report["gauges"]["fuzz.postponed_high_water"] == 2
+        assert report["spans"]["phase2.fuzz"]["count"] == 2
+        assert validate_run_report(report) == []
+
+    def test_merge_existing_ignores_missing_prior(self, tmp_path):
+        path = tmp_path / "report.json"
+        write_run_report(path, _snapshot(), command="fuzz", merge_existing=True)
+        assert load_run_report(path)["counters"]["fuzz.trials"] == 7
+
+    def test_merge_existing_ignores_invalid_prior(self, tmp_path):
+        path = tmp_path / "report.json"
+        path.write_text("{not json")
+        write_run_report(path, _snapshot(), command="fuzz", merge_existing=True)
+        assert load_run_report(path)["counters"]["fuzz.trials"] == 7
+
+
+class TestRender:
+    def test_prometheus_format(self):
+        report = build_run_report(_snapshot(), command="fuzz")
+        text = render_prometheus(report)
+        assert "# TYPE repro_fuzz_trials counter" in text
+        assert "repro_fuzz_trials 7" in text
+        assert "repro_fuzz_postponed_high_water 2" in text
+        assert 'repro_interp_steps_per_execution_bucket{le="100"} 1' in text
+        assert 'repro_interp_steps_per_execution_bucket{le="+Inf"} 1' in text
+        assert 'repro_span_seconds_count{span="phase2.fuzz"} 1' in text
+        assert text.endswith("\n")
+
+    def test_stats_table(self):
+        report = build_run_report(_snapshot(), command="fuzz", workload="figure1")
+        text = render_stats_table(report)
+        assert "command: fuzz" in text
+        assert "workload: figure1" in text
+        assert "fuzz.trials" in text
+        assert "phase2.fuzz" in text
+        assert "counters" in text and "spans (seconds)" in text
