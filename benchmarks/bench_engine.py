@@ -4,9 +4,22 @@ Not a paper artifact, but the denominator of every Table 1 ratio: ops/sec
 of the engine with no observers, with a tracing observer, and across the
 synchronization primitives.  Useful for spotting regressions that would
 distort the timing columns.
+
+Run as a module (``python benchmarks/bench_engine.py``) to measure the
+three interpreter configurations the hot-path overhaul targets — full
+(tracing observer), disabled-observer, and Phase-2 fast mode — and write
+the steps/sec record to ``BENCH_engine.json`` (same env-metadata shape as
+``BENCH_obs.json``).  The pytest-benchmark tests below remain the
+fine-grained per-primitive view.
 """
 
-from repro.core import DefaultScheduler, RandomScheduler
+import json
+import os
+import tempfile
+import time
+
+from repro.core import DefaultScheduler, RaceFuzzer, RandomScheduler
+from repro.obs import environment_metadata
 from repro.runtime import (
     Barrier,
     EventTrace,
@@ -18,6 +31,7 @@ from repro.runtime import (
     ops,
     spawn_all,
 )
+from repro.runtime.statement import Statement, StatementPair
 
 
 def _counter_program(iterations=200, threads=2, locked=True):
@@ -125,6 +139,130 @@ def test_wait_notify_throughput(benchmark):
     assert not result.deadlock
 
 
+def _racing_program(iterations=300):
+    """A labelled racing pair at the end of heavy off-pair memory traffic —
+    the shape fast mode is built for (few target statements, many noise
+    accesses an observer would otherwise have to swallow)."""
+
+    def make():
+        x = SharedVar("x", 0)
+        y = SharedVar("y", 0)
+
+        def writer():
+            for _ in range(iterations):
+                current = yield y.read()
+                yield y.write(current + 1)
+            yield x.write(1, label="racy-w")
+
+        def reader():
+            for _ in range(iterations):
+                current = yield y.read()
+                yield y.write(current + 1)
+            yield x.read(label="racy-r")
+
+        def main():
+            handles = yield from spawn_all([writer, reader], prefix="t")
+            yield from join_all(handles)
+
+        return main()
+
+    return Program(make, name="bench-racing")
+
+
+RACING_PAIR = StatementPair(Statement(label="racy-w"), Statement(label="racy-r"))
+
+
+def _measure(run_once, repeats):
+    """Best steps/sec over ``repeats`` timed calls of ``run_once``."""
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        steps = run_once()
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, steps / elapsed)
+    return best
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=1000)
+    parser.add_argument("--executions", type=int, default=10)
+    parser.add_argument("--trials", type=int, default=10)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--output", default="BENCH_engine.json")
+    args = parser.parse_args(argv)
+
+    program = _counter_program(iterations=args.iterations, locked=False)
+
+    def engine_run(observed):
+        total = 0
+        for seed in range(args.executions):
+            observers = [EventTrace()] if observed else []
+            result = Execution(program, seed=seed, observers=observers).run(
+                RandomScheduler("sync")
+            )
+            total += result.steps
+        return total
+
+    racing = _racing_program(iterations=args.iterations // 2)
+
+    def fuzz_run(fast_mode, trace_dir):
+        # The record-while-fuzzing configuration (Phase 2 with a
+        # TraceRecorder attached) — the case fast mode exists for:
+        # suppressed MemEvents skip construction *and* serialization.
+        from repro.trace.io import TraceRecorder
+
+        recorder = TraceRecorder(
+            os.path.join(trace_dir, f"bench-{int(fast_mode)}.jsonl")
+        )
+        fuzzer = RaceFuzzer(
+            RACING_PAIR, observers=[recorder], fast_mode=fast_mode
+        )
+        total = 0
+        for seed in range(args.trials):
+            total += fuzzer.run(racing, seed=seed).result.steps
+        return total
+
+    with tempfile.TemporaryDirectory() as trace_dir:
+        # Warm every arm once so all measure hot (interned, precompiled)
+        # code.
+        engine_run(False), engine_run(True)
+        fuzz_run(False, trace_dir), fuzz_run(True, trace_dir)
+
+        disabled = _measure(lambda: engine_run(False), args.repeats)
+        full = _measure(lambda: engine_run(True), args.repeats)
+        fuzz_full = _measure(lambda: fuzz_run(False, trace_dir), args.repeats)
+        fuzz_fast = _measure(lambda: fuzz_run(True, trace_dir), args.repeats)
+
+    record = {
+        "benchmark": "engine-hot-path",
+        "workload": "counter / bench-racing",
+        "iterations": args.iterations,
+        "executions": args.executions,
+        "trials": args.trials,
+        "repeats": args.repeats,
+        "env": environment_metadata(),
+        # Pre-overhaul reference on this container (same bench, same
+        # workload, measured at the commit before the dispatch rewrite).
+        "baseline_disabled_steps_per_s": 64266,
+        "disabled_observer_steps_per_s": round(disabled),
+        "full_observer_steps_per_s": round(full),
+        "speedup_vs_baseline": round(disabled / 64266, 2),
+        "fuzz_observer": "trace-recorder",
+        "fuzz_full_mode_steps_per_s": round(fuzz_full),
+        "fuzz_fast_mode_steps_per_s": round(fuzz_fast),
+        "fast_mode_speedup": round(fuzz_fast / fuzz_full, 2) if fuzz_full else None,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"wrote {args.output}")
+
+
 def test_barrier_throughput(benchmark):
     def make():
         barrier = Barrier(3)
@@ -148,3 +286,7 @@ def test_barrier_throughput(benchmark):
 
     result = benchmark(run)
     assert not result.deadlock
+
+
+if __name__ == "__main__":
+    main()

@@ -205,6 +205,7 @@ def _cmd_fuzz(args) -> int:
             retries=args.retries,
             checkpoint=args.checkpoint,
             faults=faults,
+            fast_mode=args.fast_mode,
             on_progress=on_progress,
         )
     if registry is not None:
@@ -429,6 +430,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=25,
         help="Phase-2 trials per worker task",
+    )
+    fuzz_parser.add_argument(
+        "--fast-mode",
+        action="store_true",
+        help="Phase-2 throughput lever: emit MemEvents only for the racing "
+        "statements themselves (sync/thread events unaffected; verdicts "
+        "identical either way)",
     )
     fuzz_parser.add_argument(
         "--stop-on-confirm",

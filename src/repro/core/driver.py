@@ -252,6 +252,7 @@ def fuzz_races(
     preemption: str = "sync",
     patience: int = 400,
     max_steps: int = 1_000_000,
+    fast_mode: bool = False,
     jobs: int = 1,
     chunk_size: int = 25,
     stop_on_confirm: bool = False,
@@ -262,6 +263,12 @@ def fuzz_races(
     on_progress=None,
 ) -> dict[StatementPair, PairVerdict]:
     """Phase 2: fuzz every pair ``trials`` times; aggregate verdicts.
+
+    ``fast_mode=True`` turns on the interpreter's sync-only fast path:
+    MemEvents are emitted only for the racing statements themselves (all
+    lock/thread/msg events are unaffected).  Verdicts are identical in
+    either mode — Phase 2 reads ops directly, not events — so this is
+    purely a throughput lever for campaigns with observers attached.
 
     ``jobs=N`` (``None``/``0`` = one worker per core, ``1`` = serial,
     negatives rejected) splits each pair's seed range into
@@ -302,6 +309,7 @@ def fuzz_races(
                 preemption=preemption,
                 patience=patience,
                 max_steps=max_steps,
+                fast_mode=fast_mode,
             )
     verdicts: dict[StatementPair, PairVerdict] = {}
     start = time.monotonic() if on_progress is not None else 0.0
@@ -310,7 +318,7 @@ def fuzz_races(
         for done, pair in enumerate(pair_list, start=1):
             fuzzer = RaceFuzzer(
                 pair, preemption=preemption, patience=patience,
-                max_steps=max_steps,
+                max_steps=max_steps, fast_mode=fast_mode,
             )
             verdict = PairVerdict(pair=pair)
             with span(pair_span_name(pair)):
@@ -345,6 +353,7 @@ def race_directed_test(
     preemption: str = "sync",
     patience: int = 400,
     max_steps: int = 1_000_000,
+    fast_mode: bool = False,
     pairs: Iterable[StatementPair] | None = None,
     jobs: int = 1,
     chunk_size: int = 25,
@@ -364,7 +373,8 @@ def race_directed_test(
     The resilience options (``deadline``, ``retries``, ``checkpoint``,
     ``faults`` — see :func:`fuzz_races`) apply to both phases; tasks that
     fail every retry end up on ``CampaignReport.failures`` instead of
-    aborting the campaign.
+    aborting the campaign.  ``fast_mode`` applies to Phase 2 only (see
+    :func:`fuzz_races`); Phase 1 detectors need every MemEvent.
     """
     if _parallel(jobs) or _supervised(deadline, retries, checkpoint, faults):
         # One engine (and one worker pool) spans both phases, so that
@@ -391,6 +401,7 @@ def race_directed_test(
                     preemption=preemption,
                     patience=patience,
                     max_steps=max_steps,
+                    fast_mode=fast_mode,
                 )
             pair_list = list(pairs)
             phase1 = RaceReport.from_pairs(pair_list, program=name)
@@ -402,6 +413,7 @@ def race_directed_test(
                 preemption=preemption,
                 patience=patience,
                 max_steps=max_steps,
+                fast_mode=fast_mode,
             )
             return CampaignReport(
                 program=name,
@@ -428,6 +440,7 @@ def race_directed_test(
         preemption=preemption,
         patience=patience,
         max_steps=max_steps,
+        fast_mode=fast_mode,
         chunk_size=chunk_size,
         stop_on_confirm=stop_on_confirm,
         on_progress=on_progress,

@@ -140,6 +140,8 @@ class FuzzTask:
     preemption: str = "sync"
     patience: int = 400
     max_steps: int = 1_000_000
+    #: suppress off-pair MemEvent emission in the worker (verdict-neutral).
+    fast_mode: bool = False
 
 
 def _build_workload(name: str):
@@ -198,6 +200,7 @@ def run_fuzz_task(task: FuzzTask) -> PairVerdict:
         preemption=task.preemption,
         patience=task.patience,
         max_steps=task.max_steps,
+        fast_mode=task.fast_mode,
     )
     verdict = PairVerdict(pair=task.pair)
     with span(pair_span_name(task.pair)):
@@ -211,7 +214,10 @@ def fuzz_task_key(task: FuzzTask) -> str:
 
     Covers every field that affects the chunk's verdict, so a journaled
     result is only reused by a campaign running the *same* protocol; any
-    parameter change misses the cache and re-executes.
+    parameter change misses the cache and re-executes.  ``fast_mode`` is
+    deliberately excluded: it only gates MemEvent emission to observers
+    (workers attach none), so verdicts are identical either way and old
+    journals stay valid.
     """
     first, second = task.pair.first, task.pair.second
     return json.dumps(
@@ -529,6 +535,7 @@ class ParallelCampaign:
         preemption: str = "sync",
         patience: int = 400,
         max_steps: int = 1_000_000,
+        fast_mode: bool = False,
     ) -> dict[StatementPair, PairVerdict]:
         """Fuzz every pair over chunked seed ranges; merge chunk verdicts.
 
@@ -550,6 +557,7 @@ class ParallelCampaign:
                         preemption=preemption,
                         patience=patience,
                         max_steps=max_steps,
+                        fast_mode=fast_mode,
                     )
                 )
         on_result = None
@@ -612,6 +620,7 @@ class ParallelCampaign:
         preemption: str = "sync",
         patience: int = 400,
         max_steps: int = 1_000_000,
+        fast_mode: bool = False,
     ) -> CampaignReport:
         """Both phases end to end, against one registered workload."""
         phase1 = self.detect(
@@ -628,6 +637,7 @@ class ParallelCampaign:
             preemption=preemption,
             patience=patience,
             max_steps=max_steps,
+            fast_mode=fast_mode,
         )
         return CampaignReport(
             program=workload,

@@ -99,6 +99,7 @@ class PostponingDriver:
         patience: int = 400,
         max_steps: int = 1_000_000,
         observers: Iterable[ExecutionObserver] = (),
+        fast_mode: bool = False,
     ) -> None:
         if preemption not in ("every", "sync"):
             raise ValueError(f"unknown preemption mode: {preemption!r}")
@@ -106,8 +107,23 @@ class PostponingDriver:
         self.patience = patience
         self.max_steps = max_steps
         self.observers = tuple(observers)
+        self.fast_mode = fast_mode
 
     # --- hooks for subclasses ------------------------------------------- #
+
+    def fast_mode_statements(self):
+        """Statements whose MemEvents fast mode keeps (None = no filter).
+
+        In fast mode the execution suppresses MemEvent emission for every
+        statement *outside* this set; sync/thread/msg events are always
+        emitted.  Subclasses that know their target statements (RaceFuzzer's
+        racing pair) override this.  The base returns ``None`` — fast mode
+        is then a no-op filter-wise — so drivers without a statement-shaped
+        target stay correct.  (Named ``fast_mode_statements`` rather than
+        ``target_statements`` because DeadlockFuzzer already uses the latter
+        as an attribute.)
+        """
+        return None
 
     def is_target(self, execution: Execution, tid: int) -> bool:
         """Is ``tid``'s next statement in the target set? (line 6)"""
@@ -138,7 +154,11 @@ class PostponingDriver:
     def run(self, program: Program, seed: int = 0) -> FuzzResult:
         """Execute ``program`` once under the active random scheduler."""
         execution = Execution(
-            program, seed=seed, observers=self.observers, max_steps=self.max_steps
+            program,
+            seed=seed,
+            observers=self.observers,
+            max_steps=self.max_steps,
+            mem_filter=self.fast_mode_statements() if self.fast_mode else None,
         )
         execution.start()
         fuzz = FuzzResult(result=execution.result)
@@ -256,8 +276,16 @@ class PostponingDriver:
         execution.step(tid)
         if self.preemption != "sync":
             return
-        while execution.is_enabled(tid) and execution.ops_executed < self.max_steps:
-            op = execution.next_op(tid)
+        # The burst loop runs once per step of every trial, observed or
+        # not, so it fetches the thread state once per iteration instead
+        # of going through is_enabled/next_op (a fetch each).
+        threads = execution.threads
+        max_steps = self.max_steps
+        while execution.ops_executed < max_steps:
+            ts = threads.get(tid)
+            if ts is None or not execution._enabled(ts):
+                return
+            op = ts.pending
             if op is None or op.is_sync:
                 return
             if self.is_target(execution, tid):

@@ -43,12 +43,14 @@ class RaceFuzzer(PostponingDriver):
         patience: int = 400,
         max_steps: int = 1_000_000,
         observers=(),
+        fast_mode: bool = False,
     ) -> None:
         super().__init__(
             preemption=preemption,
             patience=patience,
             max_steps=max_steps,
             observers=observers,
+            fast_mode=fast_mode,
         )
         if isinstance(race_set, StatementPair):
             statements: set[Statement] = {race_set.first, race_set.second}
@@ -58,15 +60,37 @@ class RaceFuzzer(PostponingDriver):
             raise ValueError("RaceFuzzer needs a non-empty racing statement set")
         self.race_set = frozenset(statements)
 
+    def fast_mode_statements(self):
+        """Fast mode keeps MemEvents only for the racing statements.
+
+        Postponing/resolution logic reads ops and statements directly (never
+        through events), so verdicts are identical in either mode; only
+        observers see fewer MemEvents.  See INTERNALS "Interpreter fast
+        path" for what is and is not suppressed.
+        """
+        return self.race_set
+
     # --- Algorithm 1, line 6 -------------------------------------------- #
 
     def is_target(self, execution: Execution, tid: int) -> bool:
         """Line 6 of Algorithm 1: is the thread's next statement in the
-        racing pair (and a memory access)?"""
-        op = execution.next_op(tid)
+        racing pair (and a memory access)?
+
+        Probed on every step of the sync-preemption burst loop, so it does
+        a single thread-state fetch and reuses the cached pending
+        statement instead of going through ``next_op``/``next_stmt``
+        (which would fetch the state twice more).
+        """
+        ts = execution.threads.get(tid)
+        if ts is None:
+            return False
+        op = ts.pending
         if op is None or not op.is_mem:
             return False
-        return execution.next_stmt(tid) in self.race_set
+        stmt = ts.pending_stmt
+        if stmt is None:
+            stmt = execution._stmt(ts)
+        return stmt in self.race_set
 
     # --- Algorithm 2 ------------------------------------------------------ #
 
@@ -99,7 +123,9 @@ def fuzz_pair(
     """Run RaceFuzzer once per seed for one racing pair.
 
     This is the paper's experimental unit: "we ran RaceFuzzer 100 times for
-    each racing pair of statements" (Section 5.2).
+    each racing pair of statements" (Section 5.2).  Pass ``fast_mode=True``
+    to suppress MemEvent emission for statements outside the pair (sync and
+    thread events are unaffected; verdicts are identical either way).
     """
     fuzzer = RaceFuzzer(pair, **kwargs)
     return [fuzzer.run(program, seed=seed) for seed in seeds]

@@ -55,6 +55,28 @@ class RandomScheduler(Scheduler):
         self._last = enabled[execution.rng.randrange(len(enabled))]
         return self._last
 
+    def continuation(self, execution: Execution) -> int | None:
+        """Fast-path hook for :meth:`Execution.run` (see its docstring).
+
+        Draw-equivalent to :meth:`choose`: it returns the previous thread
+        exactly when ``choose`` would have returned it *without touching
+        the rng* (sync mode, still enabled, next op not a sync op), and
+        ``None`` otherwise — in which case ``run`` falls back to the full
+        enabled-list path and ``choose`` draws as before.  Schedules are
+        therefore byte-identical; only the enabled-list construction is
+        skipped on uncontended runs of thread-local ops.
+        """
+        if self.preemption != "sync":
+            return None
+        last = self._last
+        if last is None:
+            return None
+        ts = execution.threads[last]
+        op = ts.pending
+        if op is not None and not op.is_sync and execution._enabled(ts):
+            return last
+        return None
+
 
 class DefaultScheduler(Scheduler):
     """Run-to-block FIFO handoff, approximating an unloaded JVM scheduler.

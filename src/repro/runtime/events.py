@@ -9,6 +9,9 @@ thread-lifecycle events, which the detectors and the harness use.
 Every event carries ``step``, the global step index at which it occurred,
 so observers can reconstruct the total order of the execution.
 
+All event classes are slotted: campaigns construct millions of them, and
+``__slots__`` dataclasses allocate no per-instance ``__dict__``.
+
 Events are pure value objects: every payload (statements, locations, lock
 ids, errors) is a frozen dataclass of primitives, so a whole event stream
 pickles and round-trips through the :mod:`repro.trace` codec losslessly.
@@ -34,7 +37,7 @@ class Access(enum.Enum):
     WRITE = "write"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ErrorInfo:
     """Structured, picklable description of an uncaught simulated exception.
 
@@ -64,7 +67,7 @@ class ErrorInfo:
         return self.describe()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """Base class for runtime events."""
 
@@ -72,7 +75,7 @@ class Event:
     tid: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemEvent(Event):
     """``MEM(s, m, a, t, L)``: thread ``tid`` accessed location ``location``
     at statement ``stmt`` holding the set of locks ``locks_held``."""
@@ -87,21 +90,21 @@ class MemEvent(Event):
         return self.access is Access.WRITE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SndEvent(Event):
     """``SND(g, t)``: thread ``tid`` sent the message ``msg_id``."""
 
     msg_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RcvEvent(Event):
     """``RCV(g, t)``: thread ``tid`` received the message ``msg_id``."""
 
     msg_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AcquireEvent(Event):
     """Thread ``tid`` acquired ``lock`` (outermost acquisition only)."""
 
@@ -109,7 +112,7 @@ class AcquireEvent(Event):
     stmt: Statement | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReleaseEvent(Event):
     """Thread ``tid`` released ``lock`` (outermost release only)."""
 
@@ -117,7 +120,7 @@ class ReleaseEvent(Event):
     stmt: Statement | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ThreadStartEvent(Event):
     """A new thread ``child`` was spawned by ``tid`` (tid 0's start has tid 0)."""
 
@@ -125,7 +128,7 @@ class ThreadStartEvent(Event):
     name: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ThreadEndEvent(Event):
     """Thread ``tid`` terminated; ``error`` describes its uncaught
     exception, if any."""
@@ -133,7 +136,7 @@ class ThreadEndEvent(Event):
     error: ErrorInfo | None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ErrorEvent(Event):
     """An uncaught simulated exception escaped thread ``tid`` at ``stmt``."""
 
@@ -141,7 +144,7 @@ class ErrorEvent(Event):
     error: ErrorInfo
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeadlockEvent(Event):
     """Execution ended with live but permanently blocked threads."""
 

@@ -20,14 +20,38 @@ two-stage wakeup (wait set → monitor re-acquisition), join, sleep on an
 abstract clock (1 tick = 1 executed op), interrupts that raise
 ``InterruptedException`` inside waiting/sleeping victims, and
 thread-as-crash-domain (an uncaught exception kills only its thread).
+
+Hot-path design (see INTERNALS "Interpreter fast path")
+-------------------------------------------------------
+Every campaign bottoms out in :meth:`Execution.step`, so the per-step work
+is kept to integer/identity operations:
+
+* **Precompiled dispatch** — each :class:`~repro.runtime.ops.Op` carries a
+  dense ``kind_index`` resolved at construction; ``step`` indexes a tuple
+  of bound handlers instead of hashing an enum into a dict.
+* **Lazy interned statements** — the yield site is captured as a raw
+  ``(code, line)`` pair at resume time (two attribute reads); the interned
+  :class:`~repro.runtime.statement.Statement` is materialized only when an
+  event, a race-set probe, or a crash report actually needs it.
+* **Observer tiers** — ``_observing`` (any observer) and ``_observe_mem``
+  (an observer that wants MemEvents) are resolved once per execution; with
+  no observer attached, a step allocates no event objects at all, and the
+  ``locks.held_by()`` frozenset snapshot is only built when a MemEvent is
+  actually constructed.
+* **Sync-ops-only fast mode** — ``mem_filter`` restricts MemEvent emission
+  to a statement set (RaceFuzzer passes the racing pair, per the paper's
+  Section 5 observation that Phase 2 only needs sync ops plus the two
+  racing statements); lock/thread/msg events flow unchanged.
+* **Int-indexed metrics** — per-kind tallies live in a plain list indexed
+  by ``kind_index`` and fold into the registry once, at ``finish()``.
 """
 
 from __future__ import annotations
 
-import inspect
 import random
 import time
 from dataclasses import dataclass, field
+from types import GeneratorType
 from typing import Any, Iterable
 
 from .errors import (
@@ -55,29 +79,51 @@ from repro.obs import STEP_BUCKETS, maybe_registry
 from .heap import Heap
 from .locks import LockTable
 from .observer import ExecutionObserver, ObserverChain
-from .ops import Op, OpKind
+from .ops import KIND_VALUES, Op, OpKind
 from .program import Program, resolve_tid
-from .statement import Statement, statement_from_generator
+from .statement import (
+    FINISHED_STATEMENT,
+    Statement,
+    label_statement,
+    statement_at,
+)
 from .thread import ThreadState, ThreadStatus
 
+# Status singletons hoisted to module scope: `is` checks against locals
+# beat repeated enum attribute lookups in the per-step code below.
+_RUNNABLE = ThreadStatus.RUNNABLE
+_WAITING = ThreadStatus.WAITING
+_SLEEPING = ThreadStatus.SLEEPING
+_TERMINATED = ThreadStatus.TERMINATED
 
-@dataclass(frozen=True)
+#: index of the synthetic "wake" tally slot (after the real op kinds).
+_WAKE_SLOT = len(KIND_VALUES)
+
+
+@dataclass(frozen=True, slots=True)
 class ThreadCrash:
-    """An uncaught simulated exception that terminated a thread."""
+    """An uncaught simulated exception that terminated a thread.
+
+    ``error`` is the structured, picklable :class:`ErrorInfo` form — never
+    the live ``BaseException`` — so an :class:`ExecutionResult` can always
+    cross a process-pool boundary (tracebacks don't pickle, and custom
+    exception constructors break naive re-raising).  The live exception
+    object stays available in-process on ``ThreadState.error``.
+    """
 
     tid: int
     name: str
-    error: BaseException
+    error: ErrorInfo
     stmt: Statement | None
     step: int = 0
 
     @property
     def error_type(self) -> str:
-        return type(self.error).__name__
+        return self.error.type
 
     def __str__(self) -> str:
         where = f" at {self.stmt.site}" if self.stmt else ""
-        return f"{self.name}#{self.tid}: {self.error_type}({self.error}){where}"
+        return f"{self.name}#{self.tid}: {self.error.type}({self.error.message}){where}"
 
 
 @dataclass
@@ -118,6 +164,7 @@ class Execution:
         seed: int = 0,
         observers: Iterable[ExecutionObserver] = (),
         max_steps: int = 1_000_000,
+        mem_filter: Iterable[Statement] | None = None,
     ) -> None:
         self.program = program
         self.seed = seed
@@ -125,6 +172,10 @@ class Execution:
         self.heap = Heap()
         self.locks = LockTable()
         self.threads: dict[int, ThreadState] = {}
+        #: alive threads in tid order (tids are assigned monotonically and
+        #: threads are only ever appended, so list order == tid order; dead
+        #: threads are removed so enabled scans touch only live ones).
+        self._live: list[ThreadState] = []
         #: the abstract clock: advances by 1 per executed op and jumps
         #: forward when only sleepers remain.
         self.step_count = 0
@@ -142,11 +193,26 @@ class Execution:
         self.observer = ObserverChain(observers)
         self._observing = bool(self.observer.observers)
         self._observe_mem = self._observing and self.observer.wants_mem_events
+        #: fast mode: when set, MemEvents are emitted only for statements in
+        #: this set (lock/thread/msg events are never filtered).
+        self._mem_filter = (
+            frozenset(mem_filter) if mem_filter is not None else None
+        )
+        # Dispatch: one bound handler per OpKind, indexed by Op.kind_index.
+        self._dispatch = tuple(
+            getattr(self, name) for name in _HANDLER_NAMES
+        )
+        # Direct alias of the heap's cell dict: READ/WRITE are the two
+        # hottest ops and go straight to dict.get / dict.__setitem__.
+        self._cells = self.heap._cells
         # Metrics: resolved once per execution so the per-step cost with
-        # metrics disabled is a single None-check.  Per-op tallies stay in
-        # plain locals and fold into the registry at finish().
+        # metrics disabled is a single None-check.  Per-kind tallies are a
+        # plain list indexed by kind_index (plus one trailing "wake" slot)
+        # and fold into the registry at finish().
         self._metrics = maybe_registry()
-        self._m_kinds: dict[str, int] | None = {} if self._metrics else None
+        self._m_counts: list[int] | None = (
+            [0] * (_WAKE_SLOT + 1) if self._metrics else None
+        )
         self._m_switches = 0
         self._m_last_tid = -1
 
@@ -169,7 +235,7 @@ class Execution:
         if self._finished:
             return self.result
         self._finished = True
-        alive = [ts.tid for ts in self.threads.values() if ts.alive]
+        alive = [ts.tid for ts in self._live]
         if alive and not self.result.truncated:
             self.result.deadlock = True
             self.result.deadlocked_tids = tuple(alive)
@@ -187,10 +253,12 @@ class Execution:
             m.inc("interp.steps", self.ops_executed)
             m.inc("interp.context_switches", self._m_switches)
             lock_ops = 0
-            for kind, count in self._m_kinds.items():
-                m.inc(f"interp.ops.{kind}", count)
-                if kind in ("lock", "unlock", "reacquire"):
-                    lock_ops += count
+            for index, count in enumerate(self._m_counts):
+                if count:
+                    kind = KIND_VALUES[index] if index < _WAKE_SLOT else "wake"
+                    m.inc(f"interp.ops.{kind}", count)
+                    if kind in ("lock", "unlock", "reacquire"):
+                        lock_ops += count
             m.inc("interp.lock_ops", lock_ops)
             m.inc("interp.crashes", len(self.result.crashes))
             if self.result.deadlock:
@@ -204,41 +272,66 @@ class Execution:
         return self.result
 
     def run(self, scheduler) -> ExecutionResult:
-        """Convenience loop: let ``scheduler`` pick among enabled threads."""
+        """Convenience loop: let ``scheduler`` pick among enabled threads.
+
+        Schedulers may expose an optional ``continuation(execution)`` hook
+        returning the tid to step next without consulting the full enabled
+        list, or ``None`` to fall back to ``choose``.  The hook must be
+        draw-equivalent to ``choose`` (same rng consumption), so schedules
+        are byte-identical with or without it; it exists purely to skip
+        building the enabled list on uncontended runs-of-steps.
+        """
         self.start()
+        continuation = getattr(scheduler, "continuation", None)
+        choose = scheduler.choose
+        schedulable = self.schedulable
+        step = self.step
+        max_steps = self.max_steps
         while True:
-            enabled = self.schedulable()
+            if continuation is not None and self.ops_executed < max_steps:
+                tid = continuation(self)
+                if tid is not None:
+                    step(tid)
+                    continue
+            enabled = schedulable()
             if not enabled:
                 break
-            self.step(scheduler.choose(self, enabled))
+            step(choose(self, enabled))
         return self.finish()
 
     # ------------------------------------------------------------------ #
     # state inspection (the paper's Enabled / Alive / NextStmt)
 
-    def is_enabled(self, tid: int) -> bool:
-        """Can ``tid`` make progress if stepped right now?"""
-        ts = self.threads[tid]
-        if ts.status is ThreadStatus.TERMINATED:
-            return False
-        if ts.status is ThreadStatus.WAITING:
+    def _enabled(self, ts: ThreadState) -> bool:
+        """Enabledness of one thread; the hot kernel behind is_enabled()."""
+        status = ts.status
+        if status is _RUNNABLE:
+            op = ts.pending
+            if op is None:
+                return False
+            blocking = op.blocking
+            if blocking == 0:
+                return True
+            if blocking == 1:  # LOCK / REACQUIRE
+                return self.locks.can_acquire(op.lock, ts.tid)
+            # JOIN: enabled once the target is dead.
+            return not self.threads[resolve_tid(op.target)].alive
+        if status is _WAITING:
             # A timed wait becomes enabled at its deadline: the next step
             # transitions it to monitor re-acquisition (Object.wait(long)).
             return bool(ts.wake_at) and self.step_count >= ts.wake_at
-        if ts.status is ThreadStatus.SLEEPING:
+        if status is _SLEEPING:
             return ts.deliver_interrupt or self.step_count >= ts.wake_at
-        op = ts.pending
-        if op is None:
-            return False
-        if op.kind in (OpKind.LOCK, OpKind.REACQUIRE):
-            return self.locks.can_acquire(op.lock, tid)
-        if op.kind is OpKind.JOIN:
-            return not self.threads[resolve_tid(op.target)].alive
-        return True
+        return False  # TERMINATED
+
+    def is_enabled(self, tid: int) -> bool:
+        """Can ``tid`` make progress if stepped right now?"""
+        return self._enabled(self.threads[tid])
 
     def enabled_tids(self) -> list[int]:
         """All currently enabled thread ids, in tid order."""
-        return [tid for tid, ts in sorted(self.threads.items()) if self.is_enabled(tid)]
+        enabled = self._enabled
+        return [ts.tid for ts in self._live if enabled(ts)]
 
     def schedulable(self) -> list[int]:
         """Enabled tids, fast-forwarding the clock past an all-sleeping lull.
@@ -250,10 +343,10 @@ class Execution:
         if not enabled:
             deadlines = [
                 ts.wake_at
-                for ts in self.threads.values()
+                for ts in self._live
                 if (
-                    ts.status is ThreadStatus.SLEEPING
-                    or (ts.status is ThreadStatus.WAITING and ts.wake_at)
+                    ts.status is _SLEEPING
+                    or (ts.status is _WAITING and ts.wake_at)
                 )
             ]
             if deadlines:
@@ -268,7 +361,7 @@ class Execution:
 
     def alive_tids(self) -> list[int]:
         """Threads not yet terminated — the paper's ``Alive(s)``."""
-        return [tid for tid, ts in sorted(self.threads.items()) if ts.alive]
+        return [ts.tid for ts in self._live]
 
     def next_op(self, tid: int) -> Op | None:
         """The pending (yielded, unexecuted) op of ``tid`` — ``NextStmt``."""
@@ -276,7 +369,7 @@ class Execution:
 
     def next_stmt(self, tid: int) -> Statement | None:
         """Statement identity of the pending op (``NextStmt``'s ``s``)."""
-        return self.threads[tid].pending_stmt
+        return self._stmt(self.threads[tid])
 
     def fresh_msg(self) -> int:
         """Allocate a unique happens-before message id (``g`` in SND/RCV)."""
@@ -291,7 +384,7 @@ class Execution:
         ts = self.threads.get(tid)
         if ts is None:
             raise SchedulerMisuse(f"unknown thread {tid}")
-        if not self.is_enabled(tid):
+        if not self._enabled(ts):
             raise SchedulerMisuse(f"thread {ts} is not enabled")
         if self.ops_executed >= self.max_steps:
             raise ExecutionLimitExceeded(
@@ -299,35 +392,42 @@ class Execution:
             )
         self.step_count += 1
         self.ops_executed += 1
-        if self._m_kinds is not None:
-            if tid != self._m_last_tid:
-                if self._m_last_tid >= 0:
-                    self._m_switches += 1
-                self._m_last_tid = tid
+        counts = self._m_counts
+        if counts is not None and tid != self._m_last_tid:
+            if self._m_last_tid >= 0:
+                self._m_switches += 1
+            self._m_last_tid = tid
+        status = ts.status
+        if status is _RUNNABLE:
             op = ts.pending
-            kind = op.kind.value if op is not None else "wake"
-            self._m_kinds[kind] = self._m_kinds.get(kind, 0) + 1
-
-        if ts.status is ThreadStatus.SLEEPING:
+            index = op.kind_index
+            if counts is not None:
+                counts[index] += 1
+            self._dispatch[index](ts, op)
+        elif status is _SLEEPING:
+            # Wakeups execute no user op; they are tallied under the
+            # synthetic "wake" kind here, where the wake actually happens
+            # (a pending SLEEP/WAIT op must not be double-counted).
+            if counts is not None:
+                counts[_WAKE_SLOT] += 1
             self._wake_from_sleep(ts)
-            return
-        if ts.status is ThreadStatus.WAITING:
+        else:  # _WAITING (timed wait at its deadline)
+            if counts is not None:
+                counts[_WAKE_SLOT] += 1
             self._wake_from_timed_wait(ts)
-            return
-        op = ts.pending
-        handler = _DISPATCH[op.kind]
-        handler(self, ts, op)
 
     # --- op handlers ---------------------------------------------------- #
 
     def _do_read(self, ts: ThreadState, op: Op) -> None:
-        value = self.heap.read(op.location, op.default)
-        self._emit_mem(ts, op, Access.READ)
+        value = self._cells.get(op.location, op.default)
+        if self._observe_mem:
+            self._emit_mem(ts, op, Access.READ)
         self._advance(ts, value=value)
 
     def _do_write(self, ts: ThreadState, op: Op) -> None:
-        self.heap.write(op.location, op.value)
-        self._emit_mem(ts, op, Access.WRITE)
+        self._cells[op.location] = op.value
+        if self._observe_mem:
+            self._emit_mem(ts, op, Access.WRITE)
         self._advance(ts, value=None)
 
     def _do_lock(self, ts: ThreadState, op: Op) -> None:
@@ -336,7 +436,7 @@ class Execution:
             self.observer.on_event(
                 AcquireEvent(
                     step=self.step_count, tid=ts.tid, lock=op.lock,
-                    stmt=ts.pending_stmt,
+                    stmt=self._stmt(ts),
                 )
             )
         self._advance(ts, value=None)
@@ -347,7 +447,7 @@ class Execution:
             self.observer.on_event(
                 ReleaseEvent(
                     step=self.step_count, tid=ts.tid, lock=op.lock,
-                    stmt=ts.pending_stmt,
+                    stmt=self._stmt(ts),
                 )
             )
         self._advance(ts, value=None)
@@ -364,11 +464,11 @@ class Execution:
             self.observer.on_event(
                 ReleaseEvent(
                     step=self.step_count, tid=ts.tid, lock=op.lock,
-                    stmt=ts.pending_stmt,
+                    stmt=self._stmt(ts),
                 )
             )
         self.locks.park_waiter(op.lock, ts.tid)
-        ts.status = ThreadStatus.WAITING
+        ts.status = _WAITING
         ts.waiting_on = op.lock
         ts.wait_depth = depth
         # pending stays the WAIT op (not executable) until notify/interrupt.
@@ -394,7 +494,7 @@ class Execution:
 
     def _do_spawn(self, ts: ThreadState, op: Op) -> None:
         gen = op.func(*op.args)
-        if not inspect.isgenerator(gen):
+        if not isinstance(gen, GeneratorType):
             raise EngineError(
                 f"spawn target {op.func!r} must return a generator "
                 f"(a thread body), got {type(gen).__name__}"
@@ -416,7 +516,7 @@ class Execution:
             ts.interrupt_flag = False
             self._advance(ts, exc=InterruptedException(f"{ts.name} interrupted"))
             return
-        ts.status = ThreadStatus.SLEEPING
+        ts.status = _SLEEPING
         ts.wake_at = self.step_count + max(1, op.duration)
         # pending stays the SLEEP op; the wake step resumes the generator.
 
@@ -427,12 +527,12 @@ class Execution:
         ts.pending = Op(
             OpKind.REACQUIRE, lock=ts.waiting_on, reacquire_count=ts.wait_depth
         )
-        ts.status = ThreadStatus.RUNNABLE
+        ts.status = _RUNNABLE
         ts.waiting_on = None
         ts.wake_at = 0
 
     def _wake_from_sleep(self, ts: ThreadState) -> None:
-        ts.status = ThreadStatus.RUNNABLE
+        ts.status = _RUNNABLE
         if ts.deliver_interrupt:
             ts.deliver_interrupt = False
             ts.interrupt_flag = False
@@ -451,17 +551,17 @@ class Execution:
         if target is None or not target.alive:
             self._advance(ts, value=None)
             return
-        if target.status is ThreadStatus.WAITING:
+        if target.status is _WAITING:
             self.locks.remove_waiter(target.waiting_on, target.tid)
             msg = self._snd(ts.tid)
             lock = target.waiting_on
             target.pending = Op(
                 OpKind.REACQUIRE, lock=lock, reacquire_count=target.wait_depth
             )
-            target.status = ThreadStatus.RUNNABLE
+            target.status = _RUNNABLE
             target.waiting_on = msg  # stash the HB message for delivery
             target.deliver_interrupt = True
-        elif target.status is ThreadStatus.SLEEPING:
+        elif target.status is _SLEEPING:
             msg = self._snd(ts.tid)
             target.waiting_on = msg
             target.deliver_interrupt = True
@@ -489,7 +589,7 @@ class Execution:
             self.observer.on_event(
                 AcquireEvent(
                     step=self.step_count, tid=ts.tid, lock=op.lock,
-                    stmt=ts.pending_stmt,
+                    stmt=self._stmt(ts),
                 )
             )
         msg = ts.waiting_on if isinstance(ts.waiting_on, int) else None
@@ -507,6 +607,14 @@ class Execution:
     # ------------------------------------------------------------------ #
     # internals
 
+    def _stmt(self, ts: ThreadState) -> Statement | None:
+        """Materialize (and memoize) the statement of ``ts``'s pending op."""
+        stmt = ts.pending_stmt
+        if stmt is None and ts.stmt_code is not None:
+            stmt = statement_at(ts.stmt_code, ts.stmt_line)
+            ts.pending_stmt = stmt
+        return stmt
+
     def _require_held(self, ts: ThreadState, op: Op) -> None:
         if not self.locks.holds(op.lock, ts.tid):
             from .errors import IllegalMonitorState
@@ -520,7 +628,7 @@ class Execution:
         ts.pending = Op(
             OpKind.REACQUIRE, lock=ts.waiting_on, reacquire_count=ts.wait_depth
         )
-        ts.status = ThreadStatus.RUNNABLE
+        ts.status = _RUNNABLE
         ts.wake_at = 0  # a pending timed-wait deadline is void once notified
         ts.waiting_on = msg  # carry the SND message until re-acquisition
 
@@ -531,13 +639,16 @@ class Execution:
         return msg
 
     def _emit_mem(self, ts: ThreadState, op: Op, access: Access) -> None:
-        if not self._observe_mem:
+        # Only reached when an observer wants MemEvents (_observe_mem).
+        stmt = self._stmt(ts)
+        mem_filter = self._mem_filter
+        if mem_filter is not None and stmt not in mem_filter:
             return
         self.observer.on_event(
             MemEvent(
                 step=self.step_count,
                 tid=ts.tid,
-                stmt=ts.pending_stmt,
+                stmt=stmt,
                 location=op.location,
                 access=access,
                 locks_held=self.locks.held_by(ts.tid),
@@ -549,6 +660,7 @@ class Execution:
         self._next_tid += 1
         ts = ThreadState(tid=tid, name=f"{name}", gen=gen)
         self.threads[tid] = ts
+        self._live.append(ts)
         if self._observing:
             self.observer.on_event(
                 ThreadStartEvent(
@@ -590,28 +702,53 @@ class Execution:
         except BaseException as error:  # the thread's crash domain
             self._terminate(ts, error)
         else:
-            if not isinstance(op, Op):
+            if op.__class__ is not Op and not isinstance(op, Op):
                 raise EngineError(
                     f"{ts} yielded {op!r}; thread bodies must yield Op values"
                 )
             ts.pending = op
             if op.label is not None:
-                ts.pending_stmt = Statement(label=op.label)
+                ts.pending_stmt = label_statement(op.label)
+                ts.stmt_code = None
             else:
-                ts.pending_stmt = statement_from_generator(ts.gen)
+                # Capture the raw site eagerly (the frame is only readable
+                # while the generator is suspended, and a later crash must
+                # attribute to this op); intern the Statement lazily.  This
+                # is innermost_frame() inlined: follow the yield-from chain
+                # so composed helpers attribute to the line that actually
+                # performed the access.
+                gen = ts.gen
+                while True:
+                    nested = gen.gi_yieldfrom
+                    if nested is None or nested.__class__ is not GeneratorType:
+                        break
+                    gen = nested
+                frame = gen.gi_frame
+                if frame is None:
+                    ts.pending_stmt = FINISHED_STATEMENT
+                    ts.stmt_code = None
+                else:
+                    ts.pending_stmt = None
+                    ts.stmt_code = frame.f_code
+                    ts.stmt_line = frame.f_lineno
 
     def _terminate(self, ts: ThreadState, error: BaseException | None) -> None:
-        ts.status = ThreadStatus.TERMINATED
-        stmt = ts.pending_stmt
+        ts.status = _TERMINATED
+        stmt = self._stmt(ts)
         ts.pending = None
-        # Events carry the picklable ErrorInfo form; the live exception
-        # stays on ThreadState/ThreadCrash for in-process consumers.
+        # Keep the (materialized) last statement readable via next_stmt();
+        # clear the raw site so _stmt() never touches a dead frame's code.
+        ts.pending_stmt = stmt
+        ts.stmt_code = None
+        self._live.remove(ts)
+        # Events and crash records carry the picklable ErrorInfo form; the
+        # live exception stays on ThreadState for in-process consumers.
         info = ErrorInfo.from_exception(error) if error is not None else None
         if error is not None:
             ts.error = error
             ts.error_stmt = stmt
             crash = ThreadCrash(
-                tid=ts.tid, name=ts.name, error=error, stmt=stmt,
+                tid=ts.tid, name=ts.name, error=info, stmt=stmt,
                 step=self.step_count,
             )
             self.result.crashes.append(crash)
@@ -627,20 +764,26 @@ class Execution:
             )
 
 
-_DISPATCH = {
-    OpKind.READ: Execution._do_read,
-    OpKind.WRITE: Execution._do_write,
-    OpKind.LOCK: Execution._do_lock,
-    OpKind.UNLOCK: Execution._do_unlock,
-    OpKind.WAIT: Execution._do_wait,
-    OpKind.NOTIFY: Execution._do_notify,
-    OpKind.NOTIFY_ALL: Execution._do_notify_all,
-    OpKind.SPAWN: Execution._do_spawn,
-    OpKind.JOIN: Execution._do_join,
-    OpKind.SLEEP: Execution._do_sleep,
-    OpKind.INTERRUPT: Execution._do_interrupt,
-    OpKind.INTERRUPTED: Execution._do_interrupted,
-    OpKind.YIELD: Execution._do_yield,
-    OpKind.CHECK: Execution._do_check,
-    OpKind.REACQUIRE: Execution._do_reacquire,
-}
+#: handler method names in OpKind declaration order; ``Execution.__init__``
+#: binds these once so ``step`` dispatches via ``tuple[kind_index]``.
+_HANDLER_NAMES = (
+    "_do_read",
+    "_do_write",
+    "_do_lock",
+    "_do_unlock",
+    "_do_wait",
+    "_do_notify",
+    "_do_notify_all",
+    "_do_spawn",
+    "_do_join",
+    "_do_sleep",
+    "_do_interrupt",
+    "_do_interrupted",
+    "_do_yield",
+    "_do_check",
+    "_do_reacquire",
+)
+
+assert tuple(f"_do_{kind.value}" for kind in OpKind) == _HANDLER_NAMES, (
+    "handler table out of sync with OpKind declaration order"
+)

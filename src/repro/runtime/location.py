@@ -30,15 +30,28 @@ def fresh_uid() -> int:
     return next(_uids)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Location:
     """Base class for dynamic memory locations."""
 
     uid: int
     name: str = field(default="", compare=False)
+    #: lazily computed hash; locations key every heap access, so hashing
+    #: the same instance repeatedly must not rebuild the key tuple.
+    _hash: int | None = field(default=None, init=False, repr=False, compare=False)
 
     #: token tag identifying the concrete subclass across processes.
     kind: ClassVar[str] = "loc"
+
+    def _hash_key(self) -> tuple:
+        return (self.uid,)
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash(self._hash_key())
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def describe(self) -> str:
         return self.name or f"loc#{self.uid}"
@@ -54,46 +67,58 @@ class Location:
         return token
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VarLoc(Location):
     """A shared scalar variable."""
 
     kind: ClassVar[str] = "var"
 
+    __hash__ = Location.__hash__
+
     def describe(self) -> str:
         return self.name or f"var#{self.uid}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FieldLoc(Location):
     """A named field of a shared object."""
 
     fieldname: str = ""
     kind: ClassVar[str] = "field"
 
+    __hash__ = Location.__hash__
+
+    def _hash_key(self) -> tuple:
+        return (self.uid, self.fieldname)
+
     def describe(self) -> str:
         base = self.name or f"obj#{self.uid}"
         return f"{base}.{self.fieldname}"
 
     def to_token(self) -> dict:
-        token = super().to_token()
+        token = Location.to_token(self)
         token["fld"] = self.fieldname
         return token
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ElemLoc(Location):
     """An element of a shared array."""
 
     index: int = 0
     kind: ClassVar[str] = "elem"
 
+    __hash__ = Location.__hash__
+
+    def _hash_key(self) -> tuple:
+        return (self.uid, self.index)
+
     def describe(self) -> str:
         base = self.name or f"arr#{self.uid}"
         return f"{base}[{self.index}]"
 
     def to_token(self) -> dict:
-        token = super().to_token()
+        token = Location.to_token(self)
         token["i"] = self.index
         return token
 
@@ -112,12 +137,20 @@ def location_from_token(token: dict) -> Location:
     return Location(uid=uid, name=name)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LockId:
     """Identity of a lock/monitor (Java: the object whose monitor is taken)."""
 
     uid: int
     name: str = field(default="", compare=False)
+    _hash: int | None = field(default=None, init=False, repr=False, compare=False)
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash((self.uid,))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def describe(self) -> str:
         return self.name or f"lock#{self.uid}"

@@ -16,7 +16,7 @@ from .errors import IllegalMonitorState
 from .location import LockId
 
 
-@dataclass
+@dataclass(slots=True)
 class MonitorState:
     """Dynamic state of one monitor."""
 
@@ -43,9 +43,14 @@ class LockTable:
         return state
 
     def can_acquire(self, lock: LockId, tid: int) -> bool:
-        """True if ``tid`` could acquire ``lock`` right now (free or reentrant)."""
-        state = self.monitor(lock)
-        return state.owner is None or state.owner == tid
+        """True if ``tid`` could acquire ``lock`` right now (free or reentrant).
+
+        Called for every enabledness probe of a blocked LOCK/REACQUIRE op,
+        so it must not allocate: a never-acquired monitor reads as free
+        without materializing a :class:`MonitorState` for it.
+        """
+        state = self._monitors.get(lock)
+        return state is None or state.owner is None or state.owner == tid
 
     def acquire(self, lock: LockId, tid: int, depth: int = 1) -> bool:
         """Acquire the monitor; returns True if this was the outermost entry.

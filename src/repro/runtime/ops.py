@@ -44,6 +44,16 @@ class OpKind(enum.Enum):
     CHECK = "check"  # assertion; raises AssertionViolation when false
     REACQUIRE = "reacquire"  # internal: woken waiter re-entering the monitor
 
+    # Per-member metadata (set below, after MEM_KINDS/SYNC_KINDS exist):
+    #   index    dense 0..N-1 position, the key of every per-kind table
+    #            (handler dispatch, metrics tallies) — one list index
+    #            instead of an enum hash per executed op.
+    #   mem/write/sync
+    #            classification flags copied onto each Op at construction.
+    #   block    how enabledness is decided for a pending op of this kind:
+    #            0 = always enabled, 1 = needs the lock free/reentrant,
+    #            2 = needs the join target dead.
+
 
 #: Kinds that access shared memory (candidates for racing pairs).
 MEM_KINDS = frozenset({OpKind.READ, OpKind.WRITE})
@@ -67,7 +77,26 @@ SYNC_KINDS = frozenset(
 )
 
 
-@dataclass
+#: ``OpKind`` members in declaration order; ``KIND_VALUES[k.index]`` is
+#: ``k.value`` (used when folding int-indexed tallies back into metrics).
+KIND_VALUES = tuple(kind.value for kind in OpKind)
+
+for _index, _kind in enumerate(OpKind):
+    _kind.index = _index
+    _kind.mem = _kind in MEM_KINDS
+    _kind.write = _kind is OpKind.WRITE
+    _kind.sync = _kind in SYNC_KINDS
+    if _kind in (OpKind.LOCK, OpKind.REACQUIRE):
+        _kind.block = 1
+    elif _kind is OpKind.JOIN:
+        _kind.block = 2
+    else:
+        _kind.block = 0
+    _kind.flags = (_kind.index, _kind.mem, _kind.write, _kind.sync, _kind.block)
+del _index, _kind
+
+
+@dataclass(slots=True)
 class Op:
     """One abstract-machine operation, yielded by a simulated thread.
 
@@ -90,18 +119,20 @@ class Op:
     message: str = ""  # CHECK: failure message
     label: str | None = None
     reacquire_count: int = field(default=0, repr=False)  # REACQUIRE internal
+    # Derived fields, resolved once at construction (was: a property call
+    # plus frozenset membership test per query, several times per step).
+    kind_index: int = field(init=False, repr=False, compare=False)
+    is_mem: bool = field(init=False, repr=False, compare=False)
+    is_write: bool = field(init=False, repr=False, compare=False)
+    is_sync: bool = field(init=False, repr=False, compare=False)
+    blocking: int = field(init=False, repr=False, compare=False)
 
-    @property
-    def is_mem(self) -> bool:
-        return self.kind in MEM_KINDS
-
-    @property
-    def is_write(self) -> bool:
-        return self.kind is OpKind.WRITE
-
-    @property
-    def is_sync(self) -> bool:
-        return self.kind in SYNC_KINDS
+    def __post_init__(self) -> None:
+        # One attribute read + a C-level unpack per constructed op.
+        (
+            self.kind_index, self.is_mem, self.is_write, self.is_sync,
+            self.blocking,
+        ) = self.kind.flags
 
     def describe(self) -> str:
         """Short human-readable rendering for traces and error messages."""

@@ -16,6 +16,16 @@ Identity rules
 Statements are value objects: hashable, comparable, and stable across
 executions — which is what lets Phase 2 consume the racing pairs that
 Phase 1 computed in a *different* execution.
+
+Hot-path notes
+--------------
+Statements are the single most-allocated value object in an execution (one
+per step in the naive design), so the engine goes through the interning
+helpers below instead of the constructor: :func:`statement_at` caches one
+``Statement`` per ``(code object, line)`` site and :func:`label_statement`
+one per label string.  Interned instances also cache their hash, so the
+race-set membership test RaceFuzzer performs at every sync point costs one
+dict probe with a precomputed hash.
 """
 
 from __future__ import annotations
@@ -23,7 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Statement:
     """A program statement site.
 
@@ -38,12 +48,24 @@ class Statement:
     line: int = 0
     func: str = field(default="", compare=False)
     label: str | None = None
+    #: lazily computed hash (identity is immutable, so caching is sound).
+    _hash: int | None = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.label is not None:
             # Labelled statements compare by label only.
             object.__setattr__(self, "file", "")
             object.__setattr__(self, "line", 0)
+
+    def __hash__(self) -> int:
+        # Mirrors the generated dataclass hash (compare-fields tuple) but
+        # computes it once; race-set lookups hash the same statement on
+        # every sync point of every Phase 2 trial.
+        h = self._hash
+        if h is None:
+            h = hash((self.file, self.line, self.label))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     @property
     def site(self) -> str:
@@ -88,7 +110,7 @@ class Statement:
         return f"Statement({self.site!r})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StatementPair:
     """An unordered pair of statements — a (potentially) racing pair.
 
@@ -128,23 +150,65 @@ def _sort_key(stmt: Statement) -> tuple[str, str, int]:
     return (stmt.label or "", stmt.file, stmt.line)
 
 
-def statement_from_generator(gen) -> Statement:
-    """Derive the statement for the op a generator just yielded.
+# --------------------------------------------------------------------- #
+# interning — one Statement per site, shared by every execution in the
+# process.  Both caches are bounded by the program text (distinct yield
+# sites / distinct labels), not by execution length.
+# --------------------------------------------------------------------- #
+
+_SITE_CACHE: dict[tuple, Statement] = {}
+_LABEL_CACHE: dict[str, Statement] = {}
+
+#: sentinel site for an op attributed to an already-finished generator
+#: (should not happen mid-yield; kept for crash attribution robustness).
+FINISHED_STATEMENT = Statement(file="<finished>", line=0)
+
+
+def statement_at(code, line: int) -> Statement:
+    """The interned :class:`Statement` for a ``(code object, line)`` site.
+
+    This replaces per-step ``Statement`` construction: the engine captures
+    the raw ``(f_code, f_lineno)`` pair at yield time (two attribute reads)
+    and materializes the statement here only when something actually needs
+    it — an event, a race-set probe, a crash report.
+    """
+    key = (code, line)
+    stmt = _SITE_CACHE.get(key)
+    if stmt is None:
+        func = getattr(code, "co_qualname", code.co_name)
+        stmt = Statement(file=code.co_filename, line=line, func=func)
+        _SITE_CACHE[key] = stmt
+    return stmt
+
+
+def label_statement(label: str) -> Statement:
+    """The interned :class:`Statement` for an explicit op label."""
+    stmt = _LABEL_CACHE.get(label)
+    if stmt is None:
+        stmt = Statement(label=label)
+        _LABEL_CACHE[label] = stmt
+    return stmt
+
+
+def innermost_frame(gen):
+    """The suspended frame a generator's next yield came from (or None).
 
     Follows the ``gi_yieldfrom`` chain to the innermost suspended generator
     so that ``yield from``-composed helpers (the mini-JDK, Barrier, ...)
     report the line that actually performed the access, mirroring how
     bytecode instrumentation attributes events to library code.
     """
-    innermost = gen
     while True:
-        nested = getattr(innermost, "gi_yieldfrom", None)
+        nested = getattr(gen, "gi_yieldfrom", None)
         if nested is None or not hasattr(nested, "gi_frame"):
             break
-        innermost = nested
-    frame = innermost.gi_frame
+        gen = nested
+    return gen.gi_frame
+
+
+def statement_from_generator(gen) -> Statement:
+    """Derive the (interned) statement for the op a generator just yielded."""
+    frame = innermost_frame(gen)
     if frame is None:  # generator already finished; should not happen mid-yield
-        return Statement(file="<finished>", line=0)
-    code = frame.f_code
-    func = getattr(code, "co_qualname", code.co_name)
-    return Statement(file=code.co_filename, line=frame.f_lineno, func=func)
+        return FINISHED_STATEMENT
+    return statement_at(frame.f_code, frame.f_lineno)

@@ -28,7 +28,7 @@ class ThreadStatus(enum.Enum):
     TERMINATED = "terminated"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ThreadHandle:
     """User-facing reference to a simulated thread (sent back by ``spawn``)."""
 
@@ -39,7 +39,7 @@ class ThreadHandle:
         return self.name or f"thread-{self.tid}"
 
 
-@dataclass
+@dataclass(slots=True)
 class ThreadState:
     """Engine-internal state of one simulated thread."""
 
@@ -48,7 +48,16 @@ class ThreadState:
     gen: Generator[Op, Any, Any]
     status: ThreadStatus = ThreadStatus.RUNNABLE
     pending: Op | None = None
+    #: statement identity of the pending op.  Materialized lazily: the
+    #: engine records the raw yield site in ``stmt_code``/``stmt_line`` at
+    #: resume time (frame state is only readable while the generator is
+    #: suspended) and builds the interned Statement on first demand.
     pending_stmt: Statement | None = None
+    #: raw site of the pending op (``frame.f_code`` / ``f_lineno``); None
+    #: when ``pending_stmt`` is already materialized (labelled ops) or the
+    #: thread has no pending op.
+    stmt_code: Any = None
+    stmt_line: int = 0
     #: set while parked: the lock whose wait set holds us, and the monitor
     #: recursion depth to restore on re-acquisition.
     waiting_on: Any = None

@@ -109,7 +109,7 @@ class TraceFooter:
                 {
                     "tid": crash.tid,
                     "name": crash.name,
-                    "e": _encode_error(ErrorInfo.from_exception(crash.error)),
+                    "e": _encode_error(crash.error),
                     "st": crash.stmt.to_token() if crash.stmt else None,
                     "step": crash.step,
                 }

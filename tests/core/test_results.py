@@ -3,6 +3,7 @@
 from repro.core.postponing import FuzzResult, TargetHit
 from repro.core.results import CampaignReport, PairVerdict
 from repro.detectors.report import RaceReport
+from repro.runtime.events import ErrorInfo
 from repro.runtime.interpreter import ExecutionResult, ThreadCrash
 from repro.runtime.errors import SimulatedError
 from repro.runtime.statement import Statement, StatementPair
@@ -20,8 +21,7 @@ def _result(crashes=(), deadlock=False):
 
 
 def _crash(tid=1, step=50, kind="SimulatedError"):
-    error = SimulatedError("x")
-    error.__class__ = type(kind, (SimulatedError,), {})
+    error = ErrorInfo(type=kind, message="x", module=SimulatedError.__module__)
     return ThreadCrash(tid=tid, name=f"t{tid}", error=error, stmt=None, step=step)
 
 
