@@ -7,8 +7,14 @@ same Phase-2 campaign three ways:
 
 * the bare serial loop (no supervision at all);
 * the supervised inline path (deadline + retry armed, no faults fire);
+* the governed inline path (supervision plus a per-task memory budget
+  that never fires — the ISSUE-7 resource-governance clean path);
 * a supervised run with injected transient faults (one crash, one hang,
   one malformed result), which pays real retry work.
+
+It also times the trace store's durability machinery on its clean path:
+recording with the always-on CRC32 checksum, and recording under a disk
+budget that never evicts (every publish pays one stat pass).
 
 Two entry points:
 
@@ -45,7 +51,7 @@ def _bare(trials):
     return fuzz_races(figure1.build(), PAIRS, trials=trials)
 
 
-def _supervised(trials, faults=None, chunk_size=5):
+def _supervised(trials, faults=None, chunk_size=5, memory_budget_mb=None):
     return fuzz_races(
         figure1.build(),
         PAIRS,
@@ -54,7 +60,20 @@ def _supervised(trials, faults=None, chunk_size=5):
         deadline=10.0,
         retries=2,
         faults=faults,
+        memory_budget_mb=memory_budget_mb,
     )
+
+
+def _store_round(trace_dir, seeds, **store_kwargs):
+    """Record ``seeds`` fresh traces and integrity-read each one back."""
+    from repro.trace import TraceStore, detect_key, verify_trace
+
+    store = TraceStore(trace_dir, **store_kwargs)
+    for seed in range(seeds):
+        path = store.ensure(
+            detect_key("figure1", seed, max_steps=10_000), figure1.build()
+        )
+        verify_trace(path)
 
 
 def test_bare_campaign(benchmark, quick_trials):
@@ -64,6 +83,14 @@ def test_bare_campaign(benchmark, quick_trials):
 
 def test_supervised_clean_campaign(benchmark, quick_trials):
     verdicts = benchmark(lambda: _supervised(quick_trials))
+    assert verdicts[figure1.REAL_PAIR].is_real
+    assert not any(v.quarantined for v in verdicts.values())
+
+
+def test_governed_clean_campaign(benchmark, quick_trials):
+    verdicts = benchmark(
+        lambda: _supervised(quick_trials, memory_budget_mb=4096)
+    )
     assert verdicts[figure1.REAL_PAIR].is_real
     assert not any(v.quarantined for v in verdicts.values())
 
@@ -80,6 +107,12 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trials", type=int, default=60)
     parser.add_argument("--chunk-size", type=int, default=5)
+    parser.add_argument(
+        "--store-seeds",
+        type=int,
+        default=8,
+        help="fresh traces per store-overhead round",
+    )
     parser.add_argument("--output", default="BENCH_resilience.json")
     args = parser.parse_args(argv)
 
@@ -92,18 +125,40 @@ def main(argv=None):
     clean_s = time.perf_counter() - start
 
     start = time.perf_counter()
+    governed = _supervised(
+        args.trials, chunk_size=args.chunk_size, memory_budget_mb=4096
+    )
+    governed_s = time.perf_counter() - start
+
+    start = time.perf_counter()
     faulted = _supervised(
         args.trials, faults=FAULTS, chunk_size=args.chunk_size
     )
     faulted_s = time.perf_counter() - start
 
-    # Transient faults must be invisible in the aggregates.
+    # Transient faults and a never-firing budget must both be invisible
+    # in the aggregates.
     for pair in bare:
-        for run in (clean, faulted):
+        for run in (clean, governed, faulted):
             assert run[pair].trials == bare[pair].trials
             assert run[pair].times_created == bare[pair].times_created
             assert run[pair].exceptions == bare[pair].exceptions
             assert not run[pair].quarantined
+
+    # Store durability clean path: checksummed record + verify read,
+    # without and with a (never-evicting) disk budget.
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as warm_dir:
+        _store_round(warm_dir, 1)  # imports + codec warm-up, untimed
+    with tempfile.TemporaryDirectory() as plain_dir:
+        start = time.perf_counter()
+        _store_round(plain_dir, args.store_seeds)
+        store_plain_s = time.perf_counter() - start
+    with tempfile.TemporaryDirectory() as quota_dir:
+        start = time.perf_counter()
+        _store_round(quota_dir, args.store_seeds, max_bytes=1 << 30)
+        store_quota_s = time.perf_counter() - start
 
     record = {
         "benchmark": "supervisor-resilience",
@@ -115,10 +170,24 @@ def main(argv=None):
         "env": environment_metadata(),
         "bare_s": round(bare_s, 4),
         "supervised_clean_s": round(clean_s, 4),
+        "governed_clean_s": round(governed_s, 4),
         "supervised_faulted_s": round(faulted_s, 4),
         "clean_overhead_ratio": round(clean_s / bare_s, 3) if bare_s else None,
+        #: memory budget armed (never fires) on top of supervision — the
+        #: resource-governance clean-path cost; the ISSUE-7 bar is <= 1.05.
+        "governed_overhead_ratio": (
+            round(governed_s / clean_s, 3) if clean_s else None
+        ),
         "faulted_overhead_ratio": (
             round(faulted_s / bare_s, 3) if bare_s else None
+        ),
+        "store_seeds": args.store_seeds,
+        "store_record_verify_s": round(store_plain_s, 4),
+        "store_quota_record_verify_s": round(store_quota_s, 4),
+        #: disk budget armed (never evicts) on top of checksummed
+        #: record+verify — the quota clean-path cost.
+        "store_quota_overhead_ratio": (
+            round(store_quota_s / store_plain_s, 3) if store_plain_s else None
         ),
         "injected_faults": [
             f"{s.phase}:{s.index}:{s.kind}" for s in FAULTS.specs

@@ -10,6 +10,9 @@ Commands:
 * ``analyze``  — run detectors offline over recorded trace files;
 * ``fuzz``     — the full two-phase RaceFuzzer campaign;
 * ``replay``   — re-run one (pair, seed) with a rendered interleaving;
+* ``store``    — trace-store maintenance: ``gc`` enforces a disk budget,
+  ``verify`` integrity-checks every entry (optionally quarantining the
+  damaged ones);
 * ``stats``    — render a ``--metrics-out`` run report (tables or
   Prometheus text format);
 * ``table1``   — regenerate Table 1 (delegates to repro.harness.table1);
@@ -51,6 +54,31 @@ from repro.workloads import all_workloads, get
 def _enter_collecting(stack: ExitStack, wanted: bool):
     """Enable metrics for the body of a command when any flag needs them."""
     return stack.enter_context(collecting()) if wanted else None
+
+
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3}
+
+
+def _parse_size(text: str) -> int:
+    """A byte count with an optional binary suffix: ``4096``, ``512K``,
+    ``10M``, ``1G`` (``B`` tolerated, case-insensitive)."""
+    raw = text.strip().lower()
+    if raw.endswith("b"):
+        raw = raw[:-1]
+    factor = 1
+    if raw and raw[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = float(raw) if "." in raw else int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {text!r} (use e.g. 4096, 512K, 10M, 1G)"
+        )
+    size = int(value * factor)
+    if size <= 0:
+        raise argparse.ArgumentTypeError(f"size must be positive, got {text!r}")
+    return size
 
 
 def _cmd_list(args) -> int:
@@ -96,6 +124,7 @@ def _cmd_run(args) -> int:
 
 def _cmd_detect(args) -> int:
     spec = get(args.workload)
+    faults = parse_fault_plan(args.fault_plan) if args.fault_plan else None
     # The trace-store stats line rides on the metrics registry, so a
     # --trace-dir run collects even without --metrics-out.
     collect = args.metrics_out is not None or args.trace_dir is not None
@@ -107,7 +136,11 @@ def _cmd_detect(args) -> int:
             seeds=range(args.seeds),
             max_steps=spec.max_steps,
             jobs=args.jobs,
+            deadline=args.deadline,
+            retries=args.retries,
             trace_dir=args.trace_dir,
+            faults=faults,
+            store_quota=args.store_quota,
         )
     print(report)
     if registry is not None:
@@ -187,6 +220,37 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_store(args) -> int:
+    from repro.trace import TraceStore
+
+    store = TraceStore(
+        args.trace_dir,
+        max_bytes=args.quota,
+        max_entries=args.max_entries,
+    )
+    if args.action == "gc":
+        if args.quota is None and args.max_entries is None:
+            print(
+                "store gc: give a budget with --quota and/or --max-entries",
+                file=sys.stderr,
+            )
+            return 2
+        evicted, freed = store.gc()
+        print(
+            f"evicted {evicted} entr{'y' if evicted == 1 else 'ies'} "
+            f"({freed} bytes); {len(store.entries())} remaining "
+            f"({store.total_bytes()} bytes) in {store.root}"
+        )
+        return 0
+    total = len(store.entries())
+    bad = store.verify(quarantine=args.quarantine)
+    for path, exc in bad:
+        print(f"CORRUPT {path.name}: {exc.reason}", file=sys.stderr)
+    verb = "quarantined" if args.quarantine else "damaged"
+    print(f"{total} entr{'y' if total == 1 else 'ies'} checked, {len(bad)} {verb}")
+    return 1 if bad else 0
+
+
 def _cmd_fuzz(args) -> int:
     spec = get(args.workload)
     faults = parse_fault_plan(args.fault_plan) if args.fault_plan else None
@@ -205,6 +269,7 @@ def _cmd_fuzz(args) -> int:
             retries=args.retries,
             checkpoint=args.checkpoint,
             faults=faults,
+            memory_budget_mb=args.memory_budget,
             fast_mode=args.fast_mode,
             on_progress=on_progress,
         )
@@ -369,6 +434,37 @@ def build_parser() -> argparse.ArgumentParser:
         "stored traces",
     )
     detect_parser.add_argument(
+        "--store-quota",
+        type=_parse_size,
+        default=None,
+        metavar="SIZE",
+        help="disk budget for --trace-dir (e.g. 512K, 10M, 1G); oldest "
+        "entries are evicted first when the store outgrows it",
+    )
+    detect_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock budget (routes through the campaign "
+        "supervisor, as for fuzz)",
+    )
+    detect_parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-attempts per failing task before quarantine (default 2)",
+    )
+    detect_parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection, as for fuzz: comma-separated "
+        "phase:index:kind[:attempts[:arg]] entries (kinds include crash, "
+        "hang, malformed, memory_hog, disk_full, corrupt_trace)",
+    )
+    detect_parser.add_argument(
         "--metrics-out",
         default=None,
         metavar="FILE",
@@ -459,6 +555,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-attempts per failing task before quarantine (default 2)",
     )
     fuzz_parser.add_argument(
+        "--memory-budget",
+        type=float,
+        default=None,
+        metavar="MIB",
+        help="per-task resident-set growth budget in MiB; a task that "
+        "exceeds it fails with kind 'memory' (retried, then quarantined)",
+    )
+    fuzz_parser.add_argument(
         "--checkpoint",
         default=None,
         metavar="PATH",
@@ -470,8 +574,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SPEC",
         help="deterministic fault injection for resilience testing: "
-        "comma-separated phase:index:kind[:attempts[:delay]] entries, "
-        "e.g. 'fuzz:3:crash,fuzz:7:hang:1:0.5'",
+        "comma-separated phase:index:kind[:attempts[:arg]] entries "
+        "(arg = MiB for memory_hog, seconds otherwise), e.g. "
+        "'fuzz:3:crash,fuzz:7:hang:1:0.5,fuzz:9:memory_hog:1:64'",
     )
     fuzz_parser.add_argument(
         "--metrics-out",
@@ -513,6 +618,40 @@ def build_parser() -> argparse.ArgumentParser:
         "schedule and replay that one",
     )
     replay_parser.set_defaults(handler=_cmd_replay)
+
+    store_parser = commands.add_parser(
+        "store", help="trace-store maintenance (gc, verify)"
+    )
+    store_parser.add_argument(
+        "action",
+        choices=("gc", "verify"),
+        help="gc = evict oldest entries past the budget; verify = "
+        "integrity-check every entry",
+    )
+    store_parser.add_argument(
+        "--trace-dir", required=True, metavar="DIR", help="store directory"
+    )
+    store_parser.add_argument(
+        "--quota",
+        type=_parse_size,
+        default=None,
+        metavar="SIZE",
+        help="byte budget for gc (e.g. 512K, 10M, 1G)",
+    )
+    store_parser.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="entry-count budget for gc",
+    )
+    store_parser.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="verify only: move damaged entries to the quarantine sidecar "
+        "instead of leaving them in place",
+    )
+    store_parser.set_defaults(handler=_cmd_store)
 
     stats_parser = commands.add_parser(
         "stats", help="render a --metrics-out run report"

@@ -34,7 +34,7 @@ from collections import Counter
 from typing import Iterable, Sequence
 
 from repro.detectors import RaceReport, make_detector
-from repro.obs import ProgressUpdate, maybe_registry, span
+from repro.obs import ProgressUpdate, span
 from repro.runtime.interpreter import Execution
 from repro.runtime.program import Program
 from repro.runtime.statement import StatementPair
@@ -103,6 +103,8 @@ def _detect_from_traces(
     jobs: int,
     deadline: float | None,
     retries: int | None,
+    faults=None,
+    store_quota: int | None = None,
 ) -> dict[str, RaceReport]:
     """Record-once / analyze-many Phase 1 backed by a :class:`TraceStore`.
 
@@ -111,23 +113,31 @@ def _detect_from_traces(
     cache state, and a warm store performs zero program executions.  In
     parallel mode the workers only record (publishing via the store's
     atomic rename); the cheap detector passes run in the parent.
+
+    Every analysis read goes through the store's
+    :meth:`~repro.trace.TraceStore.with_recovery`: a corrupt or truncated
+    cache entry is quarantined and transparently re-recorded, costing one
+    execution instead of the campaign.  ``store_quota`` bounds the cache
+    in bytes (LRU eviction); repeated budget hits flip the shared health
+    controller to ephemeral recording.
     """
+    from repro.obs import HealthController
     from repro.trace import TraceStore, analyze_trace, detect_key
 
-    store = TraceStore(trace_dir)
+    health = HealthController()
+    store = TraceStore(
+        trace_dir, max_bytes=store_quota, health=health
+    )
     keys = {
         seed: detect_key(program.name, seed, max_steps=max_steps)
         for seed in seed_list
     }
     missing = [seed for seed in seed_list if store.get(keys[seed]) is None]
-    m = maybe_registry()
-    if m is not None and len(seed_list) > len(missing):
-        # The probe above bypasses ensure(), so pre-existing traces are
-        # credited here; misses/executions are counted where the recording
-        # happens (inline ensure() or the worker's store).
-        m.inc("trace.store_hits", len(seed_list) - len(missing))
-    if missing and (_parallel(jobs) or _supervised(deadline, retries)):
-        with ParallelCampaign(jobs=jobs, deadline=deadline, retry=retries) as engine:
+    if missing and (_parallel(jobs) or _supervised(deadline, retries, faults)):
+        with ParallelCampaign(
+            jobs=jobs, deadline=deadline, retry=retries, faults=faults,
+            health=health,
+        ) as engine:
             engine.record(
                 _registered_name(program),
                 seeds=missing,
@@ -136,12 +146,14 @@ def _detect_from_traces(
             )
     merged: dict[str, RaceReport] = {}
     for seed in seed_list:
-        path = store.get(keys[seed])
-        if path is None:
-            # Serial fill — and the fallback for a quarantined record task,
-            # so every seed still contributes coverage.
-            path = store.ensure(keys[seed], program)
-        reports = analyze_trace(path, detectors, history_cap=history_cap)
+        # with_recovery covers every seed: warm hit, serial fill, the
+        # fallback for a quarantined record task, and the re-record path
+        # when the cached entry turns out to be damaged.
+        reports = store.with_recovery(
+            keys[seed],
+            program,
+            lambda path: analyze_trace(path, detectors, history_cap=history_cap),
+        )
         for name in detectors:
             if name in merged:
                 merged[name].merge(reports[name])
@@ -161,6 +173,8 @@ def detect_races(
     deadline: float | None = None,
     retries: int | None = None,
     trace_dir=None,
+    faults=None,
+    store_quota: int | None = None,
 ) -> RaceReport | dict[str, RaceReport]:
     """Phase 1: collect potentially racing statement pairs.
 
@@ -186,6 +200,10 @@ def detect_races(
     warm store therefore answers a repeated call with *zero* program
     executions, and adding detectors to a later call costs only detector
     passes — the ROADMAP's caching lever.
+
+    ``store_quota`` (bytes) bounds the trace cache with LRU eviction, and
+    ``faults`` injects a deterministic plan into the recording campaign
+    (phase name ``"record"``) — both only meaningful with ``trace_dir``.
     """
     seed_list = list(seeds)
     assert seed_list, "detect_races needs at least one seed"
@@ -206,9 +224,13 @@ def detect_races(
                 jobs=jobs,
                 deadline=deadline,
                 retries=retries,
+                faults=faults,
+                store_quota=store_quota,
             )
-    elif _parallel(jobs) or _supervised(deadline, retries):
-        with ParallelCampaign(jobs=jobs, deadline=deadline, retry=retries) as engine:
+    elif _parallel(jobs) or _supervised(deadline, retries, faults):
+        with ParallelCampaign(
+            jobs=jobs, deadline=deadline, retry=retries, faults=faults
+        ) as engine:
             name = _registered_name(program)
             merged = {
                 det: engine.detect(
@@ -260,6 +282,7 @@ def fuzz_races(
     retries: int | None = None,
     checkpoint=None,
     faults=None,
+    memory_budget_mb: float | None = None,
     on_progress=None,
 ) -> dict[StatementPair, PairVerdict]:
     """Phase 2: fuzz every pair ``trials`` times; aggregate verdicts.
@@ -284,13 +307,17 @@ def fuzz_races(
     chunks, ``checkpoint`` journals completed chunks to an append-only
     JSONL file so a killed campaign resumes where it left off, and
     ``faults`` injects a deterministic
-    :class:`~repro.core.faults.FaultPlan`.  A chunk that fails every
-    attempt is quarantined onto its verdict's ``errors`` instead of
+    :class:`~repro.core.faults.FaultPlan`.  ``memory_budget_mb`` bounds
+    each attempt's memory growth (``ru_maxrss`` delta), turning a leaky
+    chunk into a retryable ``memory``-kind failure.  A chunk that fails
+    every attempt is quarantined onto its verdict's ``errors`` instead of
     sinking the campaign.  These paths require a registered workload
     (like ``jobs>1``) so the program can be rebuilt from its name.
     """
     pair_list = list(pairs)
-    if _parallel(jobs) or _supervised(deadline, retries, checkpoint, faults):
+    if _parallel(jobs) or _supervised(
+        deadline, retries, checkpoint, faults, memory_budget_mb
+    ):
         with ParallelCampaign(
             jobs=jobs,
             chunk_size=chunk_size,
@@ -299,6 +326,7 @@ def fuzz_races(
             retry=retries,
             checkpoint=checkpoint,
             faults=faults,
+            memory_budget_mb=memory_budget_mb,
             on_progress=on_progress,
         ) as engine:
             return engine.fuzz(
@@ -362,6 +390,7 @@ def race_directed_test(
     retries: int | None = None,
     checkpoint=None,
     faults=None,
+    memory_budget_mb: float | None = None,
     on_progress=None,
 ) -> CampaignReport:
     """The full RaceFuzzer pipeline over one program.
@@ -376,7 +405,9 @@ def race_directed_test(
     aborting the campaign.  ``fast_mode`` applies to Phase 2 only (see
     :func:`fuzz_races`); Phase 1 detectors need every MemEvent.
     """
-    if _parallel(jobs) or _supervised(deadline, retries, checkpoint, faults):
+    if _parallel(jobs) or _supervised(
+        deadline, retries, checkpoint, faults, memory_budget_mb
+    ):
         # One engine (and one worker pool) spans both phases, so that
         # quarantine records from Phase 1 and Phase 2 land on the same
         # campaign report.
@@ -388,6 +419,7 @@ def race_directed_test(
             retry=retries,
             checkpoint=checkpoint,
             faults=faults,
+            memory_budget_mb=memory_budget_mb,
             on_progress=on_progress,
         ) as engine:
             name = _registered_name(program)

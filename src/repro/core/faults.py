@@ -25,6 +25,17 @@ Fault kinds (``FAULT_KINDS``):
   (serial path or serial fallback) the fault degrades to a raised
   :class:`InjectedCrash` — exiting would take the campaign down, which is
   exactly what the supervisor exists to prevent.
+* ``memory_hog`` — allocate ``mb`` megabytes before the task body runs,
+  raising the process's ``ru_maxrss`` high-water (stands in for a leaky
+  task; caught by the supervisor's per-task memory budget as a
+  ``memory``-kind failure).
+* ``disk_full`` — raise :class:`InjectedDiskFull` (an :class:`OSError`
+  with ``errno.ENOSPC``) before the task body runs (stands in for a full
+  trace-store disk; classified as a ``disk``-kind failure).
+* ``corrupt_trace`` — run the task body normally, then damage the trace
+  file the task just published (record tasks return its path): truncate
+  the footer and flip the last event line.  The parent's analysis then
+  exercises the store's quarantine + re-record recovery end to end.
 
 Determinism contract: a :class:`FaultSpec` fires on attempts
 ``0 .. attempts-1`` of its task and never again, so ``attempts=1`` models
@@ -34,6 +45,7 @@ a poisoned task (retries exhaust and the task is quarantined).
 
 from __future__ import annotations
 
+import errno
 import os
 import random
 import time
@@ -44,8 +56,19 @@ CRASH = "crash"
 HANG = "hang"
 MALFORMED = "malformed"
 POOL_KILL = "pool_kill"
+MEMORY_HOG = "memory_hog"
+DISK_FULL = "disk_full"
+CORRUPT_TRACE = "corrupt_trace"
 
-FAULT_KINDS = (CRASH, HANG, MALFORMED, POOL_KILL)
+FAULT_KINDS = (
+    CRASH,
+    HANG,
+    MALFORMED,
+    POOL_KILL,
+    MEMORY_HOG,
+    DISK_FULL,
+    CORRUPT_TRACE,
+)
 
 #: What a ``malformed`` fault returns in place of the real result.  Any
 #: value the supervisor's ``validate`` hook rejects would do; a string is
@@ -55,6 +78,13 @@ MALFORMED_SENTINEL = "__repro_malformed_result__"
 
 class InjectedCrash(RuntimeError):
     """The deterministic stand-in for an arbitrary worker failure."""
+
+
+class InjectedDiskFull(OSError):
+    """The deterministic stand-in for ENOSPC out of the trace store."""
+
+    def __init__(self, where: str) -> None:
+        super().__init__(errno.ENOSPC, f"injected disk full at {where}")
 
 
 @dataclass(frozen=True)
@@ -70,6 +100,7 @@ class FaultSpec:
             the task and is then spent.  ``1`` = transient, large =
             poisoned (quarantine).
         delay: sleep duration, in seconds, for ``hang`` faults.
+        mb: allocation size, in megabytes, for ``memory_hog`` faults.
     """
 
     kind: str
@@ -77,6 +108,7 @@ class FaultSpec:
     phase: str = "fuzz"
     attempts: int = 1
     delay: float = 30.0
+    mb: float = 64.0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -89,6 +121,8 @@ class FaultSpec:
             raise ValueError(f"fault attempts must be >= 1, got {self.attempts}")
         if self.delay < 0:
             raise ValueError(f"fault delay must be >= 0, got {self.delay}")
+        if self.mb <= 0:
+            raise ValueError(f"fault mb must be > 0, got {self.mb}")
 
     def fires(self, attempt: int) -> bool:
         """Does the fault fire on this (0-based) attempt of its task?"""
@@ -189,15 +223,27 @@ def apply_fault(spec: FaultSpec, *, in_worker: bool = True) -> None:
     """Execute the pre-task side of a fault, in the executing process.
 
     ``malformed`` is a no-op here — it corrupts the *result*, which the
-    task envelope handles after the body runs.  ``pool_kill`` only exits
-    the process when running in a disposable worker; inline it degrades
-    to a crash so fault plans stay runnable on the serial path.
+    task envelope handles after the body runs.  So is ``corrupt_trace``:
+    it damages the trace the body *publishes*, via
+    :func:`corrupt_trace_file` once the envelope has the path.
+    ``pool_kill`` only exits the process when running in a disposable
+    worker; inline it degrades to a crash so fault plans stay runnable on
+    the serial path.
     """
     if spec.kind == CRASH:
         raise InjectedCrash(f"injected crash at {spec.phase}[{spec.index}]")
     if spec.kind == HANG:
         time.sleep(spec.delay)
         return
+    if spec.kind == MEMORY_HOG:
+        # Touch every page so ru_maxrss actually rises, then release: the
+        # high-water mark is what the supervisor's budget check reads.
+        hog = bytearray(int(spec.mb * 1024 * 1024))
+        hog[::4096] = b"\x01" * len(hog[::4096])
+        del hog
+        return
+    if spec.kind == DISK_FULL:
+        raise InjectedDiskFull(f"{spec.phase}[{spec.index}]")
     if spec.kind == POOL_KILL:
         if in_worker:
             os._exit(13)
@@ -205,14 +251,38 @@ def apply_fault(spec: FaultSpec, *, in_worker: bool = True) -> None:
             f"injected pool kill at {spec.phase}[{spec.index}] "
             f"(inline execution: raised instead of exiting)"
         )
-    # MALFORMED: nothing to do before the task body.
+    # MALFORMED / CORRUPT_TRACE: nothing to do before the task body.
+
+
+def corrupt_trace_file(path: str) -> bool:
+    """Post-body side of ``corrupt_trace``: damage a published trace.
+
+    Truncates the footer line off ``path`` (the classic torn-write shape),
+    guaranteeing the next integrity-checked read raises
+    ``TraceCorruptError``.  Returns False when ``path`` is not a readable
+    trace file — the fault then degrades to a no-op rather than failing a
+    task the plan meant to leave successful.
+    """
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except OSError:
+        return False
+    lines = data.splitlines(keepends=True)
+    if len(lines) < 2:
+        return False
+    with open(path, "wb") as fh:
+        fh.writelines(lines[:-1])
+    return True
 
 
 def parse_fault_plan(text: str) -> FaultPlan:
     """Parse the CLI fault-plan syntax into a :class:`FaultPlan`.
 
-    Comma-separated specs of the form ``phase:index:kind[:attempts[:delay]]``,
-    e.g. ``fuzz:0:crash,fuzz:7:hang:1:5.0,fuzz:11:pool_kill``.
+    Comma-separated specs of the form ``phase:index:kind[:attempts[:arg]]``,
+    e.g. ``fuzz:0:crash,fuzz:7:hang:1:5.0,fuzz:11:pool_kill``.  The
+    trailing ``arg`` is kind-specific: sleep seconds for ``hang``,
+    megabytes for ``memory_hog``; other kinds take none.
     """
     specs = []
     for chunk in text.split(","):
@@ -223,14 +293,19 @@ def parse_fault_plan(text: str) -> FaultPlan:
         if len(parts) < 3 or len(parts) > 5:
             raise ValueError(
                 f"bad fault spec {chunk!r}: expected "
-                f"phase:index:kind[:attempts[:delay]]"
+                f"phase:index:kind[:attempts[:arg]]"
             )
         phase, index, kind = parts[0], int(parts[1]), parts[2]
         attempts = int(parts[3]) if len(parts) > 3 else 1
-        delay = float(parts[4]) if len(parts) > 4 else 30.0
+        kwargs = {}
+        if len(parts) > 4:
+            if kind == MEMORY_HOG:
+                kwargs["mb"] = float(parts[4])
+            else:
+                kwargs["delay"] = float(parts[4])
         specs.append(
             FaultSpec(
-                kind=kind, index=index, phase=phase, attempts=attempts, delay=delay
+                kind=kind, index=index, phase=phase, attempts=attempts, **kwargs
             )
         )
     return FaultPlan(specs)
@@ -241,11 +316,16 @@ __all__ = [
     "HANG",
     "MALFORMED",
     "POOL_KILL",
+    "MEMORY_HOG",
+    "DISK_FULL",
+    "CORRUPT_TRACE",
     "FAULT_KINDS",
     "MALFORMED_SENTINEL",
     "InjectedCrash",
+    "InjectedDiskFull",
     "FaultSpec",
     "FaultPlan",
     "apply_fault",
+    "corrupt_trace_file",
     "parse_fault_plan",
 ]

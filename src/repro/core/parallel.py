@@ -56,6 +56,7 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.detectors import RaceReport, make_detector
 from repro.obs import ProgressUpdate, span
+from repro.obs.health import HealthController
 from repro.runtime.interpreter import Execution
 from repro.runtime.statement import StatementPair
 
@@ -319,6 +320,11 @@ class ParallelCampaign:
             failure injection.
         pool_death_limit: rebuild a broken worker pool at most this many
             times before degrading to inline serial execution.
+        memory_budget_mb: per-attempt memory budget in MiB, enforced
+            worker-side as a ``ru_maxrss`` delta.
+        health: shared :class:`~repro.obs.health.HealthController`; one
+            is created when not given, and its state rides on every
+            :class:`~repro.obs.ProgressUpdate`.
 
     Quarantined tasks accumulate on :attr:`failures` (and, for fuzz
     chunks, on the owning verdict's ``errors``); :attr:`last_report`
@@ -338,12 +344,17 @@ class ParallelCampaign:
         checkpoint=None,
         faults: FaultPlan | None = None,
         pool_death_limit: int = 2,
+        memory_budget_mb: float | None = None,
+        health: HealthController | None = None,
         on_progress: Callable[[ProgressUpdate], None] | None = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.chunk_size = _validate_chunk_size(chunk_size)
         self.stop_on_confirm = stop_on_confirm
         self.on_progress = on_progress
+        self.health = health if health is not None else HealthController(
+            pool_death_critical=pool_death_limit + 1
+        )
         self.supervisor = CampaignSupervisor(
             jobs=self.jobs,
             deadline=deadline,
@@ -351,6 +362,8 @@ class ParallelCampaign:
             pool_death_limit=pool_death_limit,
             checkpoint=checkpoint,
             faults=faults,
+            memory_budget_mb=memory_budget_mb,
+            health=self.health,
         )
         self.failures = []
         self.last_report = None
@@ -390,6 +403,7 @@ class ParallelCampaign:
                     total=total,
                     confirms=confirms,
                     elapsed_s=time.monotonic() - start,
+                    health=self.health.state,
                 )
             )
 

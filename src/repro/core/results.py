@@ -26,7 +26,8 @@ class TaskFailure:
     The supervisor records one of these — instead of aborting the campaign
     — when a task exhausts its retry budget.  ``kind`` is the *final*
     failure mode (``crash`` / ``deadline`` / ``malformed`` / ``pool`` /
-    ``stall``); ``history`` keeps one ``"kind: message"`` entry per failed
+    ``stall`` / ``memory`` / ``disk``); ``history`` keeps one
+    ``"kind: message"`` entry per failed
     attempt so a flaky-then-poisoned task is distinguishable from a
     consistently poisoned one.
     """

@@ -40,9 +40,11 @@ serial run for every task that completed, whatever failed in between.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import signal
+import sys
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -53,9 +55,23 @@ from random import Random
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.obs import MeteredResult, collecting, maybe_registry
+from repro.obs.health import HealthController
 
-from .faults import MALFORMED_SENTINEL, FaultPlan, FaultSpec, apply_fault
+from .faults import (
+    CORRUPT_TRACE,
+    MALFORMED,
+    MALFORMED_SENTINEL,
+    FaultPlan,
+    FaultSpec,
+    apply_fault,
+    corrupt_trace_file,
+)
 from .results import TaskFailure
+
+try:  # not a POSIX platform -> no memory budget, never a crash
+    import resource as _resource
+except ImportError:  # pragma: no cover
+    _resource = None
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -77,6 +93,26 @@ def resolve_jobs(jobs: int | None) -> int:
 
 class TaskDeadlineExceeded(Exception):
     """A supervised task ran past its wall-clock deadline."""
+
+
+class MemoryBudgetExceeded(Exception):
+    """A supervised task grew the process high-water past its budget."""
+
+
+def _maxrss_mb() -> float | None:
+    """The process's lifetime peak RSS in MiB (None when unmeasurable).
+
+    ``ru_maxrss`` is monotone for the life of the process, so budget
+    checks always compare a *delta* against a baseline taken at attempt
+    start — an absolute check would poison every later task that lands on
+    a pool worker some earlier task inflated.
+    """
+    if _resource is None:
+        return None
+    rss = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # bytes there, kilobytes on Linux
+        return rss / (1024.0 * 1024.0)
+    return rss / 1024.0
 
 
 @contextmanager
@@ -172,6 +208,9 @@ class TaskEnvelope:
     attempt: int
     deadline: float | None = None
     fault: FaultSpec | None = None
+    #: per-attempt memory budget in MiB, enforced worker-side as a
+    #: ``ru_maxrss`` delta over the attempt (None = unbounded).
+    memory_budget_mb: float | None = None
     #: collect metrics in the executing process and ship a snapshot home
     #: with the result (set when the parent's registry is enabled).
     metrics: bool = False
@@ -191,33 +230,49 @@ def _worker_fn(name: str) -> Callable[[Any], Any]:
     return table[name]
 
 
+def _attempt(envelope: TaskEnvelope, in_worker: bool) -> Any:
+    """One attempt body: fault, task, budget check, post-body fault side."""
+    fn = _worker_fn(envelope.fn)
+    baseline = _maxrss_mb() if envelope.memory_budget_mb is not None else None
+    with wall_deadline(envelope.deadline):
+        if envelope.fault is not None:
+            apply_fault(envelope.fault, in_worker=in_worker)
+        result = fn(envelope.task)
+    if baseline is not None:
+        peak = _maxrss_mb()
+        grown = (peak or baseline) - baseline
+        if grown > envelope.memory_budget_mb:
+            raise MemoryBudgetExceeded(
+                f"attempt grew peak RSS by {grown:.1f} MiB "
+                f"(budget {envelope.memory_budget_mb:.1f} MiB)"
+            )
+    if envelope.fault is not None:
+        if envelope.fault.kind == MALFORMED:
+            return MALFORMED_SENTINEL
+        if envelope.fault.kind == CORRUPT_TRACE and isinstance(result, str):
+            # Record tasks return the published trace path: damage it so
+            # the parent's analysis read exercises store recovery.
+            corrupt_trace_file(result)
+    return result
+
+
 def run_envelope(envelope: TaskEnvelope, in_worker: bool = True) -> Any:
     """Execute one supervised attempt (worker entrypoint; also inline).
 
     Order matters: the fault is applied *inside* the deadline window so
-    an injected hang is caught exactly like a real one.
+    an injected hang is caught exactly like a real one, and the memory
+    budget is checked *after* the body so a blown budget charges the
+    attempt that blew it.
 
     When ``envelope.metrics`` is set the attempt runs under a fresh
     enabled registry and returns a :class:`~repro.obs.MeteredResult`;
     the supervisor merges the snapshot into the parent registry only if
     the result is accepted, so a retried attempt never double-counts.
     """
-    fn = _worker_fn(envelope.fn)
     if not envelope.metrics:
-        with wall_deadline(envelope.deadline):
-            if envelope.fault is not None:
-                apply_fault(envelope.fault, in_worker=in_worker)
-            result = fn(envelope.task)
-        if envelope.fault is not None and envelope.fault.kind == "malformed":
-            return MALFORMED_SENTINEL
-        return result
+        return _attempt(envelope, in_worker)
     with collecting() as registry:
-        with wall_deadline(envelope.deadline):
-            if envelope.fault is not None:
-                apply_fault(envelope.fault, in_worker=in_worker)
-            result = fn(envelope.task)
-    if envelope.fault is not None and envelope.fault.kind == "malformed":
-        result = MALFORMED_SENTINEL
+        result = _attempt(envelope, in_worker)
     return MeteredResult(result=result, snapshot=registry.snapshot())
 
 
@@ -242,13 +297,24 @@ class CheckpointJournal:
     def __init__(self, path) -> None:
         self.path = str(path)
         self._fd: int | None = None
+        #: torn/malformed lines skipped by the most recent :meth:`load`.
+        self.skipped_lines = 0
 
-    def load(self) -> dict[str, Any]:
-        """All well-formed journaled records, keyed by task key."""
+    def load(self, *, quiet: bool = False) -> dict[str, Any]:
+        """All well-formed journaled records, keyed by task key.
+
+        Unreadable lines are skipped (last-wins on duplicate keys), but
+        never silently: the count lands in :attr:`skipped_lines`, the
+        ``supervisor.journal_skipped`` metric, and — unless ``quiet`` —
+        a recovery note on stderr, so a journal quietly losing lines to
+        torn writes is visible long before the data matters.
+        """
         records: dict[str, Any] = {}
+        skipped = 0
         try:
             fh = open(self.path, encoding="utf-8")
         except FileNotFoundError:
+            self.skipped_lines = 0
             return records
         with fh:
             for line in fh:
@@ -258,9 +324,24 @@ class CheckpointJournal:
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
-                    continue  # torn write from a killed run
+                    skipped += 1  # torn write from a killed run
+                    continue
                 if isinstance(record, dict) and "key" in record:
                     records[record["key"]] = record.get("result")
+                else:
+                    skipped += 1  # parseable but not a journal record
+        self.skipped_lines = skipped
+        if skipped:
+            m = maybe_registry()
+            if m is not None:
+                m.inc("supervisor.journal_skipped", skipped)
+            if not quiet:
+                print(
+                    f"repro: checkpoint journal {self.path}: skipped "
+                    f"{skipped} torn/malformed line(s); the affected "
+                    f"task(s) will re-run",
+                    file=sys.stderr,
+                )
         return records
 
     def append(self, key: str, result: Any) -> None:
@@ -270,6 +351,33 @@ class CheckpointJournal:
             )
         line = json.dumps({"key": key, "result": result}, separators=(",", ":"))
         os.write(self._fd, line.encode("utf-8") + b"\n")
+
+    def compact(self) -> int:
+        """Rewrite the journal with one well-formed line per key.
+
+        Drops torn lines and superseded duplicates (keeping the last
+        record per key, i.e. exactly what :meth:`load` would return) and
+        publishes atomically via ``os.replace``.  Returns the number of
+        lines dropped.
+        """
+        self.close()
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                total = sum(1 for line in fh if line.strip())
+        except FileNotFoundError:
+            return 0
+        records = self.load(quiet=True)
+        tmp = f"{self.path}.{os.getpid()}.compact.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for key, result in records.items():
+                fh.write(
+                    json.dumps(
+                        {"key": key, "result": result}, separators=(",", ":")
+                    )
+                    + "\n"
+                )
+        os.replace(tmp, self.path)
+        return total - len(records)
 
     def close(self) -> None:
         if self._fd is not None:
@@ -319,6 +427,12 @@ class CampaignSupervisor:
             batches that provide a ``key_fn`` participate.
         faults: a :class:`~repro.core.faults.FaultPlan` for deterministic
             failure injection (testing / drills).
+        memory_budget_mb: per-attempt memory budget in MiB, enforced in
+            the executing process as a ``ru_maxrss`` delta; a blown
+            budget is a retryable ``memory``-kind failure.
+        health: the campaign's shared
+            :class:`~repro.obs.health.HealthController`; a private one is
+            created when not given, so signals are always tracked.
     """
 
     def __init__(
@@ -330,6 +444,8 @@ class CampaignSupervisor:
         pool_death_limit: int = 2,
         checkpoint=None,
         faults: FaultPlan | None = None,
+        memory_budget_mb: float | None = None,
+        health: HealthController | None = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         if deadline is not None and deadline <= 0:
@@ -347,6 +463,15 @@ class CampaignSupervisor:
         self.pool_death_limit = pool_death_limit
         self.checkpoint = checkpoint
         self.faults = faults
+        if memory_budget_mb is not None and memory_budget_mb <= 0:
+            raise ValueError(
+                f"memory_budget_mb must be positive or None, got "
+                f"{memory_budget_mb}"
+            )
+        self.memory_budget_mb = memory_budget_mb
+        self.health = health if health is not None else HealthController(
+            pool_death_critical=pool_death_limit + 1
+        )
         self.pool_deaths = 0
         self.serial_fallback = False
         self._pool: ProcessPoolExecutor | None = None
@@ -477,6 +602,10 @@ class CampaignSupervisor:
             attempts[index] += 1
             history[index].append(f"{kind}: {message}")
             failed_attempt_kinds[kind] = failed_attempt_kinds.get(kind, 0) + 1
+            if kind == "memory":
+                self.health.record_memory_failure()
+            elif kind == "disk":
+                self.health.record_disk_budget_hit()
             if attempts[index] > self.retry.max_retries:
                 failures.append(
                     TaskFailure(
@@ -491,6 +620,7 @@ class CampaignSupervisor:
                 )
                 results[index] = None
                 settle(index, None)
+                self.health.record_quarantine(kind)
                 return None
             report.retried += 1
             delay = compute_backoff(self.retry, index, attempts[index] - 1)
@@ -509,6 +639,7 @@ class CampaignSupervisor:
                 attempt=attempts[index],
                 deadline=self.deadline,
                 fault=fault,
+                memory_budget_mb=self.memory_budget_mb,
                 metrics=metered,
             )
 
@@ -595,6 +726,13 @@ class CampaignSupervisor:
                 result = run_envelope(envelope_for(index), in_worker=False)
             except TaskDeadlineExceeded as exc:
                 verdict = record_failure(index, "deadline", str(exc))
+            except MemoryBudgetExceeded as exc:
+                verdict = record_failure(index, "memory", str(exc))
+            except OSError as exc:
+                kind = "disk" if exc.errno == errno.ENOSPC else "crash"
+                verdict = record_failure(
+                    index, kind, f"{type(exc).__name__}: {exc}"
+                )
             except Exception as exc:
                 verdict = record_failure(
                     index, "crash", f"{type(exc).__name__}: {exc}"
@@ -635,7 +773,12 @@ class CampaignSupervisor:
         def fail_in_flight(kind: str, message: str) -> None:
             self.pool_deaths += 1
             report.pool_deaths = self.pool_deaths
+            self.health.record_pool_death()
             self._destroy_pool(terminate=True)
+            # Shed load before the rebuild: a pool that just died at
+            # width N has better odds at the health controller's
+            # recommendation (half, floor 1).
+            self.jobs = self.health.recommended_jobs(self.jobs)
             for index in list(in_flight.values()):
                 if results[index] is not _UNSET or index in cancelled:
                     continue
@@ -733,6 +876,12 @@ class CampaignSupervisor:
                     )
                 elif isinstance(exc, TaskDeadlineExceeded):
                     ready_at = record_failure(index, "deadline", str(exc))
+                elif isinstance(exc, MemoryBudgetExceeded):
+                    ready_at = record_failure(index, "memory", str(exc))
+                elif isinstance(exc, OSError) and exc.errno == errno.ENOSPC:
+                    ready_at = record_failure(
+                        index, "disk", f"{type(exc).__name__}: {exc}"
+                    )
                 else:
                     ready_at = record_failure(
                         index, "crash", f"{type(exc).__name__}: {exc}"
@@ -752,6 +901,7 @@ __all__ = [
     "compute_backoff",
     "TaskEnvelope",
     "TaskDeadlineExceeded",
+    "MemoryBudgetExceeded",
     "CheckpointJournal",
     "run_envelope",
     "wall_deadline",

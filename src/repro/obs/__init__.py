@@ -13,11 +13,23 @@ The package every other layer is instrumented against:
   table renderer.
 * :mod:`repro.obs.progress` — the ``on_progress`` hook's
   :class:`ProgressUpdate` value type and the stock throttled printer.
+* :mod:`repro.obs.health` — the campaign :class:`HealthController`
+  state machine (healthy → degraded → critical) that folds supervisor /
+  trace-store pressure signals into a load-shedding policy.
 
 Import discipline: this package imports nothing from ``repro.runtime`` /
 ``repro.core`` / ``repro.trace`` (they all import *it*).
 """
 
+from .health import (
+    CRITICAL,
+    DEGRADED,
+    HEALTH_STATES,
+    HEALTHY,
+    STATE_RANK,
+    HealthController,
+    HealthTransition,
+)
 from .progress import ProgressPrinter, ProgressUpdate
 from .registry import (
     NULL_SPAN,
@@ -80,4 +92,12 @@ __all__ = [
     # progress
     "ProgressUpdate",
     "ProgressPrinter",
+    # health
+    "HealthController",
+    "HealthTransition",
+    "HEALTHY",
+    "DEGRADED",
+    "CRITICAL",
+    "HEALTH_STATES",
+    "STATE_RANK",
 ]

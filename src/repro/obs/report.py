@@ -41,8 +41,13 @@ REQUIRED_COUNTERS: tuple[str, ...] = (
     "supervisor.retries",
     "supervisor.deadline_kills",
     "supervisor.quarantines",
+    "supervisor.journal_skipped",
     "trace.store_hits",
     "trace.store_misses",
+    "trace.store_corrupt",
+    "trace.store_recovered",
+    "trace.store_evictions",
+    "health.transitions",
 )
 
 

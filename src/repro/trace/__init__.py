@@ -18,10 +18,18 @@ analyze-many pipeline on these pieces; the CLI exposes them as the
 ``record`` and ``analyze`` subcommands.
 """
 
-from .io import TraceReader, TraceRecorder, TraceWriter, load_trace, record_execution
+from .io import (
+    TraceReader,
+    TraceRecorder,
+    TraceWriter,
+    load_trace,
+    record_execution,
+    verify_trace,
+)
 from .replay import ReplaySource, analyze_trace, replay_events
 from .schema import (
     SCHEMA_VERSION,
+    TraceCorruptError,
     TraceFooter,
     TraceHeader,
     TraceSchemaError,
@@ -30,6 +38,7 @@ from .schema import (
 )
 from .store import (
     PHASE1_SCHEDULER,
+    QUARANTINE_DIR,
     StoreStats,
     TraceKey,
     TraceStore,
@@ -40,6 +49,7 @@ from .store import (
 __all__ = [
     "SCHEMA_VERSION",
     "TraceSchemaError",
+    "TraceCorruptError",
     "TraceHeader",
     "TraceFooter",
     "encode_event",
@@ -49,10 +59,12 @@ __all__ = [
     "TraceRecorder",
     "record_execution",
     "load_trace",
+    "verify_trace",
     "TraceKey",
     "TraceStore",
     "StoreStats",
     "detect_key",
+    "QUARANTINE_DIR",
     "PHASE1_SCHEDULER",
     "scheduler_from_spec",
     "ReplaySource",

@@ -39,11 +39,39 @@ from repro.runtime.location import location_from_token
 from repro.runtime.statement import Statement
 
 #: bump on ANY change to event/token encodings (see module docstring).
-SCHEMA_VERSION = 1
+#: v2: the footer carries a CRC32 of every preceding line plus the event
+#: count, and readers enforce both (integrity became part of the format).
+SCHEMA_VERSION = 2
 
 
 class TraceSchemaError(ValueError):
     """A trace file does not conform to the schema this reader speaks."""
+
+
+class TraceCorruptError(TraceSchemaError):
+    """A trace file is damaged: malformed, truncated, or checksum-failing.
+
+    Distinct from a plain :class:`TraceSchemaError` (an honest version
+    mismatch): corruption means the *bytes* are wrong — a torn write, a
+    flipped bit, a truncated download.  The :class:`~repro.trace.store.
+    TraceStore` treats it as recoverable (quarantine the entry,
+    re-record); everything else should treat it as "this file is not
+    evidence".
+
+    Attributes:
+        path: the trace file.
+        offset: 1-based line number where corruption was detected (0 when
+            the whole file is implicated, e.g. a checksum mismatch only
+            noticed at the footer).
+        reason: what check failed.
+    """
+
+    def __init__(self, path, offset: int, reason: str) -> None:
+        self.path = str(path)
+        self.offset = offset
+        self.reason = reason
+        where = f"line {offset}" if offset else "whole file"
+        super().__init__(f"{self.path}: corrupt trace ({where}): {reason}")
 
 
 # --------------------------------------------------------------------- #
@@ -91,7 +119,13 @@ class TraceHeader:
 
 @dataclass(frozen=True)
 class TraceFooter:
-    """Last line of a trace: the execution's outcome summary."""
+    """Last line of a trace: the execution's outcome summary.
+
+    ``events`` and ``crc32`` double as the file's integrity record: the
+    CRC covers every line *before* the footer (header included), so a
+    reader that streamed the whole file can verify both the count and the
+    checksum the moment it parses this line.
+    """
 
     steps: int = 0
     events: int = 0
@@ -99,9 +133,14 @@ class TraceFooter:
     deadlock: bool = False
     deadlocked_tids: tuple[int, ...] = ()
     truncated: bool = False
+    #: CRC32 of every preceding line's bytes (header + events, newlines
+    #: included); ``None`` only in hand-built footers.
+    crc32: int | None = None
 
     @classmethod
-    def from_result(cls, result: ExecutionResult, events: int) -> "TraceFooter":
+    def from_result(
+        cls, result: ExecutionResult, events: int, *, crc32: int | None = None
+    ) -> "TraceFooter":
         return cls(
             steps=result.steps,
             events=events,
@@ -118,6 +157,7 @@ class TraceFooter:
             deadlock=result.deadlock,
             deadlocked_tids=tuple(result.deadlocked_tids),
             truncated=result.truncated,
+            crc32=crc32,
         )
 
     def to_jsonable(self) -> dict:
@@ -129,6 +169,7 @@ class TraceFooter:
             "deadlock": self.deadlock,
             "deadlocked_tids": list(self.deadlocked_tids),
             "truncated": self.truncated,
+            "crc32": self.crc32,
         }
 
     @classmethod
@@ -140,6 +181,7 @@ class TraceFooter:
             deadlock=data.get("deadlock", False),
             deadlocked_tids=tuple(data.get("deadlocked_tids", ())),
             truncated=data.get("truncated", False),
+            crc32=data.get("crc32"),
         )
 
 
@@ -274,6 +316,7 @@ def decode_event(obj: dict) -> Event:
 __all__ = [
     "SCHEMA_VERSION",
     "TraceSchemaError",
+    "TraceCorruptError",
     "TraceHeader",
     "TraceFooter",
     "encode_event",

@@ -17,6 +17,17 @@ Concurrency: workers recording into a shared store write to a unique temp
 name and ``os.replace`` into the final path, so concurrent recorders of
 the same key race benignly (identical deterministic content; last rename
 wins) and readers never observe a partial file.
+
+Durability: the store never trusts its own disk.  A cached entry that
+fails integrity checks on read (see
+:class:`~repro.trace.schema.TraceCorruptError`) is quarantined to a
+sidecar directory and transparently re-recorded — via
+:meth:`TraceStore.with_recovery`, a corrupt entry costs one execution,
+never the campaign.  A disk budget (``max_bytes`` / ``max_entries``)
+bounds the cache with LRU-by-mtime eviction, and a
+:class:`~repro.obs.health.HealthController` can switch the store to
+*ephemeral* recording (analyze-and-discard, cache stops growing) once
+disk pressure repeats.
 """
 
 from __future__ import annotations
@@ -26,13 +37,17 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.obs import maybe_registry
+from repro.obs.health import HealthController
 from repro.runtime.program import Program
 
-from .io import TraceReader, record_execution, remove_partial
-from .schema import SCHEMA_VERSION
+from .io import TraceReader, record_execution, remove_partial, verify_trace
+from .schema import SCHEMA_VERSION, TraceCorruptError
+
+#: subdirectory (under the store root) where corrupt entries are moved.
+QUARANTINE_DIR = "quarantine"
 
 #: scheduler spec used by every Phase-1 detection run.
 PHASE1_SCHEDULER = "random:every"
@@ -91,15 +106,54 @@ class StoreStats:
     #: program executions this store performed to fill misses — the number
     #: a warm cache drives to zero.
     executions: int = 0
+    #: corrupt entries quarantined on read.
+    corrupt: int = 0
+    #: corrupt entries transparently re-recorded by :meth:`with_recovery`.
+    recovered: int = 0
+    #: entries deleted by the disk budget (LRU) or an explicit ``gc``.
+    evictions: int = 0
+    evicted_bytes: int = 0
+    #: recordings that were analyzed and discarded (recording disabled).
+    ephemeral: int = 0
 
 
 class TraceStore:
-    """Filesystem cache mapping :class:`TraceKey` -> trace file."""
+    """Filesystem cache mapping :class:`TraceKey` -> trace file.
 
-    def __init__(self, root, *, compress: bool = False) -> None:
+    Parameters:
+        compress: record ``.jsonl.gz`` instead of plain ``.jsonl``.
+        max_bytes: disk budget — total bytes of cached traces after which
+            the oldest entries (by mtime) are evicted.  ``None`` = no cap.
+        max_entries: same budget expressed as an entry count.
+        fsync: fsync each trace (and the store directory) before
+            publishing — survives power loss at the cost of write latency.
+        health: campaign :class:`~repro.obs.health.HealthController` to
+            notify of corruption/budget signals and to consult for the
+            ephemeral-recording policy.  ``None`` = standalone store,
+            always persists.
+    """
+
+    def __init__(
+        self,
+        root,
+        *,
+        compress: bool = False,
+        max_bytes: int | None = None,
+        max_entries: int | None = None,
+        fsync: bool = False,
+        health: HealthController | None = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.compress = compress
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self.fsync = fsync
+        self.health = health
         self.stats = StoreStats()
 
     # -- addressing ---------------------------------------------------- #
@@ -159,18 +213,122 @@ class TraceStore:
                 scheduler_spec=key.scheduler,
                 observers=observers,
             )
-            os.replace(tmp, final)
         except BaseException:
             remove_partial(tmp)
             raise
         if m is not None:
             m.inc("trace.store_executions")
-            m.inc("trace.store_bytes", final.stat().st_size)
+            m.inc("trace.store_bytes", tmp.stat().st_size)
+        if not self._recording_enabled():
+            # Under disk pressure the cache stops growing: hand the caller
+            # an unpublished file to analyze and discard.
+            ephemeral = final.with_name(
+                final.name.replace(".jsonl", f".{os.getpid()}.ephemeral.jsonl", 1)
+            )
+            os.replace(tmp, ephemeral)
+            self.stats.ephemeral += 1
+            if m is not None:
+                m.inc("trace.store_ephemeral")
+            return ephemeral
+        if self.fsync:
+            self._fsync_file(tmp)
+        os.replace(tmp, final)
+        if self.fsync:
+            self._fsync_dir()
+        self._enforce_budget(keep=final)
         return final
+
+    def _recording_enabled(self) -> bool:
+        return self.health is None or self.health.trace_recording_enabled
+
+    def _fsync_file(self, path: Path) -> None:
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def _fsync_dir(self) -> None:
+        fd = os.open(self.root, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def discard(self, path) -> None:
+        """Drop an ephemeral (unpublished) trace once analyzed."""
+        if ".ephemeral." in Path(path).name:
+            remove_partial(path)
 
     def open(self, key: TraceKey) -> TraceReader | None:
         path = self.get(key)
         return None if path is None else TraceReader(path)
+
+    # -- corruption recovery -------------------------------------------- #
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / QUARANTINE_DIR
+
+    def quarantine(self, path, reason: str) -> Path | None:
+        """Move a damaged entry out of the cache, preserving the evidence.
+
+        The file lands in ``<root>/quarantine/`` (suffixed ``.N`` on name
+        collision) next to a ``.reason`` sidecar recording why.  Returns
+        the quarantined path, or ``None`` if the file vanished first.
+        """
+        src = Path(path)
+        self.stats.corrupt += 1
+        m = maybe_registry()
+        if m is not None:
+            m.inc("trace.store_corrupt")
+        if self.health is not None:
+            self.health.record_corrupt_trace()
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        dest = self.quarantine_dir / src.name
+        n = 0
+        while dest.exists():
+            n += 1
+            dest = self.quarantine_dir / f"{src.name}.{n}"
+        try:
+            os.replace(src, dest)
+        except FileNotFoundError:
+            return None
+        dest.with_name(dest.name + ".reason").write_text(reason + "\n")
+        return dest
+
+    def with_recovery(
+        self,
+        key: TraceKey,
+        program: Program,
+        consume: Callable[[Path], object],
+        *,
+        observers: Iterable = (),
+    ):
+        """Run ``consume(path)`` on the trace for ``key``, healing corruption.
+
+        On :class:`~repro.trace.schema.TraceCorruptError` the damaged
+        entry is quarantined, the trace re-recorded (and re-published
+        atomically), and ``consume`` retried once — so a corrupt cache
+        entry costs one execution, never the campaign.  A second failure
+        propagates: that is fresh-recording corruption, i.e. a real bug
+        or a dying disk, not bit rot.
+        """
+        path = self.ensure(key, program, observers=observers)
+        try:
+            return consume(path)
+        except TraceCorruptError as exc:
+            self.quarantine(exc.path, exc.reason)
+            fresh = self.ensure(key, program)
+            result = consume(fresh)
+            self.stats.recovered += 1
+            m = maybe_registry()
+            if m is not None:
+                m.inc("trace.store_recovered")
+            self.discard(fresh)
+            return result
+        finally:
+            self.discard(path)
 
     # -- maintenance ---------------------------------------------------- #
 
@@ -179,8 +337,82 @@ class TraceStore:
         return sorted(
             p
             for p in self.root.iterdir()
-            if p.name.endswith((".jsonl", ".jsonl.gz")) and ".tmp" not in p.name
+            if p.name.endswith((".jsonl", ".jsonl.gz"))
+            and ".tmp" not in p.name
+            and ".ephemeral" not in p.name
         )
+
+    def total_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.entries())
+
+    def _enforce_budget(self, *, keep: Path | None = None) -> tuple[int, int]:
+        """Evict oldest-first until the store fits its budget.
+
+        ``keep`` (the just-published entry a caller is about to read) is
+        never evicted, even if it alone exceeds the budget.  Returns
+        ``(entries_removed, bytes_removed)``.
+        """
+        if self.max_bytes is None and self.max_entries is None:
+            return (0, 0)
+        aged = []
+        for path in self.entries():
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            aged.append((st.st_mtime, path, st.st_size))
+        aged.sort()
+        count = len(aged)
+        total = sum(size for _, _, size in aged)
+        removed = removed_bytes = 0
+        for _, path, size in aged:
+            over = (self.max_entries is not None and count > self.max_entries) or (
+                self.max_bytes is not None and total > self.max_bytes
+            )
+            if not over:
+                break
+            if keep is not None and path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            count -= 1
+            total -= size
+            removed += 1
+            removed_bytes += size
+        if removed:
+            self.stats.evictions += removed
+            self.stats.evicted_bytes += removed_bytes
+            m = maybe_registry()
+            if m is not None:
+                m.inc("trace.store_evictions", removed)
+                m.inc("trace.store_evicted_bytes", removed_bytes)
+            if self.health is not None:
+                self.health.record_disk_budget_hit()
+        return (removed, removed_bytes)
+
+    def gc(self) -> tuple[int, int]:
+        """Enforce the disk budget now; returns (entries, bytes) removed."""
+        return self._enforce_budget()
+
+    def verify(
+        self, *, quarantine: bool = False
+    ) -> list[tuple[Path, TraceCorruptError]]:
+        """Integrity-check every entry; returns the damaged ones.
+
+        With ``quarantine=True``, damaged entries are also moved to the
+        quarantine sidecar (the ``repro store verify --quarantine`` path).
+        """
+        bad: list[tuple[Path, TraceCorruptError]] = []
+        for path in self.entries():
+            try:
+                verify_trace(path)
+            except TraceCorruptError as exc:
+                bad.append((path, exc))
+                if quarantine:
+                    self.quarantine(path, exc.reason)
+        return bad
 
     def clear(self) -> int:
         """Delete every cached trace; returns the number removed."""
@@ -208,6 +440,7 @@ def detect_key(
 
 __all__ = [
     "PHASE1_SCHEDULER",
+    "QUARANTINE_DIR",
     "scheduler_from_spec",
     "TraceKey",
     "TraceStore",

@@ -130,3 +130,86 @@ class TestParseFaultPlan:
     def test_sentinel_is_not_a_legitimate_result(self):
         # The supervisor's validate hooks reject it by type; keep it a str.
         assert isinstance(MALFORMED_SENTINEL, str)
+
+
+class TestRobustnessFaultKinds:
+    """The ISSUE-7 kinds: memory_hog, disk_full, corrupt_trace."""
+
+    def test_new_kinds_are_registered(self):
+        from repro.core.faults import CORRUPT_TRACE, DISK_FULL, MEMORY_HOG
+
+        assert {MEMORY_HOG, DISK_FULL, CORRUPT_TRACE} <= set(FAULT_KINDS)
+
+    def test_spec_validates_mb(self):
+        from repro.core.faults import MEMORY_HOG
+
+        with pytest.raises(ValueError, match="mb"):
+            FaultSpec(kind=MEMORY_HOG, index=0, mb=0)
+
+    def test_disk_full_raises_enospc(self):
+        import errno
+
+        from repro.core.faults import DISK_FULL, InjectedDiskFull
+
+        with pytest.raises(InjectedDiskFull) as info:
+            apply_fault(FaultSpec(kind=DISK_FULL, index=3), in_worker=False)
+        assert info.value.errno == errno.ENOSPC
+        assert isinstance(info.value, OSError)
+
+    def test_memory_hog_allocates_and_releases(self):
+        from repro.core.faults import MEMORY_HOG
+
+        # Small hog: the point here is it runs and frees, not the size.
+        apply_fault(FaultSpec(kind=MEMORY_HOG, index=0, mb=1), in_worker=False)
+
+    def test_corrupt_trace_is_a_pre_task_noop(self):
+        from repro.core.faults import CORRUPT_TRACE
+
+        apply_fault(FaultSpec(kind=CORRUPT_TRACE, index=0), in_worker=False)
+
+    def test_parse_fifth_arg_is_mb_for_memory_hog(self):
+        from repro.core.faults import DISK_FULL, MEMORY_HOG
+
+        plan = parse_fault_plan(
+            "fuzz:0:memory_hog:1:128,fuzz:1:hang:1:0.25,record:2:disk_full"
+        )
+        assert plan.at("fuzz", 0) == FaultSpec(
+            kind=MEMORY_HOG, index=0, attempts=1, mb=128.0
+        )
+        assert plan.at("fuzz", 1).delay == 0.25
+        assert plan.at("record", 2).kind == DISK_FULL
+
+
+class TestCorruptTraceFile:
+    def test_truncates_the_footer(self, tmp_path):
+        from repro.core.faults import corrupt_trace_file
+
+        path = tmp_path / "t.jsonl"
+        path.write_bytes(b'{"kind":"header"}\n{"e":1}\n{"kind":"footer"}\n')
+        assert corrupt_trace_file(str(path))
+        assert path.read_bytes() == b'{"kind":"header"}\n{"e":1}\n'
+
+    def test_unreadable_path_degrades_to_noop(self, tmp_path):
+        from repro.core.faults import corrupt_trace_file
+
+        assert not corrupt_trace_file(str(tmp_path / "absent.jsonl"))
+
+    def test_single_line_file_left_alone(self, tmp_path):
+        from repro.core.faults import corrupt_trace_file
+
+        path = tmp_path / "one.jsonl"
+        path.write_bytes(b'{"kind":"header"}\n')
+        assert not corrupt_trace_file(str(path))
+        assert path.read_bytes() == b'{"kind":"header"}\n'
+
+    def test_damages_a_real_trace_detectably(self, tmp_path):
+        from repro.core.faults import corrupt_trace_file
+        from repro.trace import TraceCorruptError, TraceStore, detect_key, verify_trace
+        from repro.workloads import figure1
+
+        path = TraceStore(tmp_path).ensure(
+            detect_key("figure1", 0, max_steps=10_000), figure1.build()
+        )
+        assert corrupt_trace_file(str(path))
+        with pytest.raises(TraceCorruptError):
+            verify_trace(path)

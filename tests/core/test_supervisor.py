@@ -371,3 +371,82 @@ class TestTruncation:
         assert verdict.trials == 3
         assert verdict.truncated > 0
         assert "truncated=" in verdict.describe()
+
+
+class TestResourceGovernance:
+    """ISSUE 7: memory budgets, disk-kind classification, health wiring."""
+
+    def test_transient_disk_full_recovers(self, serial_baseline):
+        plan = FaultPlan([FaultSpec(kind="disk_full", index=0, attempts=1)])
+        with ParallelCampaign(jobs=1, chunk_size=4, faults=plan) as engine:
+            verdicts = engine.fuzz("figure1", PAIRS[:3], trials=4)
+        assert engine.last_report.retried == 1
+        assert not engine.failures
+        # ENOSPC is disk pressure: the health controller heard about it.
+        assert engine.health.disk_budget_hits == 1
+        for pair in PAIRS[:3]:
+            assert _signature(verdicts[pair]) == _signature(serial_baseline[pair])
+
+    def test_persistent_disk_full_quarantines_as_disk(self):
+        plan = FaultPlan([FaultSpec(kind="disk_full", index=0, attempts=99)])
+        with ParallelCampaign(
+            jobs=1, chunk_size=4, faults=plan, retry=0
+        ) as engine:
+            engine.fuzz("figure1", PAIRS[:2], trials=4)
+        assert [f.kind for f in engine.failures] == ["disk"]
+
+    def _fake_rss(self, monkeypatch, readings):
+        """Deterministic ru_maxrss: the supervisor reads (baseline, peak)
+        once per attempt when a budget is armed."""
+        import itertools
+
+        from repro.core import supervisor
+
+        feed = itertools.chain(readings, itertools.repeat(readings[-1]))
+        monkeypatch.setattr(supervisor, "_maxrss_mb", lambda: next(feed))
+
+    def test_blown_memory_budget_is_retried(self, serial_baseline, monkeypatch):
+        # Attempt 0 of task 0 grows peak RSS 100 -> 400 MiB (over budget);
+        # every later reading holds at 400, so retries see a zero delta.
+        self._fake_rss(monkeypatch, [100.0, 400.0, 400.0])
+        with ParallelCampaign(
+            jobs=1, chunk_size=4, memory_budget_mb=50
+        ) as engine:
+            verdicts = engine.fuzz("figure1", PAIRS[:3], trials=4)
+        assert engine.last_report.retried == 1
+        assert not engine.failures
+        assert engine.health.memory_failures == 1
+        for pair in PAIRS[:3]:
+            assert _signature(verdicts[pair]) == _signature(serial_baseline[pair])
+
+    def test_leaky_task_quarantines_as_memory(self, monkeypatch):
+        # Every attempt of every task blows the budget: alternating
+        # baseline/peak readings that always grow by 300 MiB.
+        import itertools
+
+        from repro.core import supervisor
+
+        feed = itertools.count(100.0, 300.0)
+        monkeypatch.setattr(supervisor, "_maxrss_mb", lambda: next(feed))
+        with ParallelCampaign(
+            jobs=1, chunk_size=4, memory_budget_mb=50, retry=0
+        ) as engine:
+            engine.fuzz("figure1", PAIRS[:2], trials=4)
+        assert sorted(f.kind for f in engine.failures) == ["memory", "memory"]
+        assert engine.health.memory_failures == 2
+        assert engine.health.state == "degraded"
+
+    def test_memory_budget_validation(self):
+        with pytest.raises(ValueError, match="memory_budget_mb"):
+            CampaignSupervisor(memory_budget_mb=0)
+
+    def test_unbudgeted_tasks_never_read_rusage(self, monkeypatch):
+        from repro.core import supervisor
+
+        def boom():
+            raise AssertionError("rusage read without a budget")
+
+        monkeypatch.setattr(supervisor, "_maxrss_mb", boom)
+        with ParallelCampaign(jobs=1, chunk_size=4) as engine:
+            engine.fuzz("figure1", PAIRS[:1], trials=4)
+        assert not engine.failures
