@@ -1,0 +1,121 @@
+"""Campaign scheduling policies: fixed-vs-adaptive trials-to-confirmation.
+
+Measures what the adaptive bandit allocator buys over the paper's fixed
+protocol on a workload with one real race and one false alarm: the total
+trials and wall-clock each policy spends to reach the same set of
+confirmed races.  The fixed policy pays ``trials`` per pair regardless of
+evidence; the adaptive policy retires the real race after one confirming
+chunk and early-stops the false alarm once its posterior upper bound
+sinks below threshold.
+
+Two entry points:
+
+* under pytest (``pytest benchmarks/bench_schedule.py --benchmark-only``)
+  each policy is a ``benchmark`` case;
+* as a script (``python benchmarks/bench_schedule.py [--trials N]``) it
+  prints the comparison and writes a ``BENCH_schedule.json`` record —
+  trials spent, wall clock, trial savings ratio, and a determinism check
+  (two adaptive runs with the same seed must produce identical verdicts)
+  — with environment metadata for the perf trajectory.
+"""
+
+import json
+import time
+
+from repro.core import fuzz_races
+from repro.workloads import figure1
+
+from repro.obs import environment_metadata
+
+PAIRS = [figure1.REAL_PAIR, figure1.FALSE_PAIR]
+
+
+def _campaign(schedule, trials, chunk_size=5, seed=0):
+    return fuzz_races(
+        figure1.build(),
+        PAIRS,
+        trials=trials,
+        base_seed=seed,
+        chunk_size=chunk_size,
+        schedule=schedule,
+    )
+
+
+def _confirmed(verdicts):
+    return {str(pair) for pair, v in verdicts.items() if v.times_created}
+
+
+def _total_trials(verdicts):
+    return sum(v.trials for v in verdicts.values())
+
+
+def test_fixed_schedule(benchmark, quick_trials):
+    verdicts = benchmark(lambda: _campaign("fixed", trials=quick_trials))
+    assert verdicts[figure1.REAL_PAIR].is_real
+
+
+def test_adaptive_schedule(benchmark, quick_trials):
+    verdicts = benchmark(lambda: _campaign("adaptive", trials=quick_trials))
+    benchmark.extra_info["total_trials"] = _total_trials(verdicts)
+    assert verdicts[figure1.REAL_PAIR].is_real
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=60)
+    parser.add_argument("--chunk-size", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default="BENCH_schedule.json")
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    fixed = _campaign("fixed", args.trials, args.chunk_size, args.seed)
+    fixed_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    adaptive = _campaign("adaptive", args.trials, args.chunk_size, args.seed)
+    adaptive_s = time.perf_counter() - start
+
+    rerun = _campaign("adaptive", args.trials, args.chunk_size, args.seed)
+
+    # The acceptance bar: same races confirmed, fewer trials spent, and
+    # the adaptive campaign is reproducible from its seed.
+    assert _confirmed(adaptive) == _confirmed(fixed)
+    assert _total_trials(adaptive) < _total_trials(fixed)
+    deterministic = all(
+        (adaptive[p].trials, adaptive[p].times_created)
+        == (rerun[p].trials, rerun[p].times_created)
+        for p in PAIRS
+    )
+    assert deterministic
+
+    fixed_trials = _total_trials(fixed)
+    adaptive_trials = _total_trials(adaptive)
+    record = {
+        "benchmark": "campaign-schedule",
+        "workload": "figure1",
+        "pairs": len(PAIRS),
+        "trials_per_pair": args.trials,
+        "chunk_size": args.chunk_size,
+        "seed": args.seed,
+        "env": environment_metadata(),
+        "confirmed": sorted(_confirmed(adaptive)),
+        "fixed_trials": fixed_trials,
+        "adaptive_trials": adaptive_trials,
+        "trial_savings": round(1.0 - adaptive_trials / fixed_trials, 3),
+        "fixed_s": round(fixed_s, 4),
+        "adaptive_s": round(adaptive_s, 4),
+        "wall_speedup": round(fixed_s / adaptive_s, 3) if adaptive_s else None,
+        "adaptive_deterministic": deterministic,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -255,11 +255,23 @@ def _cmd_fuzz(args) -> int:
     spec = get(args.workload)
     faults = parse_fault_plan(args.fault_plan) if args.fault_plan else None
     on_progress = ProgressPrinter(sys.stderr) if args.progress else None
+    if args.schedule != "adaptive":
+        for flag, value in (
+            ("--trial-budget", args.trial_budget),
+            ("--time-budget", args.time_budget),
+        ):
+            if value is not None:
+                print(
+                    f"fuzz: {flag} only applies with --schedule adaptive",
+                    file=sys.stderr,
+                )
+                return 2
     with ExitStack() as stack:
         registry = _enter_collecting(stack, args.metrics_out is not None)
         campaign = race_directed_test(
             spec.build(),
             trials=args.trials,
+            base_seed=args.seed,
             phase1_seeds=spec.phase1_seeds,
             max_steps=spec.max_steps,
             jobs=args.jobs,
@@ -272,6 +284,9 @@ def _cmd_fuzz(args) -> int:
             memory_budget_mb=args.memory_budget,
             fast_mode=args.fast_mode,
             on_progress=on_progress,
+            schedule=args.schedule,
+            trial_budget=args.trial_budget,
+            time_budget=args.time_budget,
         )
     if registry is not None:
         # A checkpoint-resumed campaign accumulates into the prior report
@@ -516,6 +531,39 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_parser.add_argument("workload")
     fuzz_parser.add_argument("--trials", type=int, default=100)
     fuzz_parser.add_argument(
+        "--schedule",
+        choices=("fixed", "adaptive"),
+        default="fixed",
+        help="Phase-2 trial allocation policy: 'fixed' spends exactly "
+        "--trials per pair (the paper's protocol); 'adaptive' reallocates "
+        "a global budget toward pairs whose posterior race probability is "
+        "still undecided, early-stopping hopeless ones (deterministic per "
+        "--seed)",
+    )
+    fuzz_parser.add_argument(
+        "--trial-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="adaptive only: global cap on total Phase-2 trials across "
+        "all pairs (default: --trials per pair)",
+    )
+    fuzz_parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="adaptive only: wall-clock cap on Phase 2; no new chunks are "
+        "scheduled past it (already-running chunks finish)",
+    )
+    fuzz_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="base seed for Phase-2 trials (and the adaptive schedule's "
+        "Thompson draws)",
+    )
+    fuzz_parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -588,8 +636,8 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_parser.add_argument(
         "--progress",
         action="store_true",
-        help="print throttled per-pair progress lines (done/total, "
-        "confirms, ETA) to stderr",
+        help="print throttled progress lines (settled/scheduled chunks, "
+        "confirms, ETA over remaining scheduled work) to stderr",
     )
     fuzz_parser.set_defaults(handler=_cmd_fuzz)
 

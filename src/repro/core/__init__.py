@@ -36,6 +36,14 @@ from .replay import (
     signature_from_trace,
 )
 from .results import CampaignReport, PairVerdict, TaskFailure
+from .schedule import (
+    SCHEDULES,
+    AdaptiveSchedule,
+    CampaignSchedule,
+    FixedSchedule,
+    TrialChunk,
+    make_schedule,
+)
 from .supervisor import (
     CampaignSupervisor,
     RetryPolicy,
@@ -87,6 +95,12 @@ __all__ = [
     "chunk_ranges",
     "fuzz_task_key",
     "pool_map",
+    "CampaignSchedule",
+    "FixedSchedule",
+    "AdaptiveSchedule",
+    "TrialChunk",
+    "make_schedule",
+    "SCHEDULES",
     "CampaignSupervisor",
     "SupervisorReport",
     "RetryPolicy",

@@ -42,6 +42,7 @@ from repro.runtime.statement import StatementPair
 from .parallel import ParallelCampaign, pair_span_name
 from .racefuzzer import RaceFuzzer
 from .results import CampaignReport, PairVerdict
+from .schedule import CampaignSchedule, make_schedule
 from .schedulers import RandomScheduler, baseline_scheduler
 
 
@@ -265,6 +266,90 @@ def detect_races(
     return merged[detector] if single else merged
 
 
+def _fuzz_scheduled_serial(
+    program: Program,
+    pair_list: Sequence[StatementPair],
+    sched: CampaignSchedule,
+    *,
+    preemption: str,
+    patience: int,
+    max_steps: int,
+    fast_mode: bool,
+    stop_on_confirm: bool,
+    on_progress,
+) -> dict[StatementPair, PairVerdict]:
+    """THE serial Phase-2 loop: execute a schedule's batches in-process.
+
+    Every serial fuzz path funnels through here (``fuzz_races`` directly,
+    ``race_directed_test`` via ``fuzz_races``), so trial-allocation policy
+    lives in exactly one place.  Consecutive same-pair chunks run under
+    one ``pair.*`` span — the fixed schedule emits each pair's chunks
+    contiguously, reproducing the historical one-span-per-pair metrics
+    exactly.
+    """
+    verdicts: dict[StatementPair, PairVerdict] = {
+        pair: PairVerdict(pair=pair) for pair in pair_list
+    }
+    start = time.monotonic() if on_progress is not None else 0.0
+    confirmed: set[int] = set()
+    done = issued = 0
+    with span("phase2.fuzz"):
+        while True:
+            batch = sched.next_batch()
+            if not batch:
+                break
+            issued += len(batch)
+            position = 0
+            while position < len(batch):
+                pair_index = batch[position].pair_index
+                group = []
+                while (
+                    position < len(batch)
+                    and batch[position].pair_index == pair_index
+                ):
+                    group.append(batch[position])
+                    position += 1
+                pair = pair_list[pair_index]
+                fuzzer = RaceFuzzer(
+                    pair, preemption=preemption, patience=patience,
+                    max_steps=max_steps, fast_mode=fast_mode,
+                )
+                with span(pair_span_name(pair)):
+                    for chunk in group:
+                        if (
+                            stop_on_confirm
+                            and verdicts[pair].times_created > 0
+                        ):
+                            sched.cancel(chunk)
+                            done += 1
+                            continue
+                        delta = PairVerdict(pair=pair)
+                        for seed in range(
+                            chunk.seed_start, chunk.seed_start + chunk.count
+                        ):
+                            delta.absorb(fuzzer.run(program, seed=seed))
+                            if stop_on_confirm and delta.times_created > 0:
+                                break
+                        verdicts[pair].merge(delta)
+                        sched.record(chunk, delta)
+                        done += 1
+                if on_progress is not None:
+                    if verdicts[pair].times_created > 0:
+                        confirmed.add(pair_index)
+                    planned = sched.planned_chunks()
+                    on_progress(
+                        ProgressUpdate(
+                            phase="fuzz",
+                            done=done,
+                            total=issued + planned,
+                            confirms=len(confirmed),
+                            elapsed_s=time.monotonic() - start,
+                            remaining=(issued - done) + planned,
+                        )
+                    )
+    return verdicts
+
+
 def fuzz_races(
     program: Program,
     pairs: Iterable[StatementPair],
@@ -284,8 +369,22 @@ def fuzz_races(
     faults=None,
     memory_budget_mb: float | None = None,
     on_progress=None,
+    schedule: str | CampaignSchedule | None = None,
+    trial_budget: int | None = None,
+    time_budget: float | None = None,
 ) -> dict[StatementPair, PairVerdict]:
-    """Phase 2: fuzz every pair ``trials`` times; aggregate verdicts.
+    """Phase 2: fuzz the candidate pairs under a trial-allocation policy.
+
+    ``schedule`` picks the policy (see :mod:`repro.core.schedule`):
+    ``None``/``"fixed"`` is the paper's protocol — exactly ``trials``
+    seeded trials per pair — and ``"adaptive"`` reallocates a *global*
+    budget round by round toward pairs whose posterior race probability
+    is still worth buying evidence about (``trial_budget`` caps total
+    trials, defaulting to ``trials`` per pair; ``time_budget`` caps
+    campaign wall-clock seconds; ``base_seed`` also seeds the Thompson
+    draws, so adaptive campaigns are deterministic per seed).  A
+    pre-built :class:`~repro.core.schedule.CampaignSchedule` may be
+    passed for tuned parameters.
 
     ``fast_mode=True`` turns on the interpreter's sync-only fast path:
     MemEvents are emitted only for the racing statements themselves (all
@@ -294,12 +393,13 @@ def fuzz_races(
     purely a throughput lever for campaigns with observers attached.
 
     ``jobs=N`` (``None``/``0`` = one worker per core, ``1`` = serial,
-    negatives rejected) splits each pair's seed range into
+    negatives rejected) splits each round's allocations into
     ``chunk_size``-sized tasks across a worker pool; merged verdicts are
-    identical to the serial loop.  ``stop_on_confirm`` abandons a pair's
-    remaining trials once one trial confirms the race real — same
-    classification, fewer trials (and timing-dependent trial counts when
-    ``jobs > 1``).
+    identical to the serial loop (posterior updates are commutative, and
+    allocation decisions happen only at round boundaries).
+    ``stop_on_confirm`` abandons a pair's remaining trials once one trial
+    confirms the race real — same classification, fewer trials (and
+    timing-dependent trial counts when ``jobs > 1``).
 
     The resilience options route through the campaign supervisor (even at
     ``jobs=1``): ``deadline`` bounds each chunk's wall-clock (distinct
@@ -315,6 +415,13 @@ def fuzz_races(
     (like ``jobs>1``) so the program can be rebuilt from its name.
     """
     pair_list = list(pairs)
+    sched = make_schedule(
+        schedule,
+        trials=trials,
+        trial_budget=trial_budget,
+        time_budget_s=time_budget,
+        seed=base_seed,
+    )
     if _parallel(jobs) or _supervised(
         deadline, retries, checkpoint, faults, memory_budget_mb
     ):
@@ -338,37 +445,20 @@ def fuzz_races(
                 patience=patience,
                 max_steps=max_steps,
                 fast_mode=fast_mode,
+                schedule=sched,
             )
-    verdicts: dict[StatementPair, PairVerdict] = {}
-    start = time.monotonic() if on_progress is not None else 0.0
-    confirms = 0
-    with span("phase2.fuzz"):
-        for done, pair in enumerate(pair_list, start=1):
-            fuzzer = RaceFuzzer(
-                pair, preemption=preemption, patience=patience,
-                max_steps=max_steps, fast_mode=fast_mode,
-            )
-            verdict = PairVerdict(pair=pair)
-            with span(pair_span_name(pair)):
-                for trial in range(trials):
-                    outcome = fuzzer.run(program, seed=base_seed + trial)
-                    verdict.absorb(outcome)
-                    if stop_on_confirm and verdict.times_created > 0:
-                        break
-            verdicts[pair] = verdict
-            if on_progress is not None:
-                if verdict.times_created > 0:
-                    confirms += 1
-                on_progress(
-                    ProgressUpdate(
-                        phase="fuzz",
-                        done=done,
-                        total=len(pair_list),
-                        confirms=confirms,
-                        elapsed_s=time.monotonic() - start,
-                    )
-                )
-    return verdicts
+    sched.bind(pair_list, base_seed=base_seed, chunk_size=chunk_size)
+    return _fuzz_scheduled_serial(
+        program,
+        pair_list,
+        sched,
+        preemption=preemption,
+        patience=patience,
+        max_steps=max_steps,
+        fast_mode=fast_mode,
+        stop_on_confirm=stop_on_confirm,
+        on_progress=on_progress,
+    )
 
 
 def race_directed_test(
@@ -392,6 +482,9 @@ def race_directed_test(
     faults=None,
     memory_budget_mb: float | None = None,
     on_progress=None,
+    schedule: str | CampaignSchedule | None = None,
+    trial_budget: int | None = None,
+    time_budget: float | None = None,
 ) -> CampaignReport:
     """The full RaceFuzzer pipeline over one program.
 
@@ -403,8 +496,17 @@ def race_directed_test(
     ``faults`` — see :func:`fuzz_races`) apply to both phases; tasks that
     fail every retry end up on ``CampaignReport.failures`` instead of
     aborting the campaign.  ``fast_mode`` applies to Phase 2 only (see
-    :func:`fuzz_races`); Phase 1 detectors need every MemEvent.
+    :func:`fuzz_races`); Phase 1 detectors need every MemEvent, and so do
+    ``schedule``/``trial_budget``/``time_budget``, Phase 2's
+    trial-allocation policy knobs.
     """
+    sched = make_schedule(
+        schedule,
+        trials=trials,
+        trial_budget=trial_budget,
+        time_budget_s=time_budget,
+        seed=base_seed,
+    )
     if _parallel(jobs) or _supervised(
         deadline, retries, checkpoint, faults, memory_budget_mb
     ):
@@ -434,6 +536,7 @@ def race_directed_test(
                     patience=patience,
                     max_steps=max_steps,
                     fast_mode=fast_mode,
+                    schedule=sched,
                 )
             pair_list = list(pairs)
             phase1 = RaceReport.from_pairs(pair_list, program=name)
@@ -446,6 +549,7 @@ def race_directed_test(
                 patience=patience,
                 max_steps=max_steps,
                 fast_mode=fast_mode,
+                schedule=sched,
             )
             return CampaignReport(
                 program=name,
@@ -476,6 +580,7 @@ def race_directed_test(
         chunk_size=chunk_size,
         stop_on_confirm=stop_on_confirm,
         on_progress=on_progress,
+        schedule=sched,
     )
     return CampaignReport(program=program.name, phase1=phase1, verdicts=verdicts)
 

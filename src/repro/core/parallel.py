@@ -62,6 +62,7 @@ from repro.runtime.statement import StatementPair
 
 from .faults import FaultPlan
 from .results import CampaignReport, PairVerdict
+from .schedule import CampaignSchedule, chunk_spans, make_schedule
 from .schedulers import RandomScheduler
 from .supervisor import CampaignSupervisor, RetryPolicy, resolve_jobs
 
@@ -240,12 +241,14 @@ def fuzz_task_key(task: FuzzTask) -> str:
 
 
 def chunk_ranges(base_seed: int, trials: int, chunk_size: int) -> list[tuple[int, int]]:
-    """Split ``trials`` consecutive seeds into ``(start, count)`` chunks."""
-    _validate_chunk_size(chunk_size)
-    return [
-        (start, min(chunk_size, base_seed + trials - start))
-        for start in range(base_seed, base_seed + trials, chunk_size)
-    ]
+    """Split ``trials`` consecutive seeds into ``(start, count)`` chunks.
+
+    A thin alias of :func:`repro.core.schedule.chunk_spans` — the
+    schedule layer owns range math now, so incremental allocations
+    starting at an arbitrary seed cursor chunk identically to a full
+    fixed campaign.
+    """
+    return chunk_spans(base_seed, trials, chunk_size)
 
 
 def pool_map(
@@ -391,7 +394,7 @@ class ParallelCampaign:
         start = time.monotonic()
         state = {"done": 0}
 
-        def on_settle(index: int, result) -> None:
+        def on_settle(index: int, result, outcome: str) -> None:
             state["done"] += 1
             confirms = (
                 count_confirm(index, result) if count_confirm is not None else None
@@ -550,77 +553,131 @@ class ParallelCampaign:
         patience: int = 400,
         max_steps: int = 1_000_000,
         fast_mode: bool = False,
+        schedule: str | CampaignSchedule | None = None,
     ) -> dict[StatementPair, PairVerdict]:
-        """Fuzz every pair over chunked seed ranges; merge chunk verdicts.
+        """Fuzz every pair under a trial-allocation policy; merge verdicts.
 
-        Chunk verdicts for one pair merge in seed order, so aggregates
-        are identical to the serial trial loop for the same seed set
+        ``schedule`` picks the allocation policy (see
+        :mod:`repro.core.schedule`): ``None``/``"fixed"`` spends exactly
+        ``trials`` per pair — one batch of pair-major chunks, identical
+        to the pre-schedule engine — while ``"adaptive"`` (or a bound-
+        ready :class:`CampaignSchedule` instance, for tuned parameters)
+        runs the batch loop round by round, feeding every settled chunk's
+        verdict back into the policy between batches.
+
+        Chunk verdicts for one pair merge in seed order within each
+        round, and posterior updates are commutative, so aggregates are
+        identical to the serial loop for the same seed set and schedule
         (except wall-clock sums, which are measured, and trial counts
         under ``stop_on_confirm``).
         """
         pair_list = list(pairs)
-        tasks: list[FuzzTask] = []
-        for pair in pair_list:
-            for start, count in chunk_ranges(base_seed, trials, self.chunk_size):
-                tasks.append(
+        sched = make_schedule(schedule, trials=trials)
+        sched.bind(pair_list, base_seed=base_seed, chunk_size=self.chunk_size)
+        verdicts: dict[StatementPair, PairVerdict] = {
+            pair: PairVerdict(pair=pair) for pair in pair_list
+        }
+        confirmed: set[tuple[str, str]] = set()  # stop_on_confirm, all rounds
+        confirmed_pairs: set[tuple[str, str]] = set()  # progress display
+        start = time.monotonic()
+        state = {"done": 0, "issued": 0}
+
+        with span("phase2.fuzz"):
+            while True:
+                batch = sched.next_batch()
+                if not batch:
+                    break
+                tasks = [
                     FuzzTask(
                         workload=workload,
-                        pair=pair,
-                        seed_start=start,
-                        count=count,
+                        pair=pair_list[chunk.pair_index],
+                        seed_start=chunk.seed_start,
+                        count=chunk.count,
                         preemption=preemption,
                         patience=patience,
                         max_steps=max_steps,
                         fast_mode=fast_mode,
                     )
+                    for chunk in batch
+                ]
+                state["issued"] += len(tasks)
+                settled: set[int] = set()
+                marked: set[int] = set()  # cancel-requested, not yet settled
+
+                on_result = None
+                if self.stop_on_confirm:
+
+                    def on_result(index: int, verdict) -> list[int]:
+                        if not isinstance(verdict, PairVerdict):
+                            return []
+                        key = pair_key(tasks[index].pair)
+                        if verdict.times_created > 0 and key not in confirmed:
+                            confirmed.add(key)
+                            cancels = [
+                                other
+                                for other, task in enumerate(tasks)
+                                if other != index
+                                and other not in settled
+                                and pair_key(task.pair) == key
+                            ]
+                            marked.update(cancels)
+                            return cancels
+                        return []
+
+                def on_settle(index: int, result, outcome: str) -> None:
+                    settled.add(index)
+                    marked.discard(index)
+                    chunk = batch[index]
+                    if outcome in ("ok", "cached") and isinstance(
+                        result, PairVerdict
+                    ):
+                        sched.record(chunk, result)
+                    elif outcome == "quarantined":
+                        sched.record_failure(chunk)
+                    elif outcome == "cancelled":
+                        sched.cancel(chunk)
+                    state["done"] += 1
+                    if self.on_progress is not None:
+                        if isinstance(result, PairVerdict) and result.times_created > 0:
+                            confirmed_pairs.add(pair_key(tasks[index].pair))
+                        planned = sched.planned_chunks()
+                        self.on_progress(
+                            ProgressUpdate(
+                                phase="fuzz",
+                                done=state["done"],
+                                total=state["issued"] + planned,
+                                confirms=len(confirmed_pairs),
+                                elapsed_s=time.monotonic() - start,
+                                health=self.health.state,
+                                remaining=max(
+                                    0,
+                                    state["issued"]
+                                    - state["done"]
+                                    - len(marked),
+                                )
+                                + planned,
+                            )
+                        )
+
+                report = self.supervisor.supervise(
+                    "fuzz",
+                    tasks,
+                    validate=lambda task, r: (
+                        isinstance(r, PairVerdict) and r.pair == task.pair
+                    ),
+                    key_fn=fuzz_task_key,
+                    encode=lambda verdict: verdict.to_jsonable(),
+                    decode=PairVerdict.from_jsonable,
+                    on_result=on_result,
+                    on_settle=on_settle,
                 )
-        on_result = None
-        if self.stop_on_confirm:
-            confirmed: set[tuple[str, str]] = set()
-
-            def on_result(index: int, verdict) -> list[int]:
-                if not isinstance(verdict, PairVerdict):
-                    return []
-                key = pair_key(tasks[index].pair)
-                if verdict.times_created > 0 and key not in confirmed:
-                    confirmed.add(key)
-                    return [
-                        other
-                        for other, task in enumerate(tasks)
-                        if other != index and pair_key(task.pair) == key
-                    ]
-                return []
-
-        confirmed_pairs: set[tuple[str, str]] = set()
-
-        def count_confirm(index: int, verdict) -> int:
-            if isinstance(verdict, PairVerdict) and verdict.times_created > 0:
-                confirmed_pairs.add(pair_key(tasks[index].pair))
-            return len(confirmed_pairs)
-
-        with span("phase2.fuzz"):
-            report = self.supervisor.supervise(
-                "fuzz",
-                tasks,
-                validate=lambda task, r: (
-                    isinstance(r, PairVerdict) and r.pair == task.pair
-                ),
-                key_fn=fuzz_task_key,
-                encode=lambda verdict: verdict.to_jsonable(),
-                decode=PairVerdict.from_jsonable,
-                on_result=on_result,
-                on_settle=self._settle_hook("fuzz", len(tasks), count_confirm),
-            )
-        self.last_report = report
-        self.failures.extend(report.failures)
-        verdicts: dict[StatementPair, PairVerdict] = {
-            pair: PairVerdict(pair=pair) for pair in pair_list
-        }
-        for task, verdict in zip(tasks, report.results):  # submission order
-            if verdict is not None:
-                verdicts[task.pair].merge(verdict)
-        for failure in report.failures:
-            verdicts[tasks[failure.index].pair].errors.append(failure)
+                self.last_report = report
+                self.failures.extend(report.failures)
+                for task, verdict in zip(tasks, report.results):  # submission order
+                    if verdict is not None:
+                        verdicts[task.pair].merge(verdict)
+                for failure in report.failures:
+                    verdicts[tasks[failure.index].pair].errors.append(failure)
         return verdicts
 
     def run(
@@ -635,6 +692,7 @@ class ParallelCampaign:
         patience: int = 400,
         max_steps: int = 1_000_000,
         fast_mode: bool = False,
+        schedule: str | CampaignSchedule | None = None,
     ) -> CampaignReport:
         """Both phases end to end, against one registered workload."""
         phase1 = self.detect(
@@ -652,6 +710,7 @@ class ParallelCampaign:
             patience=patience,
             max_steps=max_steps,
             fast_mode=fast_mode,
+            schedule=schedule,
         )
         return CampaignReport(
             program=workload,

@@ -1,0 +1,560 @@
+"""Campaign trial allocation policies: who gets fuzzed next, and how much.
+
+Phase 2 of the paper spends a *fixed* budget — "we ran RaceFuzzer 100
+times for each racing pair of statements" (Section 5.2) — which is what
+makes large campaigns intractable: most candidate pairs are hopeless
+while the racing ones confirm within a handful of trials (Table 1's
+per-pair probabilities are mostly 0.0 or near 1.0).  This module carves
+the allocation decision out of the drivers into a policy object so the
+protocol is chosen once, at the top, instead of being hard-wired through
+every layer:
+
+* :class:`FixedSchedule` — the paper's protocol, byte-identical to the
+  pre-policy drivers for every workload, serial and parallel.  Table 1
+  reproduction pins this.
+* :class:`AdaptiveSchedule` — an online allocator in the bandit style:
+  each pair carries a beta-Bernoulli posterior over its race-creation
+  probability, rounds of chunks are allocated by Thompson sampling
+  (deterministic given ``seed``), pairs whose posterior upper bound falls
+  below a threshold are early-stopped, and a *global* trial/wall-clock
+  budget replaces per-pair counts.
+
+The executor contract (both the serial loop in
+:mod:`repro.core.driver` and the supervised engine in
+:mod:`repro.core.parallel` honour it):
+
+1. ``bind(pairs, base_seed=..., chunk_size=...)`` once per campaign;
+2. repeatedly take :meth:`~CampaignSchedule.next_batch` and run every
+   :class:`TrialChunk` in it (order inside a batch is the submission
+   order — deterministic);
+3. feed each chunk's *delta* verdict back through
+   :meth:`~CampaignSchedule.record` (or :meth:`record_failure` /
+   :meth:`cancel` for chunks that never produced one);
+4. stop when ``next_batch`` returns an empty list.
+
+Posterior updates are pure count accumulations — commutative and
+associative — so feedback may arrive in completion order (it does, via
+the supervisor's ``on_settle`` hook) while allocation decisions read the
+posterior only at batch boundaries.  That is what makes ``jobs=N``
+adaptive campaigns identical to serial ones for the same seed.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from random import Random
+from typing import Sequence
+
+from repro.obs import maybe_registry
+from repro.runtime.statement import StatementPair
+
+
+@dataclass(frozen=True)
+class TrialChunk:
+    """One schedulable unit: ``count`` consecutive seeded trials of a pair.
+
+    Pairs are addressed by index into the bound pair list so a chunk is a
+    tiny value object that crosses layers (and process boundaries, inside
+    a :class:`~repro.core.parallel.FuzzTask`) without dragging statement
+    objects along.
+    """
+
+    pair_index: int
+    seed_start: int
+    count: int
+
+
+def chunk_spans(start: int, count: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Split ``count`` consecutive seeds from ``start`` into chunk spans.
+
+    The range-aware core of :func:`repro.core.parallel.chunk_ranges`; the
+    adaptive schedule uses it to cut an incremental allocation at an
+    arbitrary seed cursor into worker-sized pieces.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [
+        (s, min(chunk_size, start + count - s))
+        for s in range(start, start + count, chunk_size)
+    ]
+
+
+def beta_mean(alpha: float, beta: float) -> float:
+    """Posterior mean of a Beta(alpha, beta) distribution."""
+    return alpha / (alpha + beta)
+
+
+def beta_upper_bound(alpha: float, beta: float, z: float = 2.0) -> float:
+    """An upper credible bound on the success probability.
+
+    Normal approximation (mean + z standard deviations) of the
+    Beta(alpha, beta) posterior, clamped to [0, 1].  For the
+    zero-successes case that drives early stopping this tracks the exact
+    quantile closely enough, and it is a pure function — no SciPy.
+    """
+    n = alpha + beta
+    mean = alpha / n
+    var = (alpha * beta) / (n * n * (n + 1.0))
+    return min(1.0, mean + z * math.sqrt(var))
+
+
+class CampaignSchedule:
+    """Base policy: the fixed protocol's bookkeeping, overridable planning.
+
+    Subclasses implement :meth:`plan_round`; the base class owns the
+    executor-facing surface (binding, budget/round accounting, metrics,
+    the allocation log used by determinism tests).
+    """
+
+    #: the ``--schedule`` spelling of this policy.
+    name = "base"
+
+    def __init__(self) -> None:
+        self.pairs: list[StatementPair] = []
+        self.base_seed = 0
+        self.chunk_size = 25
+        self.rounds = 0
+        self.trials_allocated = 0
+        #: every allocation ever issued, as (pair_index, seed_start, count)
+        #: — the determinism witness asserted by tests/core/test_schedule.py.
+        self.allocation_log: list[tuple[int, int, int]] = []
+        #: per-pair next unused seed (parallel fixed chunking and adaptive
+        #: incremental allocation both consume seeds from these cursors).
+        self._cursors: list[int] = []
+        self._bound = False
+
+    # -- executor surface ---------------------------------------------- #
+
+    def bind(
+        self,
+        pairs: Sequence[StatementPair],
+        *,
+        base_seed: int = 0,
+        chunk_size: int = 25,
+    ) -> None:
+        """Attach the campaign's pair list; must precede ``next_batch``."""
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.pairs = list(pairs)
+        self.base_seed = base_seed
+        self.chunk_size = chunk_size
+        self._cursors = [base_seed] * len(self.pairs)
+        self._bound = True
+
+    def next_batch(self) -> list[TrialChunk]:
+        """The next round of chunks to execute ([] = campaign done)."""
+        assert self._bound, "bind() must be called before next_batch()"
+        batch = self.plan_round()
+        if not batch:
+            return []
+        self.rounds += 1
+        for chunk in batch:
+            self.trials_allocated += chunk.count
+            self.allocation_log.append(
+                (chunk.pair_index, chunk.seed_start, chunk.count)
+            )
+        m = maybe_registry()
+        if m is not None:
+            m.inc("schedule.rounds")
+            m.inc("schedule.trials_allocated", sum(c.count for c in batch))
+        return batch
+
+    def record(self, chunk: TrialChunk, verdict) -> None:
+        """Feed one executed chunk's delta verdict back into the policy.
+
+        ``verdict`` is the :class:`~repro.core.results.PairVerdict` for
+        *this chunk alone* (not the pair's running aggregate).  Updates
+        must stay commutative: parallel executors deliver them in
+        completion order.
+        """
+
+    def record_failure(self, chunk: TrialChunk) -> None:
+        """A chunk was quarantined: its trials ran (or tried to) but
+        produced no verdict.  Budget stays spent; the posterior is not
+        touched."""
+
+    def cancel(self, chunk: TrialChunk) -> None:
+        """A chunk was cancelled before running (``stop_on_confirm``)."""
+
+    def planned_trials(self) -> int:
+        """Trials the policy still expects to issue beyond those already
+        allocated (best estimate).
+
+        Drives the ``--progress`` ETA: remaining *scheduled* work, not a
+        static planned total, so early exit shrinks the estimate.
+        """
+        return 0
+
+    def planned_chunks(self) -> int:
+        """`planned_trials` in chunk units (the executors' work unit)."""
+        return -(-self.planned_trials() // self.chunk_size)
+
+    # -- policy hook ---------------------------------------------------- #
+
+    def plan_round(self) -> list[TrialChunk]:
+        raise NotImplementedError
+
+    # -- helpers for subclasses ----------------------------------------- #
+
+    def take_seeds(self, pair_index: int, count: int) -> list[TrialChunk]:
+        """Consume ``count`` seeds from a pair's cursor as sized chunks."""
+        start = self._cursors[pair_index]
+        self._cursors[pair_index] = start + count
+        return [
+            TrialChunk(pair_index=pair_index, seed_start=s, count=c)
+            for s, c in chunk_spans(start, count, self.chunk_size)
+        ]
+
+    def summary(self) -> dict:
+        """Policy state worth surfacing in run reports / BENCH records."""
+        return {
+            "schedule": self.name,
+            "rounds": self.rounds,
+            "trials_allocated": self.trials_allocated,
+        }
+
+
+class FixedSchedule(CampaignSchedule):
+    """The paper's protocol: every pair gets exactly ``trials`` trials.
+
+    One batch containing every chunk, pair-major with ascending seed
+    ranges — exactly the task list (parallel) and trial order (serial)
+    the pre-policy drivers produced, so campaign output is ``==``-
+    identical to theirs.  Table 1 reproduction pins this schedule.
+    """
+
+    name = "fixed"
+
+    def __init__(self, trials: int = 100) -> None:
+        super().__init__()
+        if trials < 0:
+            raise ValueError(f"trials must be >= 0, got {trials}")
+        self.trials = trials
+
+    def plan_round(self) -> list[TrialChunk]:
+        if self.rounds > 0:
+            return []
+        batch: list[TrialChunk] = []
+        for index in range(len(self.pairs)):
+            batch.extend(self.take_seeds(index, self.trials))
+        return batch
+
+    def planned_trials(self) -> int:
+        if self.rounds > 0:
+            return 0
+        return self.trials * len(self.pairs)
+
+
+@dataclass
+class _PairPosterior:
+    """Beta-Bernoulli belief about one pair's race-creation probability."""
+
+    alpha: float
+    beta: float
+    trials: int = 0
+    created: int = 0
+    issued: int = 0
+    stopped: bool = False
+
+    @property
+    def confirmed(self) -> bool:
+        return self.created > 0
+
+    def mean(self) -> float:
+        return beta_mean(self.alpha, self.beta)
+
+    def upper(self, z: float) -> float:
+        return beta_upper_bound(self.alpha, self.beta, z)
+
+
+class AdaptiveSchedule(CampaignSchedule):
+    """Bandit allocation: spend the budget where expected yield is.
+
+    Each round draws one Thompson sample per live pair from its
+    Beta(alpha, beta) posterior — using ``Random(f"{seed}:{round}")``, so
+    the draw sequence is a pure function of the constructor seed and the
+    (deterministic) round number — and allocates one ``chunk_size`` chunk
+    to each of the ``round_width`` highest-sampled pairs.  A pair leaves
+    the live set when it is *confirmed* (one created race proves it real;
+    further trials add nothing to the confirmed-race set) or
+    *early-stopped* (``min_trials`` trials without a single creation and
+    a posterior upper bound below ``stop_threshold``).  The campaign ends
+    when the live set empties, the global ``trial_budget`` is spent, or
+    ``time_budget_s`` of wall-clock has elapsed (the one deliberately
+    nondeterministic stop — equivalence tests leave it off).
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        *,
+        trial_budget: int | None = None,
+        time_budget_s: float | None = None,
+        seed: int = 0,
+        round_width: int = 8,
+        min_trials: int = 25,
+        stop_threshold: float = 0.1,
+        stop_z: float = 2.0,
+        prior: tuple[float, float] = (1.0, 1.0),
+        max_trials_per_pair: int | None = None,
+    ) -> None:
+        super().__init__()
+        if trial_budget is not None and trial_budget < 1:
+            raise ValueError(f"trial_budget must be >= 1, got {trial_budget}")
+        if time_budget_s is not None and time_budget_s <= 0:
+            raise ValueError(
+                f"time_budget_s must be positive, got {time_budget_s}"
+            )
+        if round_width < 1:
+            raise ValueError(f"round_width must be >= 1, got {round_width}")
+        if not 0.0 < stop_threshold < 1.0:
+            raise ValueError(
+                f"stop_threshold must be in (0, 1), got {stop_threshold}"
+            )
+        if prior[0] <= 0 or prior[1] <= 0:
+            raise ValueError(f"prior pseudo-counts must be positive, got {prior}")
+        self.trial_budget = trial_budget
+        self.time_budget_s = time_budget_s
+        self.seed = seed
+        self.round_width = round_width
+        self.min_trials = min_trials
+        self.stop_threshold = stop_threshold
+        self.stop_z = stop_z
+        self.prior = prior
+        self.max_trials_per_pair = max_trials_per_pair
+        self.early_stopped = 0
+        self.confirmed = 0
+        self.budget_exhausted = False
+        self.time_exhausted = False
+        self._posteriors: list[_PairPosterior] = []
+        self._started: float | None = None
+
+    # -- executor surface ----------------------------------------------- #
+
+    def bind(self, pairs, *, base_seed=0, chunk_size=25) -> None:
+        super().bind(pairs, base_seed=base_seed, chunk_size=chunk_size)
+        self._posteriors = [
+            _PairPosterior(alpha=self.prior[0], beta=self.prior[1])
+            for _ in self.pairs
+        ]
+        self._started = None
+
+    def record(self, chunk: TrialChunk, verdict) -> None:
+        post = self._posteriors[chunk.pair_index]
+        was_confirmed = post.confirmed
+        post.trials += verdict.trials
+        post.created += verdict.times_created
+        post.alpha += verdict.times_created
+        post.beta += verdict.trials - verdict.times_created
+        if post.confirmed and not was_confirmed:
+            self.confirmed += 1
+            m = maybe_registry()
+            if m is not None:
+                m.inc("schedule.pairs_confirmed")
+
+    def cancel(self, chunk: TrialChunk) -> None:
+        # Refund the seeds so budget accounting reflects work not done.
+        # Only reachable under stop_on_confirm, whose trial counts are
+        # documented as timing-dependent anyway.
+        self._posteriors[chunk.pair_index].issued -= chunk.count
+        self.trials_allocated -= chunk.count
+
+    def planned_trials(self) -> int:
+        live = [
+            i
+            for i, p in enumerate(self._posteriors)
+            if not p.stopped and not p.confirmed
+        ]
+        if not live or self.time_exhausted or self.budget_exhausted:
+            return 0
+        # Estimate one more round over the live set (bounded by the
+        # budget) — a deliberately conservative floor that shrinks as
+        # pairs resolve, which is all the ETA needs.
+        planned = min(len(live), self.round_width) * self.chunk_size
+        if self.trial_budget is not None:
+            planned = min(
+                planned, max(0, self.trial_budget - self.trials_allocated)
+            )
+        return planned
+
+    # -- the policy ------------------------------------------------------ #
+
+    def _out_of_time(self) -> bool:
+        if self.time_budget_s is None:
+            return False
+        if self._started is None:
+            self._started = time.monotonic()
+            return False
+        if time.monotonic() - self._started >= self.time_budget_s:
+            if not self.time_exhausted:
+                self.time_exhausted = True
+                m = maybe_registry()
+                if m is not None:
+                    m.inc("schedule.time_budget_exhausted")
+            return True
+        return False
+
+    def _retire_hopeless(self) -> None:
+        for post in self._posteriors:
+            if post.stopped or post.confirmed:
+                continue
+            if post.trials < self.min_trials:
+                continue
+            if post.created == 0 and post.upper(self.stop_z) < self.stop_threshold:
+                post.stopped = True
+                self.early_stopped += 1
+                m = maybe_registry()
+                if m is not None:
+                    m.inc("schedule.pairs_early_stopped")
+
+    def _live_indices(self) -> list[int]:
+        live = []
+        for index, post in enumerate(self._posteriors):
+            if post.stopped or post.confirmed:
+                continue
+            if (
+                self.max_trials_per_pair is not None
+                and post.issued >= self.max_trials_per_pair
+            ):
+                continue
+            live.append(index)
+        return live
+
+    def plan_round(self) -> list[TrialChunk]:
+        if self._out_of_time():
+            return []
+        budget_left = (
+            None
+            if self.trial_budget is None
+            else self.trial_budget - self.trials_allocated
+        )
+        if budget_left is not None and budget_left <= 0:
+            self.budget_exhausted = True
+            return []
+        self._retire_hopeless()
+        live = self._live_indices()
+        if not live:
+            return []
+        # One Thompson draw per live pair, in pair order, from an RNG
+        # keyed on (seed, round): reproducible regardless of how many
+        # pairs were live in earlier rounds.
+        rng = Random(f"{self.seed}:{self.rounds}")
+        sampled = [(rng.betavariate(
+            self._posteriors[i].alpha, self._posteriors[i].beta
+        ), i) for i in live]
+        # Highest sampled win the round; ties break on pair order.
+        sampled.sort(key=lambda pair: (-pair[0], pair[1]))
+        winners = [i for _, i in sampled[: self.round_width]]
+        winners.sort()  # issue chunks in pair order within the round
+        batch: list[TrialChunk] = []
+        for index in winners:
+            grant = self.chunk_size
+            if self.max_trials_per_pair is not None:
+                grant = min(
+                    grant,
+                    self.max_trials_per_pair - self._posteriors[index].issued,
+                )
+            if budget_left is not None:
+                grant = min(grant, budget_left)
+            if grant <= 0:
+                continue
+            for chunk in self.take_seeds(index, grant):
+                batch.append(chunk)
+                self._posteriors[index].issued += chunk.count
+            if budget_left is not None:
+                budget_left -= grant
+        if budget_left is not None and budget_left <= 0:
+            self.budget_exhausted = True
+        m = maybe_registry()
+        if m is not None and batch:
+            means = [p.mean() for p in self._posteriors]
+            m.gauge_max("schedule.posterior_mean_max", max(means))
+            m.gauge_max("schedule.budget_spent", float(self.trials_allocated))
+        return batch
+
+    def summary(self) -> dict:
+        base = super().summary()
+        base.update(
+            {
+                "pairs": len(self.pairs),
+                "confirmed": self.confirmed,
+                "early_stopped": self.early_stopped,
+                "budget_exhausted": self.budget_exhausted,
+                "time_exhausted": self.time_exhausted,
+                "posterior_means": [
+                    round(p.mean(), 6) for p in self._posteriors
+                ],
+            }
+        )
+        return base
+
+
+#: the ``--schedule`` registry.
+SCHEDULES = ("fixed", "adaptive")
+
+
+def make_schedule(
+    spec: str | CampaignSchedule | None,
+    *,
+    trials: int = 100,
+    trial_budget: int | None = None,
+    time_budget_s: float | None = None,
+    seed: int = 0,
+) -> CampaignSchedule:
+    """Resolve a ``--schedule`` spelling (or pass a policy through).
+
+    ``None`` and ``"fixed"`` give the paper's protocol.  ``"adaptive"``
+    defaults its global trial budget to ``trials`` per pair — the same
+    total spend as fixed, allocated by expected yield — unless an
+    explicit ``trial_budget`` overrides it; pair count isn't known here,
+    so that default is finalized at ``bind`` time via
+    :attr:`AdaptiveSchedule.trial_budget` staying ``None`` until then.
+    """
+    if isinstance(spec, CampaignSchedule):
+        return spec
+    if spec is None or spec == "fixed":
+        return FixedSchedule(trials=trials)
+    if spec == "adaptive":
+        schedule = _AdaptiveWithDefaultBudget(
+            trial_budget=trial_budget,
+            time_budget_s=time_budget_s,
+            seed=seed,
+        )
+        schedule.default_trials_per_pair = (
+            trials if trial_budget is None else None
+        )
+        return schedule
+    raise ValueError(
+        f"unknown schedule {spec!r}; expected one of {', '.join(SCHEDULES)}"
+    )
+
+
+class _AdaptiveWithDefaultBudget(AdaptiveSchedule):
+    """Adaptive schedule whose default budget is ``trials x len(pairs)``.
+
+    The CLI knows ``--trials`` but not the pair count; this subclass
+    finalizes the budget when the pair list arrives.
+    """
+
+    default_trials_per_pair: int | None = None
+
+    def bind(self, pairs, *, base_seed=0, chunk_size=25) -> None:
+        super().bind(pairs, base_seed=base_seed, chunk_size=chunk_size)
+        if self.trial_budget is None and self.default_trials_per_pair is not None:
+            self.trial_budget = max(1, self.default_trials_per_pair * len(self.pairs))
+
+
+__all__ = [
+    "TrialChunk",
+    "CampaignSchedule",
+    "FixedSchedule",
+    "AdaptiveSchedule",
+    "SCHEDULES",
+    "make_schedule",
+    "chunk_spans",
+    "beta_mean",
+    "beta_upper_bound",
+]

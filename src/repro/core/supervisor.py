@@ -526,7 +526,7 @@ class CampaignSupervisor:
         encode: Callable[[Any], Any] | None = None,
         decode: Callable[[Any], Any] | None = None,
         on_result: Callable[[int, Any], Iterable[int]] | None = None,
-        on_settle: Callable[[int, Any], None] | None = None,
+        on_settle: Callable[[int, Any, str], None] | None = None,
     ) -> SupervisorReport:
         """Run every task to success, quarantine, or cancellation.
 
@@ -535,9 +535,12 @@ class CampaignSupervisor:
         rejects malformed results (rejections are retried like crashes).
         ``on_result(index, result)`` fires on every success and returns
         indices to cancel — the hook behind ``stop_on_confirm``.
-        ``on_settle(index, result_or_None)`` fires once per task when it
-        reaches *any* terminal state (success, cache hit, quarantine,
-        cancellation) — the hook behind live progress reporting.
+        ``on_settle(index, result_or_None, outcome)`` fires once per task
+        when it reaches *any* terminal state; ``outcome`` says which —
+        ``"ok"`` (fresh success), ``"cached"`` (checkpoint-journal hit),
+        ``"quarantined"`` or ``"cancelled"`` — so consumers (live
+        progress, the campaign scheduler's posterior feedback) can tell
+        executed work from skipped work without re-deriving it.
         """
         n = len(tasks)
         results: list[Any] = [_UNSET] * n
@@ -551,9 +554,9 @@ class CampaignSupervisor:
         failed_attempt_kinds: dict[str, int] = {}
         pool_deaths_before = self.pool_deaths
 
-        def settle(index: int, result: Any) -> None:
+        def settle(index: int, result: Any, outcome: str) -> None:
             if on_settle is not None:
-                on_settle(index, result)
+                on_settle(index, result, outcome)
 
         journal = (
             CheckpointJournal(self.checkpoint)
@@ -590,7 +593,7 @@ class CampaignSupervisor:
                 )
             if on_result is not None:
                 request_cancels(on_result(index, result), future_of)
-            settle(index, result)
+            settle(index, result, "ok")
             return True
 
         def record_failure(index: int, kind: str, message: str) -> float | None:
@@ -619,7 +622,7 @@ class CampaignSupervisor:
                     )
                 )
                 results[index] = None
-                settle(index, None)
+                settle(index, None, "quarantined")
                 self.health.record_quarantine(kind)
                 return None
             report.retried += 1
@@ -660,7 +663,7 @@ class CampaignSupervisor:
                         report.cached += 1
                         if on_result is not None:
                             request_cancels(on_result(index, results[index]), {})
-                        settle(index, results[index])
+                        settle(index, results[index], "cached")
 
             pending: list[tuple[float, int]] = [
                 (0.0, index) for index in range(n) if results[index] is _UNSET
@@ -717,7 +720,7 @@ class CampaignSupervisor:
             ready_at, index = pending.pop(0)
             if index in cancelled:
                 results[index] = _CANCELLED
-                settle(index, None)
+                settle(index, None, "cancelled")
                 continue
             delay = ready_at - time.monotonic()
             if delay > 0:
@@ -801,7 +804,7 @@ class CampaignSupervisor:
             for ready_at, index in pending:
                 if index in cancelled:
                     results[index] = _CANCELLED
-                    settle(index, None)
+                    settle(index, None, "cancelled")
                     continue
                 if ready_at > now or submit_error is not None:
                     still_waiting.append((ready_at, index))
@@ -854,7 +857,7 @@ class CampaignSupervisor:
                 future_of.pop(index, None)
                 if future.cancelled():
                     results[index] = _CANCELLED
-                    settle(index, None)
+                    settle(index, None, "cancelled")
                     continue
                 exc = future.exception()
                 if exc is None:

@@ -101,6 +101,9 @@ def measure_row(
     timing_runs: int = 5,
     baseline_runs: int = 100,
     checkpoint: str | None = None,
+    schedule: str | None = None,
+    trial_budget: int | None = None,
+    time_budget: float | None = None,
 ) -> Table1Row:
     """Run the full two-phase protocol for one benchmark.
 
@@ -108,6 +111,14 @@ def measure_row(
     JSONL file (chunk keys embed the workload name, so all rows can
     share one journal); a killed table run restarted with the same path
     skips the fuzzing work it already finished.
+
+    ``schedule``/``trial_budget``/``time_budget`` pick the Phase-2
+    trial-allocation policy (see :mod:`repro.core.schedule`).  The
+    default ``fixed`` schedule is the paper's protocol and the only one
+    whose probability column is comparable to Table 1 — the adaptive
+    schedule deliberately truncates hopeless pairs' trial counts, so use
+    it for race *discovery* runs, not for reproducing the paper's
+    numbers.
     """
     trials = trials if trials is not None else spec.trials
     phase1 = detect_races(
@@ -119,6 +130,9 @@ def measure_row(
         trials=trials,
         max_steps=spec.max_steps,
         checkpoint=checkpoint,
+        schedule=schedule,
+        trial_budget=trial_budget,
+        time_budget=time_budget,
     )
     campaign = CampaignReport(
         program=spec.name, phase1=phase1, verdicts=verdicts
@@ -273,6 +287,29 @@ def main(argv: list[str] | None = None) -> None:
         "--quick", action="store_true", help="20 trials, 20 baseline runs"
     )
     parser.add_argument(
+        "--schedule",
+        choices=("fixed", "adaptive"),
+        default="fixed",
+        help="Phase-2 trial allocation policy; 'fixed' reproduces the "
+        "paper's per-pair protocol (Table 1 numbers are only comparable "
+        "under it), 'adaptive' spends a global budget by expected yield",
+    )
+    parser.add_argument(
+        "--trial-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="adaptive only: global trial cap per row (default: trials "
+        "per pair)",
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="adaptive only: wall-clock cap on each row's Phase 2",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -306,6 +343,14 @@ def main(argv: list[str] | None = None) -> None:
         kwargs["trials"] = args.trials
     if args.checkpoint is not None:
         kwargs["checkpoint"] = args.checkpoint
+    if args.schedule != "adaptive" and (
+        args.trial_budget is not None or args.time_budget is not None
+    ):
+        parser.error("--trial-budget/--time-budget require --schedule adaptive")
+    if args.schedule != "fixed":
+        kwargs["schedule"] = args.schedule
+        kwargs["trial_budget"] = args.trial_budget
+        kwargs["time_budget"] = args.time_budget
     specs = [get(name) for name in args.names] if args.names else None
 
     on_progress = None

@@ -51,7 +51,9 @@ from .report import (
     REPORT_KIND,
     REPORT_VERSION,
     REQUIRED_COUNTERS,
+    REQUIRED_COUNTERS_V1,
     build_run_report,
+    required_counters_for,
     environment_metadata,
     load_run_report,
     render_prometheus,
@@ -81,6 +83,8 @@ __all__ = [
     "REPORT_VERSION",
     "REPORT_KIND",
     "REQUIRED_COUNTERS",
+    "REQUIRED_COUNTERS_V1",
+    "required_counters_for",
     "environment_metadata",
     "build_run_report",
     "write_run_report",

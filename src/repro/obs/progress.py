@@ -28,16 +28,33 @@ class ProgressUpdate:
     #: campaign health state ("healthy" stays off the rendered line;
     #: "degraded"/"critical" are worth a reader's glance).
     health: str = "healthy"
+    #: work units still *scheduled* to run, when the producer knows better
+    #: than ``total - done`` — under ``stop_on_confirm`` cancellations or
+    #: an adaptive schedule, much of ``total - done`` will never execute
+    #: (or ``total`` will keep growing), so the naive extrapolation is
+    #: nonsense.  ``None`` falls back to ``total - done``.
+    remaining: int | None = None
 
     @property
     def eta_s(self) -> float | None:
-        """Naive remaining-time estimate from the mean settled-task rate."""
-        if self.done <= 0 or self.total <= 0:
+        """Remaining-time estimate from the mean settled-task rate.
+
+        Extrapolates over remaining *scheduled* work — :attr:`remaining`
+        when the producer supplied it, else ``total - done``.
+        """
+        if self.done <= 0:
+            return None
+        if self.remaining is not None:
+            return self.elapsed_s / self.done * self.remaining
+        if self.total <= 0:
             return None
         return self.elapsed_s / self.done * (self.total - self.done)
 
     @property
     def final(self) -> bool:
+        """Nothing left to run — trust :attr:`remaining` when supplied."""
+        if self.remaining is not None:
+            return self.remaining <= 0
         return self.done >= self.total
 
     def render(self) -> str:

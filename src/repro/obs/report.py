@@ -23,15 +23,16 @@ from typing import Any, Mapping
 
 from .registry import MetricsSnapshot
 
-#: bump when the report layout changes incompatibly.
-REPORT_VERSION = 1
+#: bump when the report layout changes incompatibly.  v2 added the
+#: ``schedule.*`` counters (campaign trial-allocation policy).
+REPORT_VERSION = 2
 
 #: discriminator so tooling can reject arbitrary JSON files early.
 REPORT_KIND = "repro-run-report"
 
-#: counters every run report carries (zero-filled when a layer never ran),
-#: so downstream dashboards can rely on the keys existing.
-REQUIRED_COUNTERS: tuple[str, ...] = (
+#: the v1 required set, frozen: version-1 reports written before the
+#: schedule layer existed must keep validating against what v1 promised.
+REQUIRED_COUNTERS_V1: tuple[str, ...] = (
     "interp.executions",
     "interp.steps",
     "fuzz.trials",
@@ -49,6 +50,20 @@ REQUIRED_COUNTERS: tuple[str, ...] = (
     "trace.store_evictions",
     "health.transitions",
 )
+
+#: counters every run report carries (zero-filled when a layer never ran),
+#: so downstream dashboards can rely on the keys existing.
+REQUIRED_COUNTERS: tuple[str, ...] = REQUIRED_COUNTERS_V1 + (
+    "schedule.rounds",
+    "schedule.trials_allocated",
+    "schedule.pairs_confirmed",
+    "schedule.pairs_early_stopped",
+)
+
+
+def required_counters_for(version: int) -> tuple[str, ...]:
+    """The counter keys a report of ``version`` promised to carry."""
+    return REQUIRED_COUNTERS_V1 if version < 2 else REQUIRED_COUNTERS
 
 
 def environment_metadata() -> dict:
@@ -160,7 +175,12 @@ def validate_run_report(report: Any) -> list[str]:
     if not isinstance(counters, Mapping):
         errors.append("counters must be an object")
     else:
-        for key in REQUIRED_COUNTERS:
+        # Old reports promise only their own version's key set: a v1
+        # report predates schedule.* and must keep validating.
+        required = required_counters_for(
+            version if isinstance(version, int) else REPORT_VERSION
+        )
+        for key in required:
             if key not in counters:
                 errors.append(f"missing required counter {key!r}")
         for key, value in counters.items():
@@ -340,6 +360,8 @@ __all__ = [
     "REPORT_VERSION",
     "REPORT_KIND",
     "REQUIRED_COUNTERS",
+    "REQUIRED_COUNTERS_V1",
+    "required_counters_for",
     "environment_metadata",
     "build_run_report",
     "write_run_report",

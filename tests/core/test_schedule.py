@@ -1,0 +1,266 @@
+"""Campaign scheduling policies: fixed equivalence, adaptive determinism.
+
+The contract under test (ISSUE 8): ``FixedSchedule`` is byte-identical to
+the pre-policy drivers for every workload, serial and parallel, so
+Table 1 reproduction is untouched; ``AdaptiveSchedule`` reaches the same
+confirmed races with fewer trials, deterministically per seed — same
+allocation sequence and verdicts serial vs ``jobs=4``, and a mid-campaign
+checkpoint/resume replays to the identical final report.
+"""
+
+import json
+
+import pytest
+
+from repro.core import (
+    AdaptiveSchedule,
+    FixedSchedule,
+    fuzz_races,
+    make_schedule,
+)
+from repro.core.parallel import chunk_ranges
+from repro.core.schedule import beta_upper_bound, chunk_spans
+from repro.workloads import figure1
+
+PAIRS = [figure1.REAL_PAIR, figure1.FALSE_PAIR]
+
+
+def _verdict_signature(verdict):
+    """Everything deterministic in a verdict (wall-clock is measured)."""
+    return (
+        verdict.trials,
+        verdict.times_created,
+        dict(verdict.exceptions),
+        dict(verdict.unattributed_exceptions),
+        verdict.deadlocks,
+        verdict.truncated,
+        verdict.created_pairs,
+    )
+
+
+def _campaign_signature(verdicts):
+    return {str(pair): _verdict_signature(v) for pair, v in verdicts.items()}
+
+
+def _adaptive(**overrides):
+    """An adaptive schedule tuned small enough for fast unit campaigns."""
+    params = dict(seed=0, round_width=4, min_trials=10, stop_threshold=0.2)
+    params.update(overrides)
+    return AdaptiveSchedule(**params)
+
+
+class TestChunkSpans:
+    def test_cover_exactly_once_from_any_cursor(self):
+        spans = chunk_spans(start=42, count=23, chunk_size=5)
+        seeds = [s for start, count in spans for s in range(start, start + count)]
+        assert seeds == list(range(42, 65))
+
+    def test_chunk_ranges_is_the_same_math(self):
+        assert chunk_ranges(7, 23, 5) == chunk_spans(7, 23, 5)
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            chunk_spans(0, 10, 0)
+
+
+class TestBetaBounds:
+    def test_upper_bound_shrinks_with_evidence(self):
+        few = beta_upper_bound(1.0, 11.0)
+        many = beta_upper_bound(1.0, 101.0)
+        assert many < few < 1.0
+
+    def test_upper_bound_clamped_to_one(self):
+        assert beta_upper_bound(50.0, 1.0) == 1.0
+
+
+class TestFixedSchedule:
+    def test_single_batch_matches_legacy_task_layout(self):
+        sched = FixedSchedule(trials=23)
+        sched.bind(PAIRS, base_seed=7, chunk_size=5)
+        batch = sched.next_batch()
+        # Pair-major, each pair's chunks exactly chunk_ranges of its range.
+        expected = [
+            (index, start, count)
+            for index in range(len(PAIRS))
+            for start, count in chunk_ranges(7, 23, 5)
+        ]
+        assert [(c.pair_index, c.seed_start, c.count) for c in batch] == expected
+        assert sched.next_batch() == []
+        assert sched.trials_allocated == 23 * len(PAIRS)
+
+    def test_planned_trials_drain_after_the_batch(self):
+        sched = FixedSchedule(trials=10)
+        sched.bind(PAIRS, chunk_size=25)
+        assert sched.planned_trials() == 20
+        sched.next_batch()
+        assert sched.planned_trials() == 0
+
+    def test_schedule_fixed_identical_to_default_serial(self):
+        legacy = fuzz_races(figure1.build(), PAIRS, trials=8)
+        pinned = fuzz_races(figure1.build(), PAIRS, trials=8, schedule="fixed")
+        assert _campaign_signature(legacy) == _campaign_signature(pinned)
+
+    def test_schedule_fixed_identical_to_default_parallel(self):
+        legacy = fuzz_races(
+            figure1.build(), PAIRS, trials=8, jobs=4, chunk_size=3
+        )
+        pinned = fuzz_races(
+            figure1.build(), PAIRS, trials=8, jobs=4, chunk_size=3,
+            schedule="fixed",
+        )
+        assert _campaign_signature(legacy) == _campaign_signature(pinned)
+
+
+class TestMakeSchedule:
+    def test_none_and_fixed_are_the_paper_protocol(self):
+        for spec in (None, "fixed"):
+            sched = make_schedule(spec, trials=7)
+            assert isinstance(sched, FixedSchedule)
+            assert sched.trials == 7
+
+    def test_instance_passes_through(self):
+        sched = _adaptive()
+        assert make_schedule(sched) is sched
+
+    def test_adaptive_budget_defaults_to_trials_per_pair(self):
+        sched = make_schedule("adaptive", trials=30)
+        sched.bind(PAIRS, chunk_size=5)
+        assert sched.trial_budget == 30 * len(PAIRS)
+
+    def test_explicit_budget_wins(self):
+        sched = make_schedule("adaptive", trials=30, trial_budget=11)
+        sched.bind(PAIRS, chunk_size=5)
+        assert sched.trial_budget == 11
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            make_schedule("greedy")
+
+
+class TestAdaptiveAllocation:
+    def test_confirmed_pairs_stop_receiving_trials(self):
+        sched = _adaptive()
+        verdicts = fuzz_races(
+            figure1.build(), PAIRS, chunk_size=5, schedule=sched
+        )
+        # REAL_PAIR creates the race with probability 1.0: one chunk
+        # confirms it and the policy never buys it more evidence.
+        assert verdicts[figure1.REAL_PAIR].trials == 5
+        assert verdicts[figure1.REAL_PAIR].times_created == 5
+        assert sched.confirmed == 1
+
+    def test_hopeless_pair_early_stopped(self):
+        sched = _adaptive()
+        verdicts = fuzz_races(
+            figure1.build(), [figure1.FALSE_PAIR], chunk_size=5,
+            schedule=sched,
+        )
+        assert verdicts[figure1.FALSE_PAIR].times_created == 0
+        assert sched.early_stopped == 1
+        # Stopped once the posterior upper bound sank, not at a budget.
+        assert verdicts[figure1.FALSE_PAIR].trials < 100
+
+    def test_fewer_total_trials_than_fixed_same_confirmations(self):
+        trials = 50
+        fixed = fuzz_races(figure1.build(), PAIRS, trials=trials)
+        adaptive = fuzz_races(
+            figure1.build(), PAIRS, trials=trials, schedule="adaptive"
+        )
+        confirmed = lambda vs: {str(p) for p, v in vs.items() if v.times_created}
+        assert confirmed(adaptive) == confirmed(fixed)
+        assert sum(v.trials for v in adaptive.values()) < sum(
+            v.trials for v in fixed.values()
+        )
+
+    def test_trial_budget_is_a_hard_ceiling(self):
+        sched = _adaptive(trial_budget=12, stop_threshold=0.01)
+        verdicts = fuzz_races(
+            figure1.build(), [figure1.FALSE_PAIR], chunk_size=5,
+            schedule=sched,
+        )
+        assert verdicts[figure1.FALSE_PAIR].trials <= 12
+        assert sched.trials_allocated <= 12
+        assert sched.budget_exhausted
+
+    def test_time_budget_stops_scheduling(self):
+        # Not a determinism property (wall-clock), just the stop switch.
+        sched = _adaptive(time_budget_s=1e-9, stop_threshold=0.01)
+        verdicts = fuzz_races(
+            figure1.build(), [figure1.FALSE_PAIR], chunk_size=5,
+            schedule=sched,
+        )
+        # The first next_batch arms the clock; the second observes it
+        # expired — at most one round of chunks ever ran.
+        assert verdicts[figure1.FALSE_PAIR].trials <= 5
+        assert sched.time_exhausted
+
+
+class TestAdaptiveDeterminism:
+    def test_serial_vs_jobs4_identical_allocations_and_verdicts(self):
+        serial_sched = _adaptive()
+        parallel_sched = _adaptive()
+        serial = fuzz_races(
+            figure1.build(), PAIRS, chunk_size=5, schedule=serial_sched
+        )
+        parallel = fuzz_races(
+            figure1.build(), PAIRS, chunk_size=5, jobs=4,
+            schedule=parallel_sched,
+        )
+        assert serial_sched.allocation_log == parallel_sched.allocation_log
+        assert _campaign_signature(serial) == _campaign_signature(parallel)
+
+    def test_same_seed_same_campaign(self):
+        one = fuzz_races(
+            figure1.build(), PAIRS, schedule="adaptive", base_seed=3
+        )
+        two = fuzz_races(
+            figure1.build(), PAIRS, schedule="adaptive", base_seed=3
+        )
+        assert _campaign_signature(one) == _campaign_signature(two)
+
+    def test_different_seed_may_differ_but_stays_deterministic(self):
+        sched_a = _adaptive(seed=1)
+        sched_b = _adaptive(seed=1)
+        sched_a.bind(PAIRS, chunk_size=5)
+        sched_b.bind(PAIRS, chunk_size=5)
+        assert sched_a.next_batch() == sched_b.next_batch()
+
+
+class TestCheckpointResume:
+    def _run(self, tmp_path, journal_name="journal.jsonl"):
+        sched = _adaptive()
+        verdicts = fuzz_races(
+            figure1.build(),
+            PAIRS,
+            chunk_size=5,
+            schedule=sched,
+            checkpoint=tmp_path / journal_name,
+        )
+        return sched, verdicts
+
+    def test_resume_mid_campaign_replays_to_identical_report(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        first_sched, first = self._run(tmp_path)
+        lines = journal.read_text().splitlines()
+        assert len(lines) >= 2
+        # Kill the campaign "mid-flight": keep only the first half of the
+        # journaled chunks, then restart with the same parameters.
+        journal.write_text("\n".join(lines[: len(lines) // 2]) + "\n")
+        resumed_sched, resumed = self._run(tmp_path)
+        assert _campaign_signature(resumed) == _campaign_signature(first)
+        assert resumed_sched.allocation_log == first_sched.allocation_log
+
+    def test_warm_journal_re_executes_nothing(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        self._run(tmp_path)
+        before = journal.read_text()
+        keys_before = [json.loads(line)["key"] for line in before.splitlines()]
+        _, warm = self._run(tmp_path)
+        keys_after = [
+            json.loads(line)["key"]
+            for line in journal.read_text().splitlines()
+        ]
+        # Every chunk was a cache hit: nothing new was journaled, and the
+        # verdicts still came out whole.
+        assert keys_after == keys_before
+        assert warm[figure1.REAL_PAIR].times_created > 0

@@ -30,6 +30,27 @@ class TestProgressUpdate:
         assert update.final
         assert "eta" not in update.render()
 
+    def test_eta_uses_remaining_scheduled_work_when_known(self):
+        # An adaptive campaign early-stops pairs: 30 chunks were notionally
+        # possible but only 5 remain scheduled.  ETA covers the 5.
+        update = ProgressUpdate(
+            phase="fuzz", done=10, total=40, elapsed_s=5.0, remaining=5
+        )
+        assert update.eta_s == pytest.approx(2.5)
+
+    def test_final_when_nothing_remains_despite_total(self):
+        # Early exit: done < total but the scheduler has retired the rest.
+        update = ProgressUpdate(
+            phase="fuzz", done=10, total=40, elapsed_s=5.0, remaining=0
+        )
+        assert update.final
+
+    def test_not_final_while_work_remains(self):
+        update = ProgressUpdate(
+            phase="fuzz", done=40, total=40, elapsed_s=5.0, remaining=5
+        )
+        assert not update.final
+
     def test_confirms_omitted_when_none(self):
         text = ProgressUpdate(phase="detect", done=1, total=2).render()
         assert "confirmed" not in text

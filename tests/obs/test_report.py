@@ -6,6 +6,7 @@ from repro.obs import (
     REPORT_KIND,
     REPORT_VERSION,
     REQUIRED_COUNTERS,
+    REQUIRED_COUNTERS_V1,
     MetricsRegistry,
     build_run_report,
     environment_metadata,
@@ -86,6 +87,27 @@ class TestValidate:
         counters = dict(report["counters"], **{"fuzz.trials": -1})
         errors = validate_run_report(dict(report, counters=counters))
         assert any("non-negative" in e for e in errors)
+
+    def test_v2_requires_schedule_counters(self):
+        report = build_run_report(_snapshot(), command="fuzz")
+        assert report["counters"]["schedule.rounds"] == 0
+        counters = dict(report["counters"])
+        del counters["schedule.rounds"]
+        errors = validate_run_report(dict(report, counters=counters))
+        assert any("schedule.rounds" in e for e in errors)
+
+    def test_v1_reports_still_validate_without_schedule_counters(self):
+        # Reports written before the scheduling layer existed carry
+        # version 1 and no schedule.* keys; they must keep passing.
+        report = build_run_report(_snapshot(), command="fuzz")
+        v1_counters = {
+            key: value
+            for key, value in report["counters"].items()
+            if not key.startswith("schedule.")
+        }
+        old = dict(report, version=1, counters=v1_counters)
+        assert validate_run_report(old) == []
+        assert set(REQUIRED_COUNTERS_V1) <= set(v1_counters)
 
     def test_rejects_inconsistent_histogram(self):
         report = build_run_report(_snapshot(), command="fuzz")

@@ -71,6 +71,40 @@ class TestFuzz:
         assert code == 3
         assert "quarantined" in capsys.readouterr().out
 
+    def test_adaptive_schedule_confirms_the_race(self, capsys):
+        code = main(
+            ["fuzz", "figure1", "--schedule", "adaptive", "--trials", "30"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "(5, 7)" in out
+
+    def test_adaptive_is_deterministic_per_seed(self, capsys):
+        args = [
+            "fuzz", "figure1", "--schedule", "adaptive",
+            "--trials", "30", "--seed", "5",
+        ]
+        assert main(args) == 1
+        first = capsys.readouterr().out
+        assert main(args) == 1
+        assert capsys.readouterr().out == first
+
+    def test_trial_budget_caps_the_campaign(self, capsys):
+        code = main(
+            [
+                "fuzz", "sor", "--schedule", "adaptive",
+                "--trials", "50", "--trial-budget", "10",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+    def test_budget_flags_require_adaptive(self, capsys):
+        assert main(["fuzz", "sor", "--trial-budget", "10"]) == 2
+        assert "--schedule adaptive" in capsys.readouterr().err
+        assert main(["fuzz", "sor", "--time-budget", "1.0"]) == 2
+        capsys.readouterr()
+
     def test_checkpoint_restart_reuses_the_journal(self, tmp_path, capsys):
         path = str(tmp_path / "journal.jsonl")
         args = ["fuzz", "figure1", "--trials", "4", "--checkpoint", path]
