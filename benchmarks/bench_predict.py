@@ -1,0 +1,145 @@
+"""Predictive Phase 1: candidate yield per CPU-second, by detector.
+
+The predictive subsystem's economic claim: on recorded traces, shb/wcp
+surface more candidate pairs per CPU-second of *program execution* than
+the observed-order hybrid, because prediction multiplies what one
+recorded run yields and offline analysis costs no executions.  This
+benchmark measures that trade on stored traces for several workloads:
+
+* **pairs/s** — distinct candidate pairs found per CPU-second of
+  analysis (record cost amortized across detectors, as in practice);
+* **confirmed/s** — Phase-2-confirmed real races per CPU-second of the
+  full pipeline (analysis + fuzzing the detector's candidates), the
+  end-to-end figure of merit.
+
+Two entry points:
+
+* under pytest (``pytest benchmarks/bench_predict.py --benchmark-only``)
+  each detector's offline analysis pass is a ``benchmark`` case;
+* as a script (``python benchmarks/bench_predict.py``) it prints the
+  comparison and writes ``BENCH_predict.json`` — per-detector pairs,
+  analysis CPU-seconds, confirmed races, and the derived rates, with
+  environment metadata for the perf trajectory.
+"""
+
+import json
+import time
+
+from repro.core import fuzz_races
+from repro.obs import environment_metadata
+from repro.trace import TraceStore, analyze_trace, detect_key
+from repro.workloads import get
+
+DETECTORS = ("hybrid", "shb", "wcp", "sample")
+WORKLOADS = ("figure1", "sor", "philosophers")
+SEEDS = (0, 1, 2)
+STEP_CAP = 20_000
+
+
+def _fill_store(root):
+    """Record every (workload, seed) trace once; return paths by workload."""
+    store = TraceStore(root)
+    paths = {}
+    for workload in WORKLOADS:
+        spec = get(workload)
+        cap = min(spec.max_steps, STEP_CAP)
+        paths[workload] = [
+            store.ensure(detect_key(spec.name, seed, max_steps=cap), spec.build())
+            for seed in SEEDS
+        ]
+    return paths
+
+
+def _analyze(paths, detector):
+    """One detector over every stored trace; merged pairs + CPU seconds."""
+    pairs = set()
+    start = time.process_time()
+    for workload, trace_paths in paths.items():
+        for path in trace_paths:
+            report = analyze_trace(path, (detector,))[detector]
+            pairs.update((workload, pair) for pair in report.pairs)
+    return pairs, time.process_time() - start
+
+
+def test_offline_analysis_throughput(benchmark, tmp_path):
+    paths = _fill_store(tmp_path)
+
+    def all_detectors():
+        return {name: _analyze(paths, name)[0] for name in DETECTORS}
+
+    found = benchmark(all_detectors)
+    for name in DETECTORS:
+        benchmark.extra_info[f"{name}_pairs"] = len(found[name])
+    # The superset hierarchy holds on the benchmark corpus too.
+    assert found["hybrid"] <= found["shb"] <= found["wcp"]
+
+
+def main(argv=None):
+    import argparse
+    import tempfile
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=10)
+    parser.add_argument("--output", default="BENCH_predict.json")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as root:
+        record_start = time.process_time()
+        paths = _fill_store(root)
+        record_s = time.process_time() - record_start
+
+        per_detector = {}
+        for name in DETECTORS:
+            pairs, analyze_s = _analyze(paths, name)
+            fuzz_start = time.process_time()
+            confirmed = 0
+            for workload in WORKLOADS:
+                spec = get(workload)
+                candidates = [p for w, p in pairs if w == workload]
+                verdicts = fuzz_races(
+                    spec.build(),
+                    candidates,
+                    trials=args.trials,
+                    max_steps=min(spec.max_steps, STEP_CAP),
+                )
+                confirmed += sum(
+                    1 for v in verdicts.values() if v.times_created > 0
+                )
+            fuzz_s = time.process_time() - fuzz_start
+            pipeline_s = analyze_s + fuzz_s
+            per_detector[name] = {
+                "pairs": len(pairs),
+                "analyze_s": round(analyze_s, 4),
+                "fuzz_s": round(fuzz_s, 4),
+                "confirmed": confirmed,
+                "pairs_per_cpu_s": round(len(pairs) / analyze_s, 1)
+                if analyze_s
+                else None,
+                "confirmed_per_cpu_s": round(confirmed / pipeline_s, 3)
+                if pipeline_s
+                else None,
+            }
+
+    hybrid, shb, wcp = (per_detector[n]["pairs"] for n in ("hybrid", "shb", "wcp"))
+    assert hybrid <= shb <= wcp, "superset hierarchy violated"
+
+    record = {
+        "benchmark": "predictive-phase1",
+        "workloads": list(WORKLOADS),
+        "seeds": list(SEEDS),
+        "trials": args.trials,
+        "env": environment_metadata(),
+        "record_s": round(record_s, 4),
+        "detectors": per_detector,
+        "extra_candidates_shb": shb - hybrid,
+        "extra_candidates_wcp": wcp - hybrid,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

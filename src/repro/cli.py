@@ -56,6 +56,29 @@ def _enter_collecting(stack: ExitStack, wanted: bool):
     return stack.enter_context(collecting()) if wanted else None
 
 
+def _checked_detectors(names: list[str]) -> list[str] | None:
+    """Validate detector names against the registry; None means reject.
+
+    Shared by every command taking detector flags, so an unknown name is
+    a friendly exit-2 usage error naming the valid choices — not a raw
+    ``KeyError`` from deep inside the pipeline.  Duplicates collapse
+    (first occurrence wins), matching the one-observer-per-name protocol.
+    """
+    from repro.detectors import available_detectors
+
+    deduped = list(dict.fromkeys(names))
+    valid = available_detectors()
+    unknown = [name for name in deduped if name not in valid]
+    if unknown:
+        print(
+            f"unknown detector(s): {', '.join(unknown)}; "
+            f"valid: {', '.join(valid)}",
+            file=sys.stderr,
+        )
+        return None
+    return deduped
+
+
 _SIZE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3}
 
 
@@ -124,6 +147,9 @@ def _cmd_run(args) -> int:
 
 def _cmd_detect(args) -> int:
     spec = get(args.workload)
+    detectors = _checked_detectors(args.detector or ["hybrid"])
+    if detectors is None:
+        return 2
     faults = parse_fault_plan(args.fault_plan) if args.fault_plan else None
     # The trace-store stats line rides on the metrics registry, so a
     # --trace-dir run collects even without --metrics-out.
@@ -132,7 +158,7 @@ def _cmd_detect(args) -> int:
         registry = _enter_collecting(stack, collect)
         report = detect_races(
             spec.build(),
-            detector=args.detector,
+            detector=detectors[0] if len(detectors) == 1 else detectors,
             seeds=range(args.seeds),
             max_steps=spec.max_steps,
             jobs=args.jobs,
@@ -142,7 +168,16 @@ def _cmd_detect(args) -> int:
             faults=faults,
             store_quota=args.store_quota,
         )
-    print(report)
+    if isinstance(report, dict):
+        # One section per requested detector, all fed by the same
+        # recorded execution(s) of each seed.
+        for index, name in enumerate(detectors):
+            if index:
+                print()
+            print(f"== {name}")
+            print(report[name])
+    else:
+        print(report)
     if registry is not None:
         snapshot = registry.snapshot()
         if args.trace_dir is not None:
@@ -208,7 +243,12 @@ def _cmd_analyze(args) -> int:
     if not paths:
         print(f"no traces under {target}", file=sys.stderr)
         return 2
-    detectors = [name.strip() for name in args.detectors.split(",") if name.strip()]
+    names = args.detector or [
+        name.strip() for name in args.detectors.split(",") if name.strip()
+    ]
+    detectors = _checked_detectors(names)
+    if detectors is None:
+        return 2
     for path in paths:
         reports = analyze_trace(path, detectors)
         print(f"== {path}")
@@ -253,6 +293,9 @@ def _cmd_store(args) -> int:
 
 def _cmd_fuzz(args) -> int:
     spec = get(args.workload)
+    detectors = _checked_detectors(args.detector or ["hybrid"])
+    if detectors is None:
+        return 2
     faults = parse_fault_plan(args.fault_plan) if args.fault_plan else None
     on_progress = ProgressPrinter(sys.stderr) if args.progress else None
     if args.schedule != "adaptive":
@@ -270,6 +313,7 @@ def _cmd_fuzz(args) -> int:
         registry = _enter_collecting(stack, args.metrics_out is not None)
         campaign = race_directed_test(
             spec.build(),
+            detector=detectors[0] if len(detectors) == 1 else detectors,
             trials=args.trials,
             base_seed=args.seed,
             phase1_seeds=spec.phase1_seeds,
@@ -430,8 +474,13 @@ def build_parser() -> argparse.ArgumentParser:
     detect_parser.add_argument("workload")
     detect_parser.add_argument(
         "--detector",
-        choices=("hybrid", "happens-before", "lockset"),
-        default="hybrid",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="detector to run (default hybrid); repeat the flag to run "
+        "several — each seed then executes once with every requested "
+        "detector attached, and the output has one section per detector. "
+        "Names: hybrid, happens-before, lockset, shb, wcp, sample",
     )
     detect_parser.add_argument("--seeds", type=int, default=3)
     detect_parser.add_argument(
@@ -517,7 +566,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="hybrid",
         metavar="NAMES",
         help="comma-separated detector names (hybrid, happens-before, "
-        "lockset); all analyses share one streamed pass per trace",
+        "lockset, shb, wcp, sample); all analyses share one streamed "
+        "pass per trace",
+    )
+    analyze_parser.add_argument(
+        "--detector",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="detector to run (repeatable); overrides --detectors",
     )
     analyze_parser.add_argument(
         "--show-trace",
@@ -529,6 +586,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     fuzz_parser = commands.add_parser("fuzz", help="two-phase RaceFuzzer campaign")
     fuzz_parser.add_argument("workload")
+    fuzz_parser.add_argument(
+        "--detector",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="Phase-1 detector (default hybrid); repeat the flag to feed "
+        "Phase 2 the union of several detectors' candidate pairs from "
+        "the same Phase-1 executions",
+    )
     fuzz_parser.add_argument("--trials", type=int, default=100)
     fuzz_parser.add_argument(
         "--schedule",

@@ -33,7 +33,7 @@ import time
 from collections import Counter
 from typing import Iterable, Sequence
 
-from repro.detectors import RaceReport, make_detector
+from repro.detectors import RaceReport, make_detector, union_reports
 from repro.obs import ProgressUpdate, span
 from repro.runtime.interpreter import Execution
 from repro.runtime.program import Program
@@ -232,17 +232,17 @@ def detect_races(
         with ParallelCampaign(
             jobs=jobs, deadline=deadline, retry=retries, faults=faults
         ) as engine:
-            name = _registered_name(program)
-            merged = {
-                det: engine.detect(
-                    name,
-                    detector=det,
-                    seeds=seed_list,
-                    max_steps=max_steps,
-                    history_cap=history_cap,
-                )
-                for det in detectors
-            }
+            # One multi-detector call: each seed executes once with every
+            # requested detector attached, mirroring the serial loop.
+            result = engine.detect(
+                _registered_name(program),
+                detector=detectors,
+                seeds=seed_list,
+                max_steps=max_steps,
+                history_cap=history_cap,
+            )
+            assert isinstance(result, dict)
+            merged = result
     else:
         merged = {}
         with span("phase1.detect"):
@@ -464,7 +464,7 @@ def fuzz_races(
 def race_directed_test(
     program: Program,
     *,
-    detector: str = "hybrid",
+    detector: str | Sequence[str] = "hybrid",
     phase1_seeds: Sequence[int] = (0, 1, 2),
     trials: int = 100,
     base_seed: int = 0,
@@ -489,7 +489,11 @@ def race_directed_test(
     """The full RaceFuzzer pipeline over one program.
 
     ``pairs`` may be supplied directly (e.g. from a static tool, or the
-    worked examples); otherwise Phase 1 computes them.  ``jobs=N``
+    worked examples); otherwise Phase 1 computes them.  ``detector`` may
+    be a sequence of names — each Phase-1 seed then executes once with
+    every detector attached and Phase 2 fuzzes the *union* of the
+    reports, so a predictive detector's extra candidates ride along with
+    the hybrid baseline at no added Phase-1 execution cost.  ``jobs=N``
     (``None``/``0`` = one worker per core, ``1`` = serial, negatives
     rejected) parallelizes both phases over one supervised process pool.
     The resilience options (``deadline``, ``retries``, ``checkpoint``,
@@ -564,6 +568,8 @@ def race_directed_test(
             seeds=phase1_seeds,
             max_steps=max_steps,
         )
+        if isinstance(phase1, dict):
+            phase1 = union_reports(phase1, program=program.name)
         pair_list = phase1.pairs
     else:
         pair_list = list(pairs)

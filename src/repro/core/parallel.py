@@ -54,7 +54,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
-from repro.detectors import RaceReport, make_detector
+from repro.detectors import RaceReport, make_detector, union_reports
 from repro.obs import ProgressUpdate, span
 from repro.obs.health import HealthController
 from repro.runtime.interpreter import Execution
@@ -94,13 +94,22 @@ def _validate_chunk_size(chunk_size: int) -> int:
 
 @dataclass(frozen=True)
 class DetectTask:
-    """One Phase-1 detection run: (workload, detector, seed)."""
+    """One Phase-1 detection run: (workload, detector(s), seed).
+
+    ``detectors`` non-empty selects the multi-detector protocol: the
+    worker attaches every named detector to *one* execution of the seed
+    and returns a ``{name: RaceReport}`` dict — one program run feeds all
+    analyses, exactly like offline multi-detector trace analysis.  Empty
+    ``detectors`` is the classic single-``detector`` task returning a
+    bare :class:`RaceReport`.
+    """
 
     workload: str
     detector: str = "hybrid"
     seed: int = 0
     max_steps: int = 1_000_000
     history_cap: int = 128
+    detectors: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -153,15 +162,28 @@ def _build_workload(name: str):
     return workloads.get(name).build()
 
 
-def run_detect_task(task: DetectTask) -> RaceReport:
-    """Worker entrypoint: one detector run, returning its report delta."""
+def run_detect_task(task: DetectTask) -> "RaceReport | dict[str, RaceReport]":
+    """Worker entrypoint: one seed's detection run(s), returning deltas.
+
+    One execution of the seed drives every requested detector — attaching
+    N observers to one run costs one program execution, not N.
+    """
     program = _build_workload(task.workload)
-    observer = make_detector(task.detector, history_cap=task.history_cap)
+    names = task.detectors if task.detectors else (task.detector,)
+    observers = {
+        name: make_detector(name, history_cap=task.history_cap)
+        for name in names
+    }
     execution = Execution(
-        program, seed=task.seed, observers=[observer], max_steps=task.max_steps
+        program,
+        seed=task.seed,
+        observers=list(observers.values()),
+        max_steps=task.max_steps,
     )
     execution.run(RandomScheduler(preemption="every"))
-    return observer.report
+    if task.detectors:
+        return {name: observer.report for name, observer in observers.items()}
+    return observers[task.detector].report
 
 
 def run_record_task(task: RecordTask) -> str:
@@ -418,47 +440,65 @@ class ParallelCampaign:
         self,
         workload: str,
         *,
-        detector: str = "hybrid",
+        detector: "str | Sequence[str]" = "hybrid",
         seeds: Sequence[int] = (0, 1, 2),
         max_steps: int = 1_000_000,
         history_cap: int = 128,
-    ) -> RaceReport:
+    ) -> "RaceReport | dict[str, RaceReport]":
         """Run one detection per seed concurrently; union the reports.
 
         Reports merge in seed order (not completion order), so the union
         — pair set, per-pair counts, first-witness evidence — matches the
         serial loop exactly.
+
+        ``detector`` may be a sequence of names: each seed then executes
+        *once* with every detector attached, and the result is a
+        ``{name: merged report}`` dict (a string argument keeps the bare
+        :class:`RaceReport` return).
         """
+        multi = not isinstance(detector, str)
+        names: tuple[str, ...] = tuple(detector) if multi else (detector,)
+        assert names, "detect needs at least one detector"
         seed_list = list(seeds)
         assert seed_list, "detect needs at least one seed"
         tasks = [
             DetectTask(
                 workload=workload,
-                detector=detector,
+                detector=names[0],
                 seed=seed,
                 max_steps=max_steps,
                 history_cap=history_cap,
+                detectors=names if multi else (),
             )
             for seed in seed_list
         ]
+        expect = dict if multi else RaceReport
         with span("phase1.detect"):
             report = self.supervisor.supervise(
                 "detect",
                 tasks,
-                validate=lambda task, r: isinstance(r, RaceReport),
+                validate=lambda task, r: isinstance(r, expect),
                 on_settle=self._settle_hook("detect", len(tasks)),
             )
         self.last_report = report
         self.failures.extend(report.failures)
         # Quarantined seeds lose their coverage contribution (recorded on
         # `failures`) but never abort the phase.
-        reports = [r for r in report.results if r is not None]
-        if not reports:
-            return RaceReport(program=workload, detector=detector)
-        merged = reports[0]
-        for other in reports[1:]:
-            merged.merge(other)
-        return merged
+        results = [r for r in report.results if r is not None]
+        if not multi:
+            if not results:
+                return RaceReport(program=workload, detector=names[0])
+            merged = results[0]
+            for other in results[1:]:
+                merged.merge(other)
+            return merged
+        merged_by_name: dict[str, RaceReport] = {
+            name: RaceReport(program=workload, detector=name) for name in names
+        }
+        for result in results:  # seed order
+            for name in names:
+                merged_by_name[name].merge(result[name])
+        return merged_by_name
 
     def record(
         self,
@@ -684,7 +724,7 @@ class ParallelCampaign:
         self,
         workload: str,
         *,
-        detector: str = "hybrid",
+        detector: "str | Sequence[str]" = "hybrid",
         phase1_seeds: Sequence[int] = (0, 1, 2),
         trials: int = 100,
         base_seed: int = 0,
@@ -694,13 +734,20 @@ class ParallelCampaign:
         fast_mode: bool = False,
         schedule: str | CampaignSchedule | None = None,
     ) -> CampaignReport:
-        """Both phases end to end, against one registered workload."""
+        """Both phases end to end, against one registered workload.
+
+        A detector sequence runs a multi-detector Phase 1 (one execution
+        per seed feeding all of them) and fuzzes the *union* of their
+        candidate pairs — the predictive Phase-1 pipeline.
+        """
         phase1 = self.detect(
             workload,
             detector=detector,
             seeds=phase1_seeds,
             max_steps=max_steps,
         )
+        if isinstance(phase1, dict):
+            phase1 = union_reports(phase1, program=workload)
         verdicts = self.fuzz(
             workload,
             phase1.pairs,

@@ -1,14 +1,25 @@
 """Phase 1 detectors: imprecise (and precise) dynamic race detection.
 
+Observed-order detectors (what was concurrent in this schedule):
+
 * :class:`HybridRaceDetector` — the paper's Phase 1 (lockset + start/join/
   notify happens-before);
 * :class:`HappensBeforeDetector` — precise HB baseline;
-* :class:`EraserLocksetDetector` — pure lockset baseline;
-* :class:`RaceReport` / :class:`PairEvidence` — their output.
+* :class:`EraserLocksetDetector` — pure lockset baseline.
 
-Any of these (or a hand-written pair list) can seed Phase 2: RaceFuzzer
-only needs "a set of statements whose simultaneous execution could lead to
-a concurrency problem" (Section 1).
+Predictive detectors (what could be concurrent in some feasible
+reordering of the same trace — see :mod:`repro.detectors.predict`):
+
+* :class:`ShbRaceDetector` — SHB-style, keeps predicting past the first
+  race, grades pairs by strong-dependently-precedes concurrency;
+* :class:`WcpRaceDetector` — WCP-style near-complete prediction with
+  lock-acquisition-history guard reasoning;
+* :class:`SamplingRaceDetector` — O(1)-per-location sampling screen.
+
+All emit :class:`RaceReport` / :class:`PairEvidence`.  Any of them (or a
+hand-written pair list) can seed Phase 2: RaceFuzzer only needs "a set of
+statements whose simultaneous execution could lead to a concurrency
+problem" (Section 1).
 """
 
 import inspect
@@ -17,24 +28,35 @@ from .base import AccessRecord, HistoryRaceDetector
 from .happensbefore import HappensBeforeDetector
 from .hybrid import HybridRaceDetector
 from .lockset import EraserLocksetDetector
-from .report import PairEvidence, RaceReport
+from .predict import SamplingRaceDetector, ShbRaceDetector, WcpRaceDetector
+from .report import PairEvidence, RaceReport, union_reports
 from .vectorclock import VectorClock
 
 DETECTORS = {
     "hybrid": HybridRaceDetector,
     "happens-before": HappensBeforeDetector,
     "lockset": EraserLocksetDetector,
+    "shb": ShbRaceDetector,
+    "wcp": WcpRaceDetector,
+    "sample": SamplingRaceDetector,
 }
+
+
+def available_detectors() -> list[str]:
+    """Registered detector names, sorted — the single source the CLI and
+    error messages quote."""
+    return sorted(DETECTORS)
 
 
 def make_detector(name: str, **options):
     """Build a registered detector by name, keyword-tolerantly.
 
     Detector classes accept different construction options (the
-    history-based ones take ``history_cap``, the lockset detector takes
-    nothing), so callers configuring "whichever detector was requested"
-    would otherwise have to special-case each class.  This factory passes
-    through only the options the chosen class actually accepts.
+    history-based ones take ``history_cap``, the sampling screener takes
+    ``sample_cap``, others take nothing), so callers configuring
+    "whichever detector was requested" would otherwise have to
+    special-case each class.  This factory passes through only the
+    options the chosen class actually accepts.
 
     Raises ``KeyError`` for names not in :data:`DETECTORS`.
     """
@@ -42,7 +64,7 @@ def make_detector(name: str, **options):
         cls = DETECTORS[name]
     except KeyError:
         raise KeyError(
-            f"unknown detector {name!r}; registered: {sorted(DETECTORS)}"
+            f"unknown detector {name!r}; registered: {available_detectors()}"
         ) from None
     params = inspect.signature(cls.__init__).parameters
     tolerant = any(p.kind is p.VAR_KEYWORD for p in params.values())
@@ -61,8 +83,13 @@ __all__ = [
     "HybridRaceDetector",
     "HappensBeforeDetector",
     "EraserLocksetDetector",
+    "ShbRaceDetector",
+    "WcpRaceDetector",
+    "SamplingRaceDetector",
     "RaceReport",
     "PairEvidence",
+    "union_reports",
     "DETECTORS",
+    "available_detectors",
     "make_detector",
 ]

@@ -1,0 +1,45 @@
+"""Predictive Phase 1: more candidate races from every recorded trace.
+
+The trace layer made executions record-once / analyze-many; this package
+is the first analysis family that exploits it.  Where the observed-order
+detectors report only pairs witnessed concurrent *in the schedule that
+happened to run*, the predictive detectors reason about which pairs could
+collide in *some* feasible reordering of the same trace — a strictly
+larger candidate set per recorded execution, feeding Phase 2 more leads
+per CPU-second spent executing programs:
+
+* :class:`ShbRaceDetector` (``shb``) — SHB-style "keep predicting past
+  the first race": spawn-only suppression order, with full
+  strong-dependently-precedes clocks grading every pair's
+  ``schedulable`` confidence;
+* :class:`WcpRaceDetector` (``wcp``) — WCP-style near-complete
+  prediction: shb's order plus lock-acquisition-history guard reasoning
+  (inconsistently-guarded pairs are candidates, not exonerated);
+* :class:`SamplingRaceDetector` (``sample``) — an O(1)-per-location
+  bounded-sample conflict screen for huge traces: no clocks at all.
+
+All three are ordinary :class:`~repro.runtime.observer.ExecutionObserver`
+detectors emitting standard :class:`~repro.detectors.report.RaceReport`s:
+they run live on an execution, or offline over any stored trace through
+:func:`repro.trace.analyze_trace`, with identical results (the
+equivalence suite covers them like the observed-order three).
+"""
+
+from .base import PredictedAccess, PredictiveDetector
+from .edges import COMPLETION, EDGE_KINDS, SPAWN, WAKEUP, EdgeClassifier
+from .sample import SamplingRaceDetector
+from .shb import ShbRaceDetector
+from .wcp import WcpRaceDetector
+
+__all__ = [
+    "PredictiveDetector",
+    "PredictedAccess",
+    "EdgeClassifier",
+    "EDGE_KINDS",
+    "SPAWN",
+    "WAKEUP",
+    "COMPLETION",
+    "ShbRaceDetector",
+    "WcpRaceDetector",
+    "SamplingRaceDetector",
+]

@@ -1,0 +1,41 @@
+"""SHB-style prediction: keep predicting past the first race.
+
+Classical happens-before detection is only *sound up to the first race*:
+once two accesses race, the observed order of everything after them is
+one arbitrary resolution of that race, and treating it as forced both
+misses predictable races and mis-grades reported ones.  The SHB line of
+work (Mathur, Kini & Viswanathan, "What happens-after the first race?",
+arXiv:1808.00185) shows how to keep extracting *guaranteed-predictable*
+races from the whole trace by tracking the dependences that every
+correct reordering must respect — the reads-from and program-order
+skeleton — instead of the full observed order.
+
+:class:`ShbRaceDetector` is that idea adapted to this engine's event
+model (see :mod:`repro.detectors.predict.base` for the mechanics):
+
+* the suppression order keeps only **spawn** edges, so candidates the
+  observed-order hybrid discards because of a join return or a
+  notify→wait pairing are reported rather than silently lost;
+* the full strong-dependently-precedes order — every message edge, lock
+  release→acquire, and write→read flow — is still tracked, and grades
+  each reported pair: ``schedulable`` pairs are concurrent even under
+  SDP (predictable with high confidence, the SHB guarantee), the rest
+  are explicitly speculative.
+
+Relative to ``hybrid`` this is a guaranteed superset with identical lock
+reasoning; the extra candidates fall in the documented join-protected /
+wakeup-ordered false-positive classes that Phase 2 refutes cheaply.
+"""
+
+from __future__ import annotations
+
+from .base import PredictiveDetector
+from .edges import SPAWN
+
+
+class ShbRaceDetector(PredictiveDetector):
+    """Predict past the first race; grade every pair by SDP concurrency."""
+
+    name = "shb"
+    must_kinds = frozenset({SPAWN})
+    guard_mode = "blanket"

@@ -1,0 +1,40 @@
+"""WCP-style prediction: near-complete candidates via weak causality.
+
+The weak-causally-precedes line of work (Kini, Mathur & Viswanathan;
+complexity results in arXiv:2004.06969) weakens happens-before around
+locks: critical sections on a common lock constrain each other only
+through the conflicts they actually contain, so many pairs an HB-based
+detector orders away remain predictable races.  The price of the extra
+recall is paid in candidates that need checking — which is free here,
+because Phase 2 *is* the checker.
+
+:class:`WcpRaceDetector` takes :class:`~repro.detectors.predict.shb.
+ShbRaceDetector`'s weak order (spawn edges only) and adds
+lock-acquisition-history reasoning in place of the blanket lockset rule:
+per location it maintains the Eraser-style candidate guard set — the
+intersection of every lockset the location has been accessed under — and
+a common lock suppresses a conflicting pair only while it is still in
+that set.  Once the acquisition history shows the discipline broken (any
+access skipped the lock), the "protected" witnesses stop vouching for
+the pair and it is reported as an inconsistently-guarded candidate: in a
+run where the undisciplined access pattern wins, the statements can
+collide.
+
+Ordering of reports: ``pairs(hybrid) ⊆ pairs(shb) ⊆ pairs(wcp)`` on any
+trace — the weak order is the same as shb's and the guard rule only ever
+suppresses *less* (asserted by the superset suite).  The extra pairs
+relative to shb form the documented inconsistently-guarded class.
+"""
+
+from __future__ import annotations
+
+from .base import PredictiveDetector
+from .edges import SPAWN
+
+
+class WcpRaceDetector(PredictiveDetector):
+    """Near-complete hybrid prediction with lock-history guard reasoning."""
+
+    name = "wcp"
+    must_kinds = frozenset({SPAWN})
+    guard_mode = "consistent"

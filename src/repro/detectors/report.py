@@ -9,27 +9,50 @@ Table 1's column 6 is ``len(report.pairs)``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from repro.runtime.location import Location
 from repro.runtime.statement import Statement, StatementPair
 
 
+def _merge_schedulable(mine: bool | None, other: bool | None) -> bool | None:
+    """Combine confidence grades: any schedulable witness grades the pair
+    schedulable; otherwise any graded witness keeps it speculative; the
+    observed-order detectors never grade (both ``None``)."""
+    if mine is True or other is True:
+        return True
+    if mine is False or other is False:
+        return False
+    return None
+
+
 @dataclass
 class PairEvidence:
-    """Why a pair was reported: one witness plus occurrence counts."""
+    """Why a pair was reported: one witness plus occurrence counts.
+
+    ``schedulable`` is the predictive detectors' confidence grade:
+    ``True`` means some witness of the pair is concurrent even under the
+    strong-dependently-precedes order (predictable with high
+    confidence), ``False`` means every witness was SDP-ordered (the pair
+    is speculative), ``None`` means the detector does not grade (all
+    observed-order detectors).
+    """
 
     pair: StatementPair
     location: Location  # an example location both statements touched
     tids: tuple[int, int]  # example thread pair
     both_write: bool = False
     count: int = 1
+    schedulable: bool | None = None
 
     def describe(self) -> str:
         kind = "write/write" if self.both_write else "read/write"
+        grade = ""
+        if self.schedulable is not None:
+            grade = ", schedulable" if self.schedulable else ", speculative"
         return (
             f"{self.pair} on {self.location.describe()} "
-            f"[{kind}, seen {self.count}x, threads {self.tids}]"
+            f"[{kind}, seen {self.count}x, threads {self.tids}{grade}]"
         )
 
 
@@ -81,6 +104,7 @@ class RaceReport:
         location: Location,
         tids: tuple[int, int],
         both_write: bool,
+        schedulable: bool | None = None,
     ) -> bool:
         """Add one observation; returns True if the pair is new."""
         pair = StatementPair(s1, s2)
@@ -89,10 +113,17 @@ class RaceReport:
         if existing is not None:
             existing.count += 1
             existing.both_write = existing.both_write or both_write
+            existing.schedulable = _merge_schedulable(
+                existing.schedulable, schedulable
+            )
             return False
         # New pair, or a supplied pair gaining its first dynamic witness.
         self.evidence[pair] = PairEvidence(
-            pair=pair, location=location, tids=tids, both_write=both_write
+            pair=pair,
+            location=location,
+            tids=tids,
+            both_write=both_write,
+            schedulable=schedulable,
         )
         return not known
 
@@ -105,6 +136,9 @@ class RaceReport:
             elif info is not None:
                 mine.count += info.count
                 mine.both_write = mine.both_write or info.both_write
+                mine.schedulable = _merge_schedulable(
+                    mine.schedulable, info.schedulable
+                )
         self.truncated_locations += other.truncated_locations
 
     def __len__(self) -> int:
@@ -124,6 +158,34 @@ class RaceReport:
             if info is not None  # supplied pair lists carry no evidence
         )
         return "\n".join(lines)
+
+
+def union_reports(
+    reports: "Mapping[str, RaceReport] | Iterable[RaceReport]",
+    *,
+    program: str | None = None,
+    detector: str | None = None,
+) -> RaceReport:
+    """Union several detectors' reports into one Phase-2 feed.
+
+    This is how a multi-detector Phase 1 (``detect --detector hybrid
+    --detector shb ...``) becomes a single candidate-pair set: pair
+    evidence merges exactly as multi-seed reports do, and the combined
+    detector name records the provenance (``"hybrid+shb"``).
+    """
+    if isinstance(reports, Mapping):
+        ordered = list(reports.values())
+    else:
+        ordered = list(reports)
+    assert ordered, "union_reports needs at least one report"
+    if detector is None:
+        detector = "+".join(r.detector for r in ordered)
+    if program is None:
+        program = ordered[0].program
+    union = RaceReport(program=program, detector=detector)
+    for report in ordered:
+        union.merge(report)
+    return union
 
 
 def _program_name(execution) -> str:

@@ -16,6 +16,7 @@ detection (Ronsse & De Bosschere) and single-trace predictive analysis
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Mapping, Sequence
 
 from repro.obs import maybe_registry
@@ -23,6 +24,38 @@ from repro.runtime.events import Event
 from repro.runtime.observer import ExecutionObserver, ObserverChain
 
 from .io import TraceReader
+
+
+class _TimedObserver(ExecutionObserver):
+    """Wrap one observer, accumulating its CPU time within a shared pass.
+
+    ``analyze_trace`` streams a trace through all requested detectors at
+    once, so a wall-clock span around the pass cannot attribute cost to a
+    single detector.  This wrapper meters each lifecycle call separately;
+    the accumulated seconds are published by ``analyze_trace`` as the
+    ``predict.analyze.<name>`` span.  Only used while a metrics registry
+    is collecting — the default analysis path stays wrapper-free.
+    """
+
+    __slots__ = ("inner", "seconds")
+
+    def __init__(self, inner: ExecutionObserver) -> None:
+        self.inner = inner
+        self.seconds = 0.0
+
+    def _timed(self, method, *args) -> None:
+        start = time.perf_counter()
+        method(*args)
+        self.seconds += time.perf_counter() - start
+
+    def on_start(self, execution) -> None:
+        self._timed(self.inner.on_start, execution)
+
+    def on_event(self, event: Event) -> None:
+        self._timed(self.inner.on_event, event)
+
+    def on_finish(self, execution) -> None:
+        self._timed(self.inner.on_finish, execution)
 
 
 class ReplaySource:
@@ -68,23 +101,39 @@ def analyze_trace(
     detectors: Sequence[str] = ("hybrid",),
     *,
     history_cap: int = 128,
+    **detector_options,
 ) -> "Mapping[str, object]":
     """Run named detectors over one recorded trace; reports by name.
 
     ``trace`` is a path or an open :class:`~repro.trace.io.TraceReader`.
-    All detectors consume a single streamed pass over the file.
+    All detectors consume a single streamed pass over the file.  Extra
+    keyword options (e.g. ``sample_cap``) reach whichever detectors
+    accept them, via :func:`~repro.detectors.make_detector`'s
+    keyword-tolerant construction.
+
+    While a metrics registry is collecting, each detector's share of the
+    pass is metered and published as a ``predict.analyze.<name>`` span,
+    so multi-detector analyses show where the CPU time went.
     """
     from repro.detectors import make_detector  # detectors don't import trace
 
     reader = trace if isinstance(trace, TraceReader) else TraceReader(trace)
     built = {
-        name: make_detector(name, history_cap=history_cap) for name in detectors
+        name: make_detector(name, history_cap=history_cap, **detector_options)
+        for name in detectors
     }
     m = maybe_registry()
     if m is not None:
         m.inc("trace.replays")
         m.inc("trace.analyses", len(built))
-    replay_events(reader, list(built.values()), program=reader.header.program)
+        timed = {name: _TimedObserver(obs) for name, obs in built.items()}
+        replay_events(
+            reader, list(timed.values()), program=reader.header.program
+        )
+        for name, wrapper in timed.items():
+            m.observe_span(f"predict.analyze.{name}", wrapper.seconds)
+    else:
+        replay_events(reader, list(built.values()), program=reader.header.program)
     return {name: observer.report for name, observer in built.items()}
 
 

@@ -141,3 +141,37 @@ class TestProperties:
         before = a.copy()
         a.tick(tid)
         assert before.leq(a) and before != a
+
+
+class TestPredictiveMonotonicity:
+    """The laws the predictive detectors' superset guarantee rests on.
+
+    The weak (suppression) clocks join a *subset* of the edges the
+    hybrid's clocks join, with identical SND ticks — so weak ≤ hybrid
+    pointwise at every access, and fewer joins can only ever mean fewer
+    ``knows`` suppressions, never more.
+    """
+
+    @given(a=clocks, b=clocks, c=clocks)
+    @settings(max_examples=100)
+    def test_join_is_monotone(self, a, b, c):
+        """x ≤ y implies x ⊔ z ≤ y ⊔ z: skipping a join keeps a clock
+        dominated by the clock that took it."""
+        smaller = a.copy()
+        bigger = a.copy()
+        bigger.join(b)
+        smaller.join(c)
+        bigger.join(c)
+        assert smaller.leq(bigger)
+
+    @given(a=clocks, b=clocks, tid=st.integers(0, 5), epoch=st.integers(1, 20))
+    @settings(max_examples=100)
+    def test_knows_is_monotone_in_the_clock(self, a, b, tid, epoch):
+        """A dominated clock knows no epoch the dominating one misses —
+        so every pair the bigger-clocked detector reports (¬knows), the
+        smaller-clocked one reports too: the superset guarantee."""
+        smaller = a.copy()
+        bigger = a.copy()
+        bigger.join(b)
+        if smaller.knows(tid, epoch):
+            assert bigger.knows(tid, epoch)

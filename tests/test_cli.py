@@ -43,6 +43,72 @@ class TestDetect:
         assert main(["detect", "figure1", "--detector", "lockset"]) == 0
         assert "lockset" in capsys.readouterr().out
 
+    def test_unknown_detector_is_a_usage_error(self, capsys):
+        assert main(["detect", "figure1", "--detector", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown detector(s): nope" in err
+        for name in ("hybrid", "shb", "wcp", "sample"):
+            assert name in err
+
+    def test_repeated_detector_flags_print_one_section_each(self, capsys):
+        assert (
+            main(
+                [
+                    "detect", "figure1", "--seeds", "2",
+                    "--detector", "hybrid", "--detector", "shb",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "== hybrid" in out
+        assert "== shb" in out
+        assert out.index("== hybrid") < out.index("== shb")
+
+    def test_predictive_detector_reports_grades(self, capsys):
+        assert main(["detect", "figure1", "--detector", "shb", "--seeds", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "schedulable" in out
+        assert "speculative" in out
+
+    def test_trace_dir_multi_detector_reuses_recordings(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["detect", "figure1", "--trace-dir", store, "--seeds", "2"]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "detect", "figure1", "--trace-dir", store, "--seeds", "2",
+                    "--detector", "hybrid", "--detector", "wcp",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "== wcp" in captured.out
+        assert "0 recorded execution(s)" in captured.err  # warm store
+
+
+class TestAnalyze:
+    def test_repeated_detector_flags(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["record", "figure1", "--seeds", "1", "--trace-dir", store]) == 0
+        capsys.readouterr()
+        assert (
+            main(["analyze", store, "--detector", "shb", "--detector", "sample"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "shb report" in out
+        assert "sample report" in out
+
+    def test_unknown_detector_is_a_usage_error(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["record", "figure1", "--seeds", "1", "--trace-dir", store]) == 0
+        capsys.readouterr()
+        assert main(["analyze", store, "--detector", "bogus"]) == 2
+        assert "unknown detector(s): bogus" in capsys.readouterr().err
+
 
 class TestFuzz:
     def test_confirmed_race_exits_one(self, capsys):
@@ -57,6 +123,23 @@ class TestFuzz:
         # All of sor's potential races are false alarms.
         assert main(["fuzz", "sor", "--trials", "2"]) == 0
         assert "0 real" in capsys.readouterr().out
+
+    def test_multi_detector_phase1_feeds_the_union(self, capsys):
+        assert (
+            main(
+                [
+                    "fuzz", "figure1", "--trials", "15",
+                    "--detector", "hybrid", "--detector", "shb",
+                ]
+            )
+            == 1  # the union still contains the real race
+        )
+        out = capsys.readouterr().out
+        assert "2 potential, 1 real" in out  # both pairs, one confirmed
+
+    def test_unknown_detector_is_a_usage_error(self, capsys):
+        assert main(["fuzz", "figure1", "--detector", "nope"]) == 2
+        assert "unknown detector(s): nope" in capsys.readouterr().err
 
     def test_quarantine_exits_three(self, capsys):
         # A poisoned chunk (no confirmed race) must surface in the exit

@@ -1,9 +1,10 @@
 """The tentpole acceptance criteria, as tests.
 
-1. For every registered workload and each of the three detectors, running
-   the detector offline over a recorded trace yields a ``RaceReport`` that
-   compares equal (full ``==``, evidence included) to the live observer
-   that watched the recording execution itself.
+1. For every registered workload and every registered detector — the
+   observed-order three and the predictive three — running the detector
+   offline over a recorded trace yields a ``RaceReport`` that compares
+   equal (full ``==``, evidence included) to the live observer that
+   watched the recording execution itself.
 2. A warm ``TraceStore`` answers a repeated ``detect_races`` with zero
    program executions.
 """
@@ -16,7 +17,7 @@ from repro.runtime.interpreter import Execution
 from repro.trace import TraceStore, analyze_trace, detect_key, replay_events
 from repro.workloads import all_workloads, figure1, get
 
-DETECTORS = ("hybrid", "happens-before", "lockset")
+DETECTORS = ("hybrid", "happens-before", "lockset", "shb", "wcp", "sample")
 
 #: enough steps for every workload to show races, small enough to be quick.
 STEP_CAP = 20_000
