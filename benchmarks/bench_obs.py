@@ -9,7 +9,10 @@ benchmark quantifies both:
   and every other un-flagged entry point runs); the acceptance bar is
   that this regresses < 2% against the pre-observability baseline;
 * ``enabled`` — the same campaign under ``collecting()``, measuring the
-  full per-execution fold cost.
+  full per-execution fold cost;
+* ``timeline`` — the same campaign under ``recording_timeline()``
+  (``--timeline-out``), measuring the per-chunk/per-trial event cost;
+  the bar is <= 15% over the disabled arm.
 
 Two entry points:
 
@@ -25,7 +28,7 @@ import os
 import time
 
 from repro.core import detect_races, fuzz_races
-from repro.obs import collecting, environment_metadata
+from repro.obs import collecting, environment_metadata, recording_timeline
 from repro.workloads import figure1
 
 PAIRS = [figure1.REAL_PAIR, figure1.FALSE_PAIR]
@@ -39,12 +42,15 @@ def _campaign(trials):
     return phase1, verdicts
 
 
-def _time_campaign(trials, *, repeats, metered):
+def _time_campaign(trials, *, repeats, metered=False, timed=False):
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
         if metered:
             with collecting():
+                _campaign(trials)
+        elif timed:
+            with recording_timeline():
                 _campaign(trials)
         else:
             _campaign(trials)
@@ -69,6 +75,18 @@ def test_campaign_metrics_enabled(benchmark, quick_trials):
     benchmark.extra_info["counters"] = len(snapshot.counters)
 
 
+def test_campaign_timeline_enabled(benchmark, quick_trials):
+    def timed():
+        with recording_timeline() as recorder:
+            result = _campaign(quick_trials)
+        return result, recorder.snapshot()
+
+    (_, verdicts), snapshot = benchmark(timed)
+    assert verdicts[figure1.REAL_PAIR].is_real
+    assert any(event.kind == "chunk" for event in snapshot.events)
+    benchmark.extra_info["events"] = len(snapshot.events)
+
+
 def test_registry_inc(benchmark):
     """The hot-path primitive: one enabled counter increment."""
     with collecting() as registry:
@@ -87,14 +105,17 @@ def main(argv=None):
     # Interleave-free warmup so both arms measure hot code.
     _campaign(5)
 
-    disabled_s = _time_campaign(
-        args.trials, repeats=args.repeats, metered=False
-    )
+    disabled_s = _time_campaign(args.trials, repeats=args.repeats)
     enabled_s = _time_campaign(args.trials, repeats=args.repeats, metered=True)
+    timeline_s = _time_campaign(args.trials, repeats=args.repeats, timed=True)
 
     with collecting() as registry:
         _campaign(args.trials)
     snapshot = registry.snapshot()
+
+    with recording_timeline() as recorder:
+        _campaign(args.trials)
+    timeline = recorder.snapshot()
 
     record = {
         "benchmark": "observability-overhead",
@@ -109,6 +130,11 @@ def main(argv=None):
         "enabled_overhead_ratio": (
             round(enabled_s / disabled_s, 3) if disabled_s else None
         ),
+        "timeline_s": round(timeline_s, 4),
+        "timeline_overhead_ratio": (
+            round(timeline_s / disabled_s, 3) if disabled_s else None
+        ),
+        "timeline_events": len(timeline.events),
         "counters_collected": len(snapshot.counters),
         "spans_collected": len(snapshot.spans),
         "interp_executions": snapshot.counters.get("interp.executions", 0),

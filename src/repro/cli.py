@@ -15,6 +15,10 @@ Commands:
   damaged ones);
 * ``stats``    — render a ``--metrics-out`` run report (tables or
   Prometheus text format);
+* ``trace-export`` — render a ``--timeline-out`` document (or v3 run
+  report) as Chrome trace-event JSON for Perfetto / chrome://tracing;
+* ``dash``     — render a run report or timeline document as a
+  self-contained zero-dependency HTML dashboard;
 * ``table1``   — regenerate Table 1 (delegates to repro.harness.table1);
 * ``figure2``  — the probability sweep (delegates to
   repro.harness.figure2_prob).
@@ -39,13 +43,20 @@ from repro.core import (
 from repro.core.replay import replay_race
 from repro.core.traceview import format_replay
 from repro.obs import (
+    TIMELINE_KIND,
     ProgressPrinter,
+    chrome_trace,
     collecting,
     load_run_report,
+    load_timeline,
+    recording_timeline,
+    render_dash,
     render_prometheus,
     render_stats_table,
     validate_run_report,
+    write_chrome_trace,
     write_run_report,
+    write_timeline,
 )
 from repro.runtime import Execution
 from repro.workloads import all_workloads, get
@@ -54,6 +65,11 @@ from repro.workloads import all_workloads, get
 def _enter_collecting(stack: ExitStack, wanted: bool):
     """Enable metrics for the body of a command when any flag needs them."""
     return stack.enter_context(collecting()) if wanted else None
+
+
+def _enter_timeline(stack: ExitStack, wanted: bool):
+    """Enable timeline recording when ``--timeline-out`` asks for it."""
+    return stack.enter_context(recording_timeline()) if wanted else None
 
 
 def _checked_detectors(names: list[str]) -> list[str] | None:
@@ -121,6 +137,7 @@ def _cmd_run(args) -> int:
     spec = get(args.workload)
     with ExitStack() as stack:
         registry = _enter_collecting(stack, args.metrics_out is not None)
+        recorder = _enter_timeline(stack, args.timeline_out is not None)
         if args.scheduler == "rapos":
             result = RaposDriver(max_steps=spec.max_steps).run(
                 spec.build(), seed=args.seed
@@ -134,13 +151,19 @@ def _cmd_run(args) -> int:
             result = Execution(
                 spec.build(), seed=args.seed, max_steps=spec.max_steps
             ).run(scheduler)
+        timeline = recorder.snapshot() if recorder is not None else None
     print(result)
+    if timeline is not None:
+        write_timeline(
+            args.timeline_out, timeline, command="run", workload=spec.name
+        )
     if registry is not None:
         write_run_report(
             args.metrics_out,
             registry.snapshot(),
             command="run",
             workload=spec.name,
+            timeline=timeline,
         )
     return 0 if not result.crashes and not result.deadlock else 1
 
@@ -156,6 +179,7 @@ def _cmd_detect(args) -> int:
     collect = args.metrics_out is not None or args.trace_dir is not None
     with ExitStack() as stack:
         registry = _enter_collecting(stack, collect)
+        recorder = _enter_timeline(stack, args.timeline_out is not None)
         report = detect_races(
             spec.build(),
             detector=detectors[0] if len(detectors) == 1 else detectors,
@@ -178,6 +202,11 @@ def _cmd_detect(args) -> int:
             print(report[name])
     else:
         print(report)
+    timeline = recorder.snapshot() if recorder is not None else None
+    if timeline is not None:
+        write_timeline(
+            args.timeline_out, timeline, command="detect", workload=spec.name
+        )
     if registry is not None:
         snapshot = registry.snapshot()
         if args.trace_dir is not None:
@@ -196,6 +225,7 @@ def _cmd_detect(args) -> int:
                 snapshot,
                 command="detect",
                 workload=spec.name,
+                timeline=timeline,
             )
     return 0
 
@@ -311,6 +341,7 @@ def _cmd_fuzz(args) -> int:
                 return 2
     with ExitStack() as stack:
         registry = _enter_collecting(stack, args.metrics_out is not None)
+        recorder = _enter_timeline(stack, args.timeline_out is not None)
         campaign = race_directed_test(
             spec.build(),
             detector=detectors[0] if len(detectors) == 1 else detectors,
@@ -332,15 +363,22 @@ def _cmd_fuzz(args) -> int:
             trial_budget=args.trial_budget,
             time_budget=args.time_budget,
         )
+    timeline = recorder.snapshot() if recorder is not None else None
+    if timeline is not None:
+        write_timeline(
+            args.timeline_out, timeline, command="fuzz", workload=spec.name
+        )
     if registry is not None:
         # A checkpoint-resumed campaign accumulates into the prior report
-        # rather than overwriting it (mirrors the journal semantics).
+        # rather than overwriting it (mirrors the journal semantics); the
+        # timeline section dedup-unions the same way.
         write_run_report(
             args.metrics_out,
             registry.snapshot(),
             command="fuzz",
             workload=spec.name,
             merge_existing=args.checkpoint is not None,
+            timeline=timeline,
         )
     print(campaign)
     if campaign.harmful_pairs:
@@ -430,6 +468,70 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _load_timeline_or_report(path) -> dict | None:
+    """Load a JSON file that is either a timeline document or a run
+    report; prints the problem and returns None on failure."""
+    try:
+        data = load_timeline(path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        return None
+    if not isinstance(data, dict):
+        print(f"{path}: expected a JSON object", file=sys.stderr)
+        return None
+    if data.get("kind") == TIMELINE_KIND:
+        return data
+    errors = validate_run_report(data)
+    if errors:
+        for error in errors:
+            print(f"invalid input: {error}", file=sys.stderr)
+        return None
+    return data
+
+
+def _cmd_trace_export(args) -> int:
+    import json as _json
+
+    data = _load_timeline_or_report(args.path)
+    if data is None:
+        return 2
+    if data.get("kind") != TIMELINE_KIND:
+        # A run report only helps if it carries the v3 timeline section.
+        section = data.get("timeline")
+        if section is None:
+            print(
+                f"{args.path}: run report has no timeline section "
+                "(re-run with --timeline-out, or pass its document here)",
+                file=sys.stderr,
+            )
+            return 2
+        data = section
+    if args.out is not None:
+        trace = write_chrome_trace(args.out, data)
+        print(
+            f"{len(trace['traceEvents'])} trace event(s) -> {args.out} "
+            "(load in ui.perfetto.dev or chrome://tracing)",
+            file=sys.stderr,
+        )
+    else:
+        print(_json.dumps(chrome_trace(data), indent=1))
+    return 0
+
+
+def _cmd_dash(args) -> int:
+    data = _load_timeline_or_report(args.path)
+    if data is None:
+        return 2
+    html = render_dash(data)
+    if args.out == "-":
+        print(html, end="")
+        return 0
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(html)
+    print(f"dashboard -> {args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_table1(args) -> int:
     from repro.harness import table1
 
@@ -467,6 +569,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="write a versioned JSON run report of the execution's metrics",
+    )
+    run_parser.add_argument(
+        "--timeline-out",
+        default=None,
+        metavar="FILE",
+        help="record a campaign timeline document (feed it to "
+        "`repro trace-export` or `repro dash`)",
     )
     run_parser.set_defaults(handler=_cmd_run)
 
@@ -533,6 +642,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="write a versioned JSON run report of the campaign's metrics",
+    )
+    detect_parser.add_argument(
+        "--timeline-out",
+        default=None,
+        metavar="FILE",
+        help="record a campaign timeline document (per-seed detect "
+        "events, store hits/misses; feed it to `repro trace-export` or "
+        "`repro dash`)",
     )
     detect_parser.set_defaults(handler=_cmd_detect)
 
@@ -700,6 +817,16 @@ def build_parser() -> argparse.ArgumentParser:
         "with --checkpoint, a resumed run merges into the prior report",
     )
     fuzz_parser.add_argument(
+        "--timeline-out",
+        default=None,
+        metavar="FILE",
+        help="record the campaign timeline: trial/chunk spans, schedule "
+        "rounds with their Thompson draws, per-pair posterior updates, "
+        "health transitions (feed it to `repro trace-export` or "
+        "`repro dash`); also attaches the v3 timeline section to "
+        "--metrics-out reports",
+    )
+    fuzz_parser.add_argument(
         "--progress",
         action="store_true",
         help="print throttled progress lines (settled/scheduled chunks, "
@@ -777,6 +904,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit Prometheus text exposition format instead of tables",
     )
     stats_parser.set_defaults(handler=_cmd_stats)
+
+    export_parser = commands.add_parser(
+        "trace-export",
+        help="render a timeline as Chrome trace-event JSON (Perfetto)",
+    )
+    export_parser.add_argument(
+        "path",
+        help="a --timeline-out document, or a v3 run report carrying a "
+        "timeline section",
+    )
+    export_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the trace JSON here instead of stdout",
+    )
+    export_parser.set_defaults(handler=_cmd_trace_export)
+
+    dash_parser = commands.add_parser(
+        "dash", help="render a self-contained HTML campaign dashboard"
+    )
+    dash_parser.add_argument(
+        "path",
+        help="a --metrics-out run report or a --timeline-out document",
+    )
+    dash_parser.add_argument(
+        "--out",
+        default="dash.html",
+        metavar="FILE",
+        help="output HTML file (default dash.html; '-' for stdout)",
+    )
+    dash_parser.set_defaults(handler=_cmd_dash)
 
     table_parser = commands.add_parser("table1", help="regenerate Table 1")
     table_parser.add_argument("rest", nargs=argparse.REMAINDER)

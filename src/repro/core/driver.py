@@ -33,8 +33,14 @@ import time
 from collections import Counter
 from typing import Iterable, Sequence
 
-from repro.detectors import RaceReport, make_detector, union_reports
+from repro.detectors import (
+    RaceReport,
+    make_detector,
+    schedulable_grades,
+    union_reports,
+)
 from repro.obs import ProgressUpdate, span
+from repro.obs.timeline import maybe_timeline, pair_label
 from repro.runtime.interpreter import Execution
 from repro.runtime.program import Program
 from repro.runtime.statement import StatementPair
@@ -146,6 +152,7 @@ def _detect_from_traces(
                 trace_dir=str(store.root),
             )
     merged: dict[str, RaceReport] = {}
+    tl = maybe_timeline()
     for seed in seed_list:
         # with_recovery covers every seed: warm hit, serial fill, the
         # fallback for a quarantined record task, and the re-record path
@@ -155,12 +162,29 @@ def _detect_from_traces(
             program,
             lambda path: analyze_trace(path, detectors, history_cap=history_cap),
         )
+        if tl is not None:
+            _emit_detect_event(tl, program.name, seed, reports)
         for name in detectors:
             if name in merged:
                 merged[name].merge(reports[name])
             else:
                 merged[name] = reports[name]
     return merged
+
+
+def _emit_detect_event(tl, workload: str, seed: int, reports) -> None:
+    """One deterministic ``detect`` event per analyzed Phase-1 seed.
+
+    ``reports`` maps detector name -> that seed's :class:`RaceReport`;
+    the attrs carry per-detector candidate counts.  Emitted identically
+    by the serial loop, the worker entrypoint and the trace-replay path,
+    so the event stream is mode-independent.
+    """
+    tl.emit(
+        "detect",
+        (workload, seed),
+        {name: len(report.evidence) for name, report in reports.items()},
+    )
 
 
 def detect_races(
@@ -245,6 +269,7 @@ def detect_races(
             merged = result
     else:
         merged = {}
+        tl = maybe_timeline()
         with span("phase1.detect"):
             for seed in seed_list:
                 observers = {
@@ -258,6 +283,13 @@ def detect_races(
                     max_steps=max_steps,
                 )
                 execution.run(RandomScheduler(preemption="every"))
+                if tl is not None:
+                    _emit_detect_event(
+                        tl,
+                        program.name,
+                        seed,
+                        {det: obs.report for det, obs in observers.items()},
+                    )
                 for det, observer in observers.items():
                     if det in merged:
                         merged[det].merge(observer.report)
@@ -293,6 +325,7 @@ def _fuzz_scheduled_serial(
     start = time.monotonic() if on_progress is not None else 0.0
     confirmed: set[int] = set()
     done = issued = 0
+    tl = maybe_timeline()
     with span("phase2.fuzz"):
         while True:
             batch = sched.next_batch()
@@ -324,12 +357,30 @@ def _fuzz_scheduled_serial(
                             done += 1
                             continue
                         delta = PairVerdict(pair=pair)
+                        chunk_wall = time.time() if tl is not None else 0.0
+                        chunk_t0 = (
+                            time.perf_counter() if tl is not None else 0.0
+                        )
                         for seed in range(
                             chunk.seed_start, chunk.seed_start + chunk.count
                         ):
                             delta.absorb(fuzzer.run(program, seed=seed))
                             if stop_on_confirm and delta.times_created > 0:
                                 break
+                        if tl is not None:
+                            # Same identity the worker path emits from
+                            # run_fuzz_task, so serial == --jobs N.
+                            tl.emit(
+                                "chunk",
+                                (pair_label(pair), chunk.seed_start),
+                                {
+                                    "count": chunk.count,
+                                    "trials": delta.trials,
+                                    "created": delta.times_created,
+                                },
+                                wall_s=chunk_wall,
+                                dur_s=time.perf_counter() - chunk_t0,
+                            )
                         verdicts[pair].merge(delta)
                         sched.record(chunk, delta)
                         done += 1
@@ -372,8 +423,15 @@ def fuzz_races(
     schedule: str | CampaignSchedule | None = None,
     trial_budget: int | None = None,
     time_budget: float | None = None,
+    grades: Sequence[bool | None] | None = None,
 ) -> dict[StatementPair, PairVerdict]:
     """Phase 2: fuzz the candidate pairs under a trial-allocation policy.
+
+    ``grades`` optionally aligns Phase-1 ``schedulable`` grades with the
+    pairs (see :func:`repro.detectors.schedulable_grades`); the adaptive
+    schedule boosts graded-schedulable priors so those pairs win early
+    Thompson rounds.  Deterministic, and a no-op when absent or under the
+    fixed schedule.
 
     ``schedule`` picks the policy (see :mod:`repro.core.schedule`):
     ``None``/``"fixed"`` is the paper's protocol — exactly ``trials``
@@ -446,8 +504,11 @@ def fuzz_races(
                 max_steps=max_steps,
                 fast_mode=fast_mode,
                 schedule=sched,
+                grades=grades,
             )
-    sched.bind(pair_list, base_seed=base_seed, chunk_size=chunk_size)
+    sched.bind(
+        pair_list, base_seed=base_seed, chunk_size=chunk_size, grades=grades
+    )
     return _fuzz_scheduled_serial(
         program,
         pair_list,
@@ -459,6 +520,33 @@ def fuzz_races(
         stop_on_confirm=stop_on_confirm,
         on_progress=on_progress,
     )
+
+
+def _emit_funnel(report: CampaignReport) -> CampaignReport:
+    """Timeline: the campaign's detector funnel, candidate -> confirmed.
+
+    Derived entirely from the merged campaign report, so the event is
+    identical however the campaign executed.
+    """
+    tl = maybe_timeline()
+    if tl is not None:
+        grades = schedulable_grades(report.phase1, report.phase1.pairs)
+        tl.emit(
+            "funnel",
+            (report.program,),
+            {
+                "candidates": len(report.phase1.pairs),
+                "schedulable": sum(1 for g in grades if g is True),
+                "speculative": sum(1 for g in grades if g is False),
+                "ungraded": sum(1 for g in grades if g is None),
+                "confirmed": sum(
+                    1
+                    for verdict in report.verdicts.values()
+                    if verdict.times_created > 0
+                ),
+            },
+        )
+    return report
 
 
 def race_directed_test(
@@ -530,17 +618,19 @@ def race_directed_test(
         ) as engine:
             name = _registered_name(program)
             if pairs is None:
-                return engine.run(
-                    name,
-                    detector=detector,
-                    phase1_seeds=phase1_seeds,
-                    trials=trials,
-                    base_seed=base_seed,
-                    preemption=preemption,
-                    patience=patience,
-                    max_steps=max_steps,
-                    fast_mode=fast_mode,
-                    schedule=sched,
+                return _emit_funnel(
+                    engine.run(
+                        name,
+                        detector=detector,
+                        phase1_seeds=phase1_seeds,
+                        trials=trials,
+                        base_seed=base_seed,
+                        preemption=preemption,
+                        patience=patience,
+                        max_steps=max_steps,
+                        fast_mode=fast_mode,
+                        schedule=sched,
+                    )
                 )
             pair_list = list(pairs)
             phase1 = RaceReport.from_pairs(pair_list, program=name)
@@ -555,12 +645,15 @@ def race_directed_test(
                 fast_mode=fast_mode,
                 schedule=sched,
             )
-            return CampaignReport(
-                program=name,
-                phase1=phase1,
-                verdicts=verdicts,
-                failures=list(engine.failures),
+            return _emit_funnel(
+                CampaignReport(
+                    program=name,
+                    phase1=phase1,
+                    verdicts=verdicts,
+                    failures=list(engine.failures),
+                )
             )
+    grades = None
     if pairs is None:
         phase1 = detect_races(
             program,
@@ -571,6 +664,7 @@ def race_directed_test(
         if isinstance(phase1, dict):
             phase1 = union_reports(phase1, program=program.name)
         pair_list = phase1.pairs
+        grades = schedulable_grades(phase1, pair_list)
     else:
         pair_list = list(pairs)
         phase1 = RaceReport.from_pairs(pair_list, program=program.name)
@@ -587,8 +681,11 @@ def race_directed_test(
         stop_on_confirm=stop_on_confirm,
         on_progress=on_progress,
         schedule=sched,
+        grades=grades,
     )
-    return CampaignReport(program=program.name, phase1=phase1, verdicts=verdicts)
+    return _emit_funnel(
+        CampaignReport(program=program.name, phase1=phase1, verdicts=verdicts)
+    )
 
 
 def baseline_exceptions(

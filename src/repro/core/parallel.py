@@ -54,9 +54,15 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
-from repro.detectors import RaceReport, make_detector, union_reports
+from repro.detectors import (
+    RaceReport,
+    make_detector,
+    schedulable_grades,
+    union_reports,
+)
 from repro.obs import ProgressUpdate, span
 from repro.obs.health import HealthController
+from repro.obs.timeline import maybe_timeline, pair_label
 from repro.runtime.interpreter import Execution
 from repro.runtime.statement import StatementPair
 
@@ -181,6 +187,15 @@ def run_detect_task(task: DetectTask) -> "RaceReport | dict[str, RaceReport]":
         max_steps=task.max_steps,
     )
     execution.run(RandomScheduler(preemption="every"))
+    tl = maybe_timeline()
+    if tl is not None:
+        # Same identity the serial loop emits (driver._emit_detect_event),
+        # so the deterministic event stream is mode-independent.
+        tl.emit(
+            "detect",
+            (task.workload, task.seed),
+            {name: len(obs.report.evidence) for name, obs in observers.items()},
+        )
     if task.detectors:
         return {name: observer.report for name, observer in observers.items()}
     return observers[task.detector].report
@@ -227,9 +242,26 @@ def run_fuzz_task(task: FuzzTask) -> PairVerdict:
         fast_mode=task.fast_mode,
     )
     verdict = PairVerdict(pair=task.pair)
+    tl = maybe_timeline()
+    chunk_wall = time.time() if tl is not None else 0.0
+    chunk_t0 = time.perf_counter() if tl is not None else 0.0
     with span(pair_span_name(task.pair)):
         for seed in range(task.seed_start, task.seed_start + task.count):
             verdict.absorb(fuzzer.run(program, seed=seed))
+    if tl is not None:
+        # Same identity the serial loop emits in _fuzz_scheduled_serial,
+        # so serial == --jobs N on the deterministic event stream.
+        tl.emit(
+            "chunk",
+            (pair_label(task.pair), task.seed_start),
+            {
+                "count": task.count,
+                "trials": verdict.trials,
+                "created": verdict.times_created,
+            },
+            wall_s=chunk_wall,
+            dur_s=time.perf_counter() - chunk_t0,
+        )
     return verdict
 
 
@@ -594,6 +626,7 @@ class ParallelCampaign:
         max_steps: int = 1_000_000,
         fast_mode: bool = False,
         schedule: str | CampaignSchedule | None = None,
+        grades: "Sequence[bool | None] | None" = None,
     ) -> dict[StatementPair, PairVerdict]:
         """Fuzz every pair under a trial-allocation policy; merge verdicts.
 
@@ -605,6 +638,10 @@ class ParallelCampaign:
         runs the batch loop round by round, feeding every settled chunk's
         verdict back into the policy between batches.
 
+        ``grades`` (optional, aligned with ``pairs``) forwards Phase-1
+        ``schedulable`` grades into the schedule — the adaptive policy
+        boosts graded-schedulable pairs' prior alpha deterministically.
+
         Chunk verdicts for one pair merge in seed order within each
         round, and posterior updates are commutative, so aggregates are
         identical to the serial loop for the same seed set and schedule
@@ -613,7 +650,12 @@ class ParallelCampaign:
         """
         pair_list = list(pairs)
         sched = make_schedule(schedule, trials=trials)
-        sched.bind(pair_list, base_seed=base_seed, chunk_size=self.chunk_size)
+        sched.bind(
+            pair_list,
+            base_seed=base_seed,
+            chunk_size=self.chunk_size,
+            grades=grades,
+        )
         verdicts: dict[StatementPair, PairVerdict] = {
             pair: PairVerdict(pair=pair) for pair in pair_list
         }
@@ -748,9 +790,13 @@ class ParallelCampaign:
         )
         if isinstance(phase1, dict):
             phase1 = union_reports(phase1, program=workload)
+        pair_list = phase1.pairs
+        # Same grade plumbing race_directed_test applies on the serial
+        # path, so both engines seed identical adaptive priors.
+        grades = schedulable_grades(phase1, pair_list)
         verdicts = self.fuzz(
             workload,
-            phase1.pairs,
+            pair_list,
             trials=trials,
             base_seed=base_seed,
             preemption=preemption,
@@ -758,6 +804,7 @@ class ParallelCampaign:
             max_steps=max_steps,
             fast_mode=fast_mode,
             schedule=schedule,
+            grades=grades,
         )
         return CampaignReport(
             program=workload,

@@ -32,7 +32,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+import time
+
 from repro.obs import WALL_BUCKETS, maybe_registry
+from repro.obs.timeline import maybe_timeline
 from repro.runtime.errors import ExecutionLimitExceeded
 from repro.runtime.interpreter import Execution, ExecutionResult
 from repro.runtime.observer import ExecutionObserver
@@ -125,6 +128,13 @@ class PostponingDriver:
         """
         return None
 
+    def timeline_target(self) -> str:
+        """Label identifying what this driver is fuzzing, for the campaign
+        timeline's per-trial events.  The base has no statement-shaped
+        target; :class:`~repro.core.racefuzzer.RaceFuzzer` returns its
+        pair label so trials group under one pair track."""
+        return ""
+
     def is_target(self, execution: Execution, tid: int) -> bool:
         """Is ``tid``'s next statement in the target set? (line 6)"""
         raise NotImplementedError
@@ -153,6 +163,8 @@ class PostponingDriver:
 
     def run(self, program: Program, seed: int = 0) -> FuzzResult:
         """Execute ``program`` once under the active random scheduler."""
+        tl = maybe_timeline()
+        trial_wall = time.time() if tl is not None else 0.0
         execution = Execution(
             program,
             seed=seed,
@@ -223,6 +235,22 @@ class PostponingDriver:
             m.observe(
                 "fuzz.trial_wall_s", execution.result.wall_time,
                 bounds=WALL_BUCKETS,
+            )
+        if tl is not None:
+            # Identity is schedule-determined (target + seed + counters);
+            # wall/duration ride along for Perfetto export only.
+            tl.emit(
+                "trial",
+                (self.timeline_target() or program.name, seed),
+                {
+                    "created": len(fuzz.hits),
+                    "postpones": fuzz.postpones,
+                    "coin_flips": fuzz.coin_flips,
+                    "forced": fuzz.forced_releases,
+                    "watchdog": fuzz.watchdog_releases,
+                },
+                wall_s=trial_wall,
+                dur_s=execution.result.wall_time,
             )
         return fuzz
 

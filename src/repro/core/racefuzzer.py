@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.obs.timeline import pair_label
 from repro.runtime.interpreter import Execution
 from repro.runtime.statement import Statement, StatementPair
 
@@ -54,11 +55,20 @@ class RaceFuzzer(PostponingDriver):
         )
         if isinstance(race_set, StatementPair):
             statements: set[Statement] = {race_set.first, race_set.second}
+            self._timeline_target = pair_label(race_set)
         else:
             statements = set(race_set)
+            self._timeline_target = "|".join(
+                sorted(str(s.site) for s in statements)
+            )
         if not statements:
             raise ValueError("RaceFuzzer needs a non-empty racing statement set")
         self.race_set = frozenset(statements)
+
+    def timeline_target(self) -> str:
+        """Timeline identity of this fuzzer's trials: the pair label
+        (``site|site``), stable across processes and runs."""
+        return self._timeline_target
 
     def fast_mode_statements(self):
         """Fast mode keeps MemEvents only for the racing statements.

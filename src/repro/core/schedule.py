@@ -48,6 +48,7 @@ from random import Random
 from typing import Sequence
 
 from repro.obs import maybe_registry
+from repro.obs.timeline import maybe_timeline, pair_label
 from repro.runtime.statement import StatementPair
 
 
@@ -120,6 +121,8 @@ class CampaignSchedule:
         #: every allocation ever issued, as (pair_index, seed_start, count)
         #: — the determinism witness asserted by tests/core/test_schedule.py.
         self.allocation_log: list[tuple[int, int, int]] = []
+        #: per-pair Phase-1 ``schedulable`` grade (None until bind).
+        self.grades: list[bool | None] = []
         #: per-pair next unused seed (parallel fixed chunking and adaptive
         #: incremental allocation both consume seeds from these cursors).
         self._cursors: list[int] = []
@@ -133,19 +136,38 @@ class CampaignSchedule:
         *,
         base_seed: int = 0,
         chunk_size: int = 25,
+        grades: Sequence[bool | None] | None = None,
     ) -> None:
-        """Attach the campaign's pair list; must precede ``next_batch``."""
+        """Attach the campaign's pair list; must precede ``next_batch``.
+
+        ``grades`` optionally aligns a Phase-1 ``schedulable`` grade with
+        each pair (``True`` = graded schedulable, ``False`` = speculative,
+        ``None`` = ungraded).  The base policy only records them;
+        :class:`AdaptiveSchedule` boosts graded-schedulable priors.
+        """
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.pairs = list(pairs)
         self.base_seed = base_seed
         self.chunk_size = chunk_size
+        if grades is None:
+            self.grades: list[bool | None] = [None] * len(self.pairs)
+        else:
+            self.grades = list(grades)
+            if len(self.grades) != len(self.pairs):
+                raise ValueError(
+                    f"grades length {len(self.grades)} != "
+                    f"pairs length {len(self.pairs)}"
+                )
         self._cursors = [base_seed] * len(self.pairs)
         self._bound = True
 
     def next_batch(self) -> list[TrialChunk]:
         """The next round of chunks to execute ([] = campaign done)."""
         assert self._bound, "bind() must be called before next_batch()"
+        tl = maybe_timeline()
+        if tl is not None and self.rounds == 0:
+            self._emit_bind_events(tl)
         batch = self.plan_round()
         if not batch:
             return []
@@ -159,6 +181,16 @@ class CampaignSchedule:
         if m is not None:
             m.inc("schedule.rounds")
             m.inc("schedule.trials_allocated", sum(c.count for c in batch))
+        if tl is not None:
+            attrs = {
+                "chunks": len(batch),
+                "trials": sum(c.count for c in batch),
+                "allocated": [
+                    [c.pair_index, c.seed_start, c.count] for c in batch
+                ],
+            }
+            attrs.update(self._round_event_attrs())
+            tl.emit("schedule.round", (self.rounds - 1,), attrs)
         return batch
 
     def record(self, chunk: TrialChunk, verdict) -> None:
@@ -197,6 +229,33 @@ class CampaignSchedule:
         raise NotImplementedError
 
     # -- helpers for subclasses ----------------------------------------- #
+
+    def _emit_bind_events(self, tl) -> None:
+        """Timeline: one ``schedule.bind`` summary plus a ``pair.bind``
+        per pair, emitted lazily before the first planned round (so
+        subclass state — posteriors, finalized budgets — exists)."""
+        tl.emit("schedule.bind", (), self._bind_event_attrs())
+        for index in range(len(self.pairs)):
+            tl.emit("pair.bind", (index,), self._pair_bind_attrs(index))
+
+    def _bind_event_attrs(self) -> dict:
+        return {
+            "policy": self.name,
+            "pairs": len(self.pairs),
+            "chunk_size": self.chunk_size,
+            "base_seed": self.base_seed,
+        }
+
+    def _pair_bind_attrs(self, index: int) -> dict:
+        attrs = {"pair": pair_label(self.pairs[index])}
+        grade = self.grades[index] if index < len(self.grades) else None
+        if grade is not None:
+            attrs["grade"] = "schedulable" if grade else "speculative"
+        return attrs
+
+    def _round_event_attrs(self) -> dict:
+        """Extra deterministic attrs for ``schedule.round`` events."""
+        return {}
 
     def take_seeds(self, pair_index: int, count: int) -> list[TrialChunk]:
         """Consume ``count`` seeds from a pair's cursor as sized chunks."""
@@ -300,6 +359,7 @@ class AdaptiveSchedule(CampaignSchedule):
         stop_z: float = 2.0,
         prior: tuple[float, float] = (1.0, 1.0),
         max_trials_per_pair: int | None = None,
+        grade_boost: float = 1.0,
     ) -> None:
         super().__init__()
         if trial_budget is not None and trial_budget < 1:
@@ -316,6 +376,8 @@ class AdaptiveSchedule(CampaignSchedule):
             )
         if prior[0] <= 0 or prior[1] <= 0:
             raise ValueError(f"prior pseudo-counts must be positive, got {prior}")
+        if grade_boost < 0:
+            raise ValueError(f"grade_boost must be >= 0, got {grade_boost}")
         self.trial_budget = trial_budget
         self.time_budget_s = time_budget_s
         self.seed = seed
@@ -325,20 +387,32 @@ class AdaptiveSchedule(CampaignSchedule):
         self.stop_z = stop_z
         self.prior = prior
         self.max_trials_per_pair = max_trials_per_pair
+        self.grade_boost = grade_boost
         self.early_stopped = 0
         self.confirmed = 0
         self.budget_exhausted = False
         self.time_exhausted = False
         self._posteriors: list[_PairPosterior] = []
         self._started: float | None = None
+        self._last_draws: list[list] = []
 
     # -- executor surface ----------------------------------------------- #
 
-    def bind(self, pairs, *, base_seed=0, chunk_size=25) -> None:
-        super().bind(pairs, base_seed=base_seed, chunk_size=chunk_size)
+    def bind(self, pairs, *, base_seed=0, chunk_size=25, grades=None) -> None:
+        super().bind(
+            pairs, base_seed=base_seed, chunk_size=chunk_size, grades=grades
+        )
+        # A Phase-1 "schedulable" grade is strong evidence the pair can
+        # actually be brought adjacent, so it starts with extra prior
+        # pseudo-successes and wins early Thompson rounds.  Deterministic
+        # and off unless grades were supplied (all-None adds nothing).
         self._posteriors = [
-            _PairPosterior(alpha=self.prior[0], beta=self.prior[1])
-            for _ in self.pairs
+            _PairPosterior(
+                alpha=self.prior[0]
+                + (self.grade_boost if self.grades[i] else 0.0),
+                beta=self.prior[1],
+            )
+            for i in range(len(self.pairs))
         ]
         self._started = None
 
@@ -349,11 +423,27 @@ class AdaptiveSchedule(CampaignSchedule):
         post.created += verdict.times_created
         post.alpha += verdict.times_created
         post.beta += verdict.trials - verdict.times_created
+        tl = maybe_timeline()
+        if tl is not None:
+            # Deltas, not running totals: feedback arrives in completion
+            # order under --jobs N, so the event must not depend on what
+            # settled before it.  Trajectories are rebuilt by seed order.
+            tl.emit(
+                "schedule.posterior",
+                (chunk.pair_index, chunk.seed_start),
+                {"trials": verdict.trials, "created": verdict.times_created},
+            )
         if post.confirmed and not was_confirmed:
             self.confirmed += 1
             m = maybe_registry()
             if m is not None:
                 m.inc("schedule.pairs_confirmed")
+            if tl is not None:
+                tl.emit(
+                    "schedule.stop",
+                    (chunk.pair_index,),
+                    {"reason": "confirmed"},
+                )
 
     def cancel(self, chunk: TrialChunk) -> None:
         # Refund the seeds so budget accounting reflects work not done.
@@ -398,7 +488,7 @@ class AdaptiveSchedule(CampaignSchedule):
         return False
 
     def _retire_hopeless(self) -> None:
-        for post in self._posteriors:
+        for index, post in enumerate(self._posteriors):
             if post.stopped or post.confirmed:
                 continue
             if post.trials < self.min_trials:
@@ -409,6 +499,15 @@ class AdaptiveSchedule(CampaignSchedule):
                 m = maybe_registry()
                 if m is not None:
                     m.inc("schedule.pairs_early_stopped")
+                tl = maybe_timeline()
+                if tl is not None:
+                    # Retirement reads only the full posterior at a round
+                    # boundary, so the decision is settle-order-free.
+                    tl.emit(
+                        "schedule.stop",
+                        (index,),
+                        {"reason": "early_stopped"},
+                    )
 
     def _live_indices(self) -> list[int]:
         live = []
@@ -445,6 +544,11 @@ class AdaptiveSchedule(CampaignSchedule):
         sampled = [(rng.betavariate(
             self._posteriors[i].alpha, self._posteriors[i].beta
         ), i) for i in live]
+        # The draws are pure functions of (seed, round, posterior), so
+        # they are safe inside deterministic timeline events.
+        self._last_draws = [
+            [i, round(sample, 6)] for sample, i in sampled
+        ]
         # Highest sampled win the round; ties break on pair order.
         sampled.sort(key=lambda pair: (-pair[0], pair[1]))
         winners = [i for _, i in sampled[: self.round_width]]
@@ -474,6 +578,28 @@ class AdaptiveSchedule(CampaignSchedule):
             m.gauge_max("schedule.posterior_mean_max", max(means))
             m.gauge_max("schedule.budget_spent", float(self.trials_allocated))
         return batch
+
+    def _bind_event_attrs(self) -> dict:
+        attrs = super()._bind_event_attrs()
+        attrs.update(
+            {
+                "round_width": self.round_width,
+                "grade_boost": self.grade_boost,
+            }
+        )
+        if self.trial_budget is not None:
+            attrs["trial_budget"] = self.trial_budget
+        return attrs
+
+    def _pair_bind_attrs(self, index: int) -> dict:
+        attrs = super()._pair_bind_attrs(index)
+        post = self._posteriors[index]
+        attrs["alpha"] = post.alpha
+        attrs["beta"] = post.beta
+        return attrs
+
+    def _round_event_attrs(self) -> dict:
+        return {"draws": self._last_draws}
 
     def summary(self) -> dict:
         base = super().summary()
@@ -541,8 +667,10 @@ class _AdaptiveWithDefaultBudget(AdaptiveSchedule):
 
     default_trials_per_pair: int | None = None
 
-    def bind(self, pairs, *, base_seed=0, chunk_size=25) -> None:
-        super().bind(pairs, base_seed=base_seed, chunk_size=chunk_size)
+    def bind(self, pairs, *, base_seed=0, chunk_size=25, grades=None) -> None:
+        super().bind(
+            pairs, base_seed=base_seed, chunk_size=chunk_size, grades=grades
+        )
         if self.trial_budget is None and self.default_trials_per_pair is not None:
             self.trial_budget = max(1, self.default_trials_per_pair * len(self.pairs))
 

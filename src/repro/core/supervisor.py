@@ -56,6 +56,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.obs import MeteredResult, collecting, maybe_registry
 from repro.obs.health import HealthController
+from repro.obs.timeline import maybe_timeline, recording_timeline
 
 from .faults import (
     CORRUPT_TRACE,
@@ -214,6 +215,9 @@ class TaskEnvelope:
     #: collect metrics in the executing process and ship a snapshot home
     #: with the result (set when the parent's registry is enabled).
     metrics: bool = False
+    #: likewise for the campaign timeline (set when the parent's
+    #: timeline recorder is enabled).
+    timeline: bool = False
 
 
 def _worker_fn(name: str) -> Callable[[Any], Any]:
@@ -268,19 +272,42 @@ def run_envelope(envelope: TaskEnvelope, in_worker: bool = True) -> Any:
     enabled registry and returns a :class:`~repro.obs.MeteredResult`;
     the supervisor merges the snapshot into the parent registry only if
     the result is accepted, so a retried attempt never double-counts.
+    ``envelope.timeline`` does the same for the campaign timeline: the
+    attempt records into a fresh recorder whose snapshot rides home in
+    ``MeteredResult.timeline``.
     """
-    if not envelope.metrics:
+    if not envelope.metrics and not envelope.timeline:
         return _attempt(envelope, in_worker)
-    with collecting() as registry:
-        result = _attempt(envelope, in_worker)
-    return MeteredResult(result=result, snapshot=registry.snapshot())
+    registry = None
+    recorder = None
+    try:
+        if envelope.metrics:
+            registry_cm = collecting()
+            registry = registry_cm.__enter__()
+        if envelope.timeline:
+            recorder_cm = recording_timeline()
+            recorder = recorder_cm.__enter__()
+        try:
+            result = _attempt(envelope, in_worker)
+        finally:
+            if recorder is not None:
+                recorder_cm.__exit__(None, None, None)
+    finally:
+        if registry is not None:
+            registry_cm.__exit__(None, None, None)
+    return MeteredResult(
+        result=result,
+        snapshot=registry.snapshot() if registry is not None else None,
+        timeline=recorder.snapshot() if recorder is not None else None,
+    )
 
 
-def _unwrap_metered(result: Any) -> tuple[Any, Any]:
-    """Split a possibly metered result into (payload, snapshot-or-None)."""
+def _unwrap_metered(result: Any) -> tuple[Any, Any, Any]:
+    """Split a possibly metered result into
+    (payload, metrics-snapshot-or-None, timeline-snapshot-or-None)."""
     if isinstance(result, MeteredResult):
-        return result.result, result.snapshot
-    return result, None
+        return result.result, result.snapshot, result.timeline
+    return result, None, None
 
 
 class CheckpointJournal:
@@ -551,6 +578,7 @@ class CampaignSupervisor:
         report = SupervisorReport(results=results)
         keys = [key_fn(task) if key_fn is not None else None for task in tasks]
         metered = maybe_registry() is not None
+        timed = maybe_timeline() is not None
         failed_attempt_kinds: dict[str, int] = {}
         pool_deaths_before = self.pool_deaths
 
@@ -577,7 +605,7 @@ class CampaignSupervisor:
 
         def settle_success(index: int, result: Any, future_of: dict[int, Future]) -> bool:
             """Accept a validated result; returns False if malformed."""
-            result, snapshot = _unwrap_metered(result)
+            result, snapshot, timeline = _unwrap_metered(result)
             if validate is not None and not validate(tasks[index], result):
                 return False
             results[index] = result
@@ -587,6 +615,11 @@ class CampaignSupervisor:
                     # Accepted attempts only: a rejected or retried attempt
                     # drops its partial counters with its result.
                     m.merge_snapshot(snapshot)
+            if timeline is not None:
+                tl = maybe_timeline()
+                if tl is not None:
+                    # Same accept-only discipline for timeline events.
+                    tl.merge_snapshot(timeline)
             if journal is not None and keys[index] is not None:
                 journal.append(
                     keys[index], encode(result) if encode is not None else result
@@ -609,7 +642,15 @@ class CampaignSupervisor:
                 self.health.record_memory_failure()
             elif kind == "disk":
                 self.health.record_disk_budget_hit()
+            tl = maybe_timeline()
             if attempts[index] > self.retry.max_retries:
+                if tl is not None:
+                    tl.emit(
+                        "task.quarantine",
+                        (fn, index),
+                        {"kind": kind, "attempts": attempts[index]},
+                        wall_s=time.time(),
+                    )
                 failures.append(
                     TaskFailure(
                         phase=fn,
@@ -626,6 +667,13 @@ class CampaignSupervisor:
                 self.health.record_quarantine(kind)
                 return None
             report.retried += 1
+            if tl is not None:
+                tl.emit(
+                    "task.retry",
+                    (fn, index, attempts[index]),
+                    {"kind": kind},
+                    wall_s=time.time(),
+                )
             delay = compute_backoff(self.retry, index, attempts[index] - 1)
             return time.monotonic() + delay
 
@@ -644,6 +692,7 @@ class CampaignSupervisor:
                 fault=fault,
                 memory_budget_mb=self.memory_budget_mb,
                 metrics=metered,
+                timeline=timed,
             )
 
         try:

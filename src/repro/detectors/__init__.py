@@ -29,7 +29,12 @@ from .happensbefore import HappensBeforeDetector
 from .hybrid import HybridRaceDetector
 from .lockset import EraserLocksetDetector
 from .predict import SamplingRaceDetector, ShbRaceDetector, WcpRaceDetector
-from .report import PairEvidence, RaceReport, union_reports
+from .report import (
+    PairEvidence,
+    RaceReport,
+    schedulable_grades,
+    union_reports,
+)
 from .vectorclock import VectorClock
 
 DETECTORS = {
@@ -89,6 +94,7 @@ __all__ = [
     "RaceReport",
     "PairEvidence",
     "union_reports",
+    "schedulable_grades",
     "DETECTORS",
     "available_detectors",
     "make_detector",

@@ -188,6 +188,27 @@ def union_reports(
     return union
 
 
+def schedulable_grades(
+    report: RaceReport,
+    pairs: "Iterable[StatementPair] | None" = None,
+) -> list[bool | None]:
+    """Per-pair ``schedulable`` grades aligned with ``pairs``.
+
+    The plumbing between Phase 1's confidence grading and Phase 2's
+    adaptive priors: ``True`` for pairs some predictive detector graded
+    schedulable, ``False`` for graded-speculative pairs, ``None`` for
+    ungraded pairs (observed-order detectors, supplied pair lists, pairs
+    unknown to this report).  ``pairs`` defaults to ``report.pairs``.
+    """
+    if pairs is None:
+        pairs = report.pairs
+    grades: list[bool | None] = []
+    for pair in pairs:
+        info = report.evidence.get(pair)
+        grades.append(None if info is None else info.schedulable)
+    return grades
+
+
 def _program_name(execution) -> str:
     """Name of the program under observation, for any host engine.
 

@@ -33,7 +33,14 @@ from repro.core import (
 )
 from repro.core.results import CampaignReport
 from repro.detectors import HybridRaceDetector
-from repro.obs import MetricsSnapshot, collecting, maybe_registry
+from repro.obs import (
+    MetricsSnapshot,
+    TimelineSnapshot,
+    collecting,
+    maybe_registry,
+    maybe_timeline,
+    recording_timeline,
+)
 from repro.runtime import Execution
 from repro.workloads.base import WorkloadSpec, table1_workloads
 
@@ -59,6 +66,9 @@ class Table1Row:
     #: the row's own metrics snapshot, when the table run collects metrics
     #: (rows measure in worker processes, so each carries its share home).
     metrics: MetricsSnapshot | None = field(repr=False, default=None)
+    #: the row's timeline snapshot, under the same worker-carries-it-home
+    #: discipline as ``metrics``.
+    timeline: TimelineSnapshot | None = field(repr=False, default=None)
 
     @property
     def name(self) -> str:
@@ -170,15 +180,21 @@ def _measure_row_task(payload: tuple) -> Table1Row:
     don't inherit the parent's registry, so this is how per-row metrics
     cross the process boundary.
     """
+    from contextlib import ExitStack
+
     from repro.workloads.base import get
 
-    name, kwargs, collect = payload
-    if collect:
-        with collecting() as registry:
-            row = measure_row(get(name), **kwargs)
-        row.metrics = registry.snapshot()
-    else:
+    name, kwargs, collect, timed = payload
+    with ExitStack() as stack:
+        registry = stack.enter_context(collecting()) if collect else None
+        recorder = (
+            stack.enter_context(recording_timeline()) if timed else None
+        )
         row = measure_row(get(name), **kwargs)
+    if registry is not None:
+        row.metrics = registry.snapshot()
+    if recorder is not None:
+        row.timeline = recorder.snapshot()
     row.spec = None
     return row
 
@@ -205,15 +221,19 @@ def build_table(
     """
     specs = specs if specs is not None else table1_workloads()
     collect = collect_metrics or maybe_registry() is not None
-    payloads = [(spec.name, kwargs, collect) for spec in specs]
+    timed = maybe_timeline() is not None
+    payloads = [(spec.name, kwargs, collect, timed) for spec in specs]
     rows = pool_map(
         _measure_row_task, payloads, jobs=jobs, on_progress=on_progress
     )
     parent = maybe_registry()
+    parent_tl = maybe_timeline()
     for spec, row in zip(specs, rows):
         row.spec = spec
         if parent is not None and row.metrics is not None:
             parent.merge_snapshot(row.metrics)
+        if parent_tl is not None and row.timeline is not None:
+            parent_tl.merge_snapshot(row.timeline)
     return rows
 
 
@@ -245,6 +265,10 @@ def render_comparison(rows: list[Table1Row]) -> str:
     table = []
     for row in rows:
         paper = row.spec.paper
+        if paper is None:
+            # Workloads outside the paper's benchmark suite (figure1,
+            # philosophers, ...) have no row to compare against.
+            continue
         hybrid_ratio_paper = (
             f"{paper.hybrid_s / paper.normal_s:.1f}"
             if paper.hybrid_s and paper.normal_s
@@ -277,7 +301,12 @@ def main(argv: list[str] | None = None) -> None:
     import argparse
     from contextlib import ExitStack
 
-    from repro.obs import ProgressPrinter, ProgressUpdate, write_run_report
+    from repro.obs import (
+        ProgressPrinter,
+        ProgressUpdate,
+        write_run_report,
+        write_timeline,
+    )
     from repro.workloads.base import get
 
     parser = argparse.ArgumentParser(description=__doc__)
@@ -330,6 +359,13 @@ def main(argv: list[str] | None = None) -> None:
         "with --checkpoint, a resumed run merges into the prior report",
     )
     parser.add_argument(
+        "--timeline-out",
+        default=None,
+        metavar="FILE",
+        help="record the whole table run's campaign timeline (feed it to "
+        "`repro trace-export` or `repro dash`)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print a progress line to stderr as each row finishes",
@@ -374,15 +410,24 @@ def main(argv: list[str] | None = None) -> None:
             if args.metrics_out is not None
             else None
         )
+        recorder = (
+            stack.enter_context(recording_timeline())
+            if args.timeline_out is not None
+            else None
+        )
         rows = build_table(
             specs, jobs=args.jobs, on_progress=on_progress, **kwargs
         )
+    timeline = recorder.snapshot() if recorder is not None else None
+    if timeline is not None:
+        write_timeline(args.timeline_out, timeline, command="table1")
     if registry is not None:
         write_run_report(
             args.metrics_out,
             registry.snapshot(),
             command="table1",
             merge_existing=args.checkpoint is not None,
+            timeline=timeline,
         )
     print(render_measured(rows))
     print()

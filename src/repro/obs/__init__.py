@@ -11,6 +11,14 @@ The package every other layer is instrumented against:
 * :mod:`repro.obs.report` — versioned JSON run reports (``--metrics-out``),
   schema validation, Prometheus text rendering, and the ``repro stats``
   table renderer.
+* :mod:`repro.obs.timeline` — the campaign :class:`TimelineRecorder`
+  (``--timeline-out``): typed events with deterministic identities and
+  associative snapshot merge, the run report's v3 ``timeline`` section,
+  and the data source for ``repro trace-export`` / ``repro dash``.
+* :mod:`repro.obs.traceexport` — Chrome trace-event JSON rendering of a
+  timeline document, loadable in Perfetto / ``chrome://tracing``.
+* :mod:`repro.obs.dash` — the zero-dependency standalone HTML dashboard
+  (``repro dash``).
 * :mod:`repro.obs.progress` — the ``on_progress`` hook's
   :class:`ProgressUpdate` value type and the stock throttled printer.
 * :mod:`repro.obs.health` — the campaign :class:`HealthController`
@@ -30,6 +38,7 @@ from .health import (
     HealthController,
     HealthTransition,
 )
+from .dash import render_dash, write_dash
 from .progress import ProgressPrinter, ProgressUpdate
 from .registry import (
     NULL_SPAN,
@@ -62,6 +71,28 @@ from .report import (
     validate_run_report,
     write_run_report,
 )
+from .timeline import (
+    DETERMINISTIC_KINDS,
+    TIMELINE_KIND,
+    TIMELINE_VERSION,
+    TimelineEvent,
+    TimelineRecorder,
+    TimelineSnapshot,
+    build_timeline_document,
+    get_timeline,
+    load_timeline,
+    maybe_timeline,
+    merge_timeline_sections,
+    pair_label,
+    pair_trajectories,
+    recording_timeline,
+    set_timeline,
+    snapshot_from_document,
+    timeline_section,
+    validate_timeline_section,
+    write_timeline,
+)
+from .traceexport import chrome_trace, write_chrome_trace
 
 __all__ = [
     # registry
@@ -93,6 +124,31 @@ __all__ = [
     "validate_run_report",
     "render_prometheus",
     "render_stats_table",
+    # timeline
+    "TIMELINE_VERSION",
+    "TIMELINE_KIND",
+    "DETERMINISTIC_KINDS",
+    "TimelineEvent",
+    "TimelineRecorder",
+    "TimelineSnapshot",
+    "get_timeline",
+    "set_timeline",
+    "maybe_timeline",
+    "recording_timeline",
+    "pair_label",
+    "pair_trajectories",
+    "timeline_section",
+    "merge_timeline_sections",
+    "validate_timeline_section",
+    "build_timeline_document",
+    "write_timeline",
+    "load_timeline",
+    "snapshot_from_document",
+    # trace export & dashboard
+    "chrome_trace",
+    "write_chrome_trace",
+    "render_dash",
+    "write_dash",
     # progress
     "ProgressUpdate",
     "ProgressPrinter",

@@ -32,10 +32,12 @@ controller per campaign).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable
 
 from .registry import maybe_registry
+from .timeline import maybe_timeline
 
 HEALTHY = "healthy"
 DEGRADED = "degraded"
@@ -122,6 +124,18 @@ class HealthController:
             m.inc("health.transitions")
             m.inc(f"health.transitions.{state}")
             m.gauge_max("health.state", STATE_RANK[state])
+        tl = maybe_timeline()
+        if tl is not None:
+            # "health" is a non-deterministic timeline kind: when (and
+            # whether) pressure escalates depends on worker timing, so the
+            # event lives in --timeline-out documents but stays out of the
+            # run report's deterministic section.
+            tl.emit(
+                "health",
+                (len(self.transitions), state),
+                {"reason": reason},
+                wall_s=time.time(),
+            )
         if self.on_transition is not None:
             self.on_transition(transition)
 

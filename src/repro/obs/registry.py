@@ -229,10 +229,13 @@ class MeteredResult:
     The supervisor unwraps this before validation/journaling, merging the
     snapshot into the parent registry only when the result is accepted —
     the mechanism behind retry-safe, serial-equivalent parallel metrics.
+    ``timeline`` optionally carries the attempt's ``TimelineSnapshot``
+    under the same accept-only discipline.
     """
 
     result: Any
     snapshot: MetricsSnapshot
+    timeline: Any = None
 
 
 class _NullSpan:

@@ -22,10 +22,18 @@ import re
 from typing import Any, Mapping
 
 from .registry import MetricsSnapshot
+from .timeline import (
+    TimelineSnapshot,
+    merge_timeline_sections,
+    timeline_section,
+    validate_timeline_section,
+)
 
 #: bump when the report layout changes incompatibly.  v2 added the
-#: ``schedule.*`` counters (campaign trial-allocation policy).
-REPORT_VERSION = 2
+#: ``schedule.*`` counters (campaign trial-allocation policy); v3 added
+#: the optional ``timeline`` section (deterministic campaign events and
+#: per-pair posterior trajectories).
+REPORT_VERSION = 3
 
 #: discriminator so tooling can reject arbitrary JSON files early.
 REPORT_KIND = "repro-run-report"
@@ -62,7 +70,11 @@ REQUIRED_COUNTERS: tuple[str, ...] = REQUIRED_COUNTERS_V1 + (
 
 
 def required_counters_for(version: int) -> tuple[str, ...]:
-    """The counter keys a report of ``version`` promised to carry."""
+    """The counter keys a report of ``version`` promised to carry.
+
+    v3 added the optional ``timeline`` section without touching the
+    counter contract, so v2 and v3 promise the same keys.
+    """
     return REQUIRED_COUNTERS_V1 if version < 2 else REQUIRED_COUNTERS
 
 
@@ -78,14 +90,35 @@ def environment_metadata() -> dict:
     }
 
 
+def _timeline_to_section(timeline) -> dict | None:
+    """Normalize a ``timeline=`` argument to a report section (or None).
+
+    Accepts a :class:`~repro.obs.timeline.TimelineSnapshot` or an
+    already-built section dict; ``None`` passes through (no section).
+    """
+    if timeline is None:
+        return None
+    if isinstance(timeline, TimelineSnapshot):
+        return timeline_section(timeline)
+    return dict(timeline)
+
+
 def build_run_report(
     snapshot: MetricsSnapshot,
     *,
     command: str,
     workload: str | None = None,
     extra: Mapping[str, Any] | None = None,
+    timeline=None,
 ) -> dict:
-    """Assemble the versioned JSON document for one campaign's metrics."""
+    """Assemble the versioned JSON document for one campaign's metrics.
+
+    ``timeline`` (a :class:`~repro.obs.timeline.TimelineSnapshot` or a
+    prebuilt section dict) attaches the v3 ``timeline`` section: the
+    campaign's deterministic event stream plus per-pair posterior
+    trajectories.  Omitted when not recording — v3 reports without the
+    section stay valid.
+    """
     counters = dict(snapshot.counters)
     for key in REQUIRED_COUNTERS:
         counters.setdefault(key, 0)
@@ -104,6 +137,9 @@ def build_run_report(
             name: s.to_jsonable() for name, s in sorted(snapshot.spans.items())
         },
     }
+    section = _timeline_to_section(timeline)
+    if section is not None:
+        report["timeline"] = section
     if extra:
         report["extra"] = dict(extra)
     return report
@@ -127,6 +163,7 @@ def write_run_report(
     workload: str | None = None,
     extra: Mapping[str, Any] | None = None,
     merge_existing: bool = False,
+    timeline=None,
 ) -> dict:
     """Write a run report; returns the document written.
 
@@ -134,8 +171,11 @@ def write_run_report(
     ``--checkpoint`` journal), a valid prior report at ``path`` is folded
     into ``snapshot`` first, so the report accumulates across restarts
     instead of counting only the resumed tail.  An invalid or missing
-    prior file is ignored.
+    prior file is ignored.  A prior ``timeline`` section merges the same
+    way (dedup union of event identities), so a resumed campaign's
+    timeline equals an uninterrupted run's.
     """
+    section = _timeline_to_section(timeline)
     if merge_existing:
         try:
             prior = load_run_report(path)
@@ -143,8 +183,12 @@ def write_run_report(
             prior = None
         if prior is not None and not validate_run_report(prior):
             snapshot = snapshot_from_report(prior).merged(snapshot)
+            prior_timeline = prior.get("timeline")
+            if prior_timeline is not None:
+                section = merge_timeline_sections(prior_timeline, section)
     report = build_run_report(
-        snapshot, command=command, workload=workload, extra=extra
+        snapshot, command=command, workload=workload, extra=extra,
+        timeline=section,
     )
     tmp = f"{path}.{os.getpid()}.tmp"
     with open(tmp, "w", encoding="utf-8") as fh:
@@ -222,6 +266,11 @@ def validate_run_report(report: Any) -> list[str]:
                 errors.append(f"span {key!r}: count/total_s must be >= 0")
             if s.get("count", 0) > 0 and s.get("min_s", 0) > s.get("max_s", 0):
                 errors.append(f"span {key!r}: min_s exceeds max_s")
+    timeline = report.get("timeline")
+    if timeline is not None:
+        if isinstance(version, int) and version < 3:
+            errors.append("timeline section requires report version >= 3")
+        errors.extend(validate_timeline_section(timeline))
     return errors
 
 
@@ -238,6 +287,15 @@ def _format_value(value: float) -> str:
     if isinstance(value, int):
         return str(value)
     return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double quote, and line feed (a raw newline would truncate
+    the sample line and corrupt every series after it)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
 
 
 def render_prometheus(report: Mapping) -> str:
@@ -267,8 +325,13 @@ def render_prometheus(report: Mapping) -> str:
         lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
         lines.append(f"{metric}_sum {_format_value(h['total'])}")
         lines.append(f"{metric}_count {h['count']}")
-    for name, s in sorted(report.get("spans", {}).items()):
-        label = name.replace("\\", "\\\\").replace('"', '\\"')
+    spans = sorted(report.get("spans", {}).items())
+    if spans:
+        lines.append("# TYPE repro_span_seconds_count counter")
+        lines.append("# TYPE repro_span_seconds_sum counter")
+        lines.append("# TYPE repro_span_seconds_max gauge")
+    for name, s in spans:
+        label = _escape_label(name)
         lines.append(f'repro_span_seconds_count{{span="{label}"}} {s["count"]}')
         lines.append(
             f'repro_span_seconds_sum{{span="{label}"}} {_format_value(s["total_s"])}'

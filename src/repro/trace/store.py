@@ -35,12 +35,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable
 
 from repro.obs import maybe_registry
 from repro.obs.health import HealthController
+from repro.obs.timeline import maybe_timeline
 from repro.runtime.program import Program
 
 from .io import TraceReader, record_execution, remove_partial, verify_trace
@@ -187,15 +189,20 @@ class TraceStore:
         rather than rely on them.
         """
         m = maybe_registry()
+        tl = maybe_timeline()
         cached = self.get(key)
         if cached is not None:
             self.stats.hits += 1
             if m is not None:
                 m.inc("trace.store_hits")
+            if tl is not None:
+                self._emit_store_event(tl, key, "hit")
             return cached
         self.stats.misses += 1
         if m is not None:
             m.inc("trace.store_misses")
+        if tl is not None:
+            self._emit_store_event(tl, key, "miss")
         final = self.path_for(key)
         # Keep the gz suffix decision on the temp name so the writer picks
         # the right codec, then publish atomically.
@@ -240,6 +247,19 @@ class TraceStore:
 
     def _recording_enabled(self) -> bool:
         return self.health is None or self.health.trace_recording_enabled
+
+    @staticmethod
+    def _emit_store_event(tl, key: TraceKey, outcome: str) -> None:
+        """"store" is a non-deterministic timeline kind: which process sees
+        the hit depends on recording order, so the event rides only in
+        --timeline-out documents, never the run report's deterministic
+        section."""
+        tl.emit(
+            "store",
+            (key.workload, key.seed, outcome),
+            {"scheduler": key.scheduler, "max_steps": key.max_steps},
+            wall_s=time.time(),
+        )
 
     def _fsync_file(self, path: Path) -> None:
         fd = os.open(path, os.O_RDONLY)

@@ -226,6 +226,68 @@ class TestAdaptiveDeterminism:
         assert sched_a.next_batch() == sched_b.next_batch()
 
 
+class TestGradeBoost:
+    def test_graded_pairs_start_with_boosted_alpha(self):
+        sched = _adaptive(grade_boost=2.5)
+        sched.bind(PAIRS, chunk_size=5, grades=[True, None])
+        alphas = [post.alpha for post in sched._posteriors]
+        assert alphas == [1.0 + 2.5, 1.0]
+        betas = [post.beta for post in sched._posteriors]
+        assert betas == [1.0, 1.0]
+
+    def test_speculative_and_ungraded_get_no_boost(self):
+        sched = _adaptive(grade_boost=2.5)
+        sched.bind(PAIRS, chunk_size=5, grades=[False, None])
+        assert [post.alpha for post in sched._posteriors] == [1.0, 1.0]
+
+    def test_no_grades_leaves_priors_untouched(self):
+        plain = _adaptive()
+        graded = _adaptive()
+        plain.bind(PAIRS, chunk_size=5)
+        graded.bind(PAIRS, chunk_size=5, grades=[None, None])
+        assert [p.alpha for p in plain._posteriors] == [
+            p.alpha for p in graded._posteriors
+        ]
+        assert plain.next_batch() == graded.next_batch()
+
+    def test_grades_length_mismatch_rejected(self):
+        sched = _adaptive()
+        with pytest.raises(ValueError, match="grades length"):
+            sched.bind(PAIRS, chunk_size=5, grades=[True])
+
+    def test_negative_grade_boost_rejected(self):
+        with pytest.raises(ValueError, match="grade_boost"):
+            _adaptive(grade_boost=-0.1)
+
+    def test_graded_campaign_stays_deterministic(self):
+        def run():
+            sched = _adaptive(grade_boost=3.0)
+            verdicts = fuzz_races(
+                figure1.build(), PAIRS, chunk_size=5, schedule=sched,
+                grades=[True, False],
+            )
+            return sched.allocation_log, _campaign_signature(verdicts)
+
+        assert run() == run()
+
+    def test_driver_feeds_phase1_grades_into_schedule(self):
+        from repro.core import race_directed_test
+
+        sched = _adaptive()
+        race_directed_test(
+            figure1.build(),
+            detector="shb",
+            phase1_seeds=range(2),
+            trials=10,
+            chunk_size=5,
+            max_steps=20_000,
+            schedule=sched,
+        )
+        # Only predictive detectors grade pairs; with shb the driver
+        # must have handed a non-None grade to bind().
+        assert any(grade is not None for grade in sched.grades)
+
+
 class TestCheckpointResume:
     def _run(self, tmp_path, journal_name="journal.jsonl"):
         sched = _adaptive()

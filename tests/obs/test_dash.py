@@ -1,0 +1,142 @@
+"""`repro dash` HTML rendering and Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.core.driver import race_directed_test
+from repro.obs import (
+    MetricsRegistry,
+    build_run_report,
+    build_timeline_document,
+    chrome_trace,
+    collecting,
+    recording_timeline,
+    render_dash,
+    write_chrome_trace,
+    write_dash,
+)
+from repro.obs.traceexport import PAIR_PID, WORKER_PID
+from repro.workloads import figure1, get
+
+
+def _campaign():
+    """One recorded figure1 campaign: (timeline snapshot, v3 report)."""
+    registry = MetricsRegistry(enabled=True)
+    with collecting(registry), recording_timeline() as recorder:
+        race_directed_test(
+            get("figure1").build(),
+            phase1_seeds=range(2),
+            trials=4,
+            chunk_size=2,
+            max_steps=20_000,
+            schedule="adaptive",
+        )
+    snapshot = recorder.snapshot()
+    report = build_run_report(
+        registry.snapshot(), command="fuzz", workload="figure1", timeline=snapshot
+    )
+    return snapshot, report
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return _campaign()
+
+
+def _assert_standalone_html(html):
+    assert html.startswith("<!DOCTYPE html>")
+    assert html.rstrip().endswith("</html>")
+    assert "<style>" in html  # inline CSS — no external fetches
+    assert "http://" not in html and "https://" not in html
+
+
+class TestDash:
+    def test_renders_from_v3_report(self, campaign):
+        _, report = campaign
+        html = render_dash(report)
+        _assert_standalone_html(html)
+        label = f"{figure1.REAL_PAIR.first.site}|{figure1.REAL_PAIR.second.site}"
+        assert label in html
+        assert "<svg" in html  # posterior sparkline
+
+    def test_renders_from_timeline_document(self, campaign):
+        snapshot, _ = campaign
+        document = build_timeline_document(
+            snapshot, command="fuzz", workload="figure1"
+        )
+        html = render_dash(document)
+        _assert_standalone_html(html)
+        assert "<svg" in html
+
+    def test_write_dash(self, tmp_path, campaign):
+        _, report = campaign
+        path = tmp_path / "dash.html"
+        write_dash(path, report)
+        _assert_standalone_html(path.read_text())
+
+    def test_renders_fixed_schedule_timeline(self):
+        # Fixed-schedule campaigns record chunk events but no pair.bind,
+        # so trajectories carry no bind index — the dash must still sort
+        # and render them.
+        from repro.core.driver import fuzz_races
+        from repro.obs import build_timeline_document, recording_timeline
+
+        with recording_timeline() as recorder:
+            fuzz_races(
+                get("figure1").build(),
+                [figure1.REAL_PAIR],
+                trials=4,
+                chunk_size=2,
+                max_steps=20_000,
+            )
+        document = build_timeline_document(recorder.snapshot(), command="fuzz")
+        html = render_dash(document)
+        _assert_standalone_html(html)
+        assert "<svg" in html
+
+    def test_renders_report_without_timeline_section(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("fuzz.trials", 3)
+        report = build_run_report(registry.snapshot(), command="fuzz")
+        _assert_standalone_html(render_dash(report))
+
+
+class TestChromeTrace:
+    def test_trace_shape(self, campaign):
+        snapshot, _ = campaign
+        trace = chrome_trace(snapshot)
+        events = trace["traceEvents"]
+        assert isinstance(events, list) and events
+        for event in events:
+            assert set(event) >= {"ph", "pid", "tid"}
+            assert event["ph"] in {"M", "X", "i"}
+            if event["ph"] != "M":
+                assert isinstance(event["ts"], int) and event["ts"] >= 0
+            if event["ph"] == "X":
+                assert event["dur"] >= 1
+        json.dumps(trace)  # Perfetto needs plain JSON
+
+    def test_pair_keyed_kinds_mirrored_onto_pair_process(self, campaign):
+        snapshot, _ = campaign
+        events = chrome_trace(snapshot)["traceEvents"]
+        pids = {e["pid"] for e in events}
+        assert {WORKER_PID, PAIR_PID} <= pids
+        pair_rows = [
+            e for e in events if e["pid"] == PAIR_PID and e["ph"] != "M"
+        ]
+        assert pair_rows  # chunk/trial events appear on the pair track
+
+    def test_accepts_document_and_section(self, campaign):
+        snapshot, report = campaign
+        document = build_timeline_document(snapshot, command="fuzz")
+        assert chrome_trace(document)["traceEvents"]
+        assert chrome_trace(report["timeline"])["traceEvents"]
+
+    def test_write_chrome_trace(self, tmp_path, campaign):
+        snapshot, _ = campaign
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, snapshot)
+        loaded = json.loads(path.read_text())
+        assert loaded["traceEvents"]
+        assert loaded["displayTimeUnit"] == "ms"

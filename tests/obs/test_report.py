@@ -8,6 +8,7 @@ from repro.obs import (
     REQUIRED_COUNTERS,
     REQUIRED_COUNTERS_V1,
     MetricsRegistry,
+    TimelineRecorder,
     build_run_report,
     environment_metadata,
     load_run_report,
@@ -27,6 +28,13 @@ def _snapshot():
     registry.observe("interp.steps_per_execution", 50)
     registry.observe_span("phase2.fuzz", 0.5)
     return registry.snapshot()
+
+
+def _timeline(*seeds):
+    recorder = TimelineRecorder(enabled=True)
+    for seed in seeds or (0,):
+        recorder.emit("trial", ("figure1", seed), {"created": 1})
+    return recorder.snapshot()
 
 
 class TestBuild:
@@ -109,6 +117,35 @@ class TestValidate:
         assert validate_run_report(old) == []
         assert set(REQUIRED_COUNTERS_V1) <= set(v1_counters)
 
+    def test_v2_reports_still_validate_under_v3(self):
+        # Reports written before the timeline layer existed carry
+        # version 2 and no timeline section; they must keep passing.
+        report = build_run_report(_snapshot(), command="fuzz")
+        old = dict(report, version=2)
+        old.pop("timeline", None)
+        assert validate_run_report(old) == []
+
+    def test_v3_report_with_timeline_section_passes(self):
+        report = build_run_report(
+            _snapshot(), command="fuzz", timeline=_timeline()
+        )
+        assert report["version"] == 3
+        assert report["timeline"]["events"]
+        assert validate_run_report(report) == []
+
+    def test_timeline_on_old_version_rejected(self):
+        report = build_run_report(
+            _snapshot(), command="fuzz", timeline=_timeline()
+        )
+        errors = validate_run_report(dict(report, version=2))
+        assert any("requires report version >= 3" in e for e in errors)
+
+    def test_malformed_timeline_section_rejected(self):
+        report = build_run_report(_snapshot(), command="fuzz")
+        assert validate_run_report(dict(report, timeline=[1, 2])) != []
+        bad_events = {"version": 1, "budget": 8, "dropped": 0, "events": [["k"]]}
+        assert validate_run_report(dict(report, timeline=bad_events)) != []
+
     def test_rejects_inconsistent_histogram(self):
         report = build_run_report(_snapshot(), command="fuzz")
         h = dict(report["histograms"]["interp.steps_per_execution"])
@@ -159,6 +196,36 @@ class TestWriteLoad:
         write_run_report(path, _snapshot(), command="fuzz", merge_existing=True)
         assert load_run_report(path)["counters"]["fuzz.trials"] == 7
 
+    def test_merge_existing_unions_timeline_sections(self, tmp_path):
+        # Checkpoint-resume: two partial writes must land on the same
+        # section as one uninterrupted write over all events.
+        path = tmp_path / "report.json"
+        write_run_report(
+            path, _snapshot(), command="fuzz", timeline=_timeline(0, 1)
+        )
+        write_run_report(
+            path,
+            _snapshot(),
+            command="fuzz",
+            merge_existing=True,
+            timeline=_timeline(1, 2),
+        )
+        merged = load_run_report(path)["timeline"]
+        assert merged["events"] == build_run_report(
+            _snapshot(), command="fuzz", timeline=_timeline(0, 1, 2)
+        )["timeline"]["events"]
+        assert validate_run_report(load_run_report(path)) == []
+
+    def test_merge_existing_keeps_prior_timeline_when_not_recording(
+        self, tmp_path
+    ):
+        path = tmp_path / "report.json"
+        write_run_report(
+            path, _snapshot(), command="fuzz", timeline=_timeline(0)
+        )
+        write_run_report(path, _snapshot(), command="fuzz", merge_existing=True)
+        assert len(load_run_report(path)["timeline"]["events"]) == 1
+
 
 class TestRender:
     def test_prometheus_format(self):
@@ -171,6 +238,26 @@ class TestRender:
         assert 'repro_interp_steps_per_execution_bucket{le="+Inf"} 1' in text
         assert 'repro_span_seconds_count{span="phase2.fuzz"} 1' in text
         assert text.endswith("\n")
+
+    def test_prometheus_declares_span_series_types(self):
+        text = render_prometheus(build_run_report(_snapshot(), command="fuzz"))
+        assert "# TYPE repro_span_seconds_count counter" in text
+        assert "# TYPE repro_span_seconds_sum counter" in text
+        assert "# TYPE repro_span_seconds_max gauge" in text
+
+    def test_prometheus_escapes_span_labels(self):
+        registry = MetricsRegistry()
+        registry.inc("fuzz.trials", 1)
+        registry.observe_span('odd\nspan"with\\stuff', 0.1)
+        text = render_prometheus(
+            build_run_report(registry.snapshot(), command="fuzz")
+        )
+        # Prometheus exposition: \n, " and \ must be escaped inside
+        # label values — a raw newline would split the sample line.
+        assert '{span="odd\\nspan\\"with\\\\stuff"}' in text
+        for line in text.splitlines():
+            if "odd" in line:
+                assert "\n" not in line
 
     def test_stats_table(self):
         report = build_run_report(_snapshot(), command="fuzz", workload="figure1")
